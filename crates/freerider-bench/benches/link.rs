@@ -1,0 +1,49 @@
+//! End-to-end link benchmarks: one full excitation→tag→receiver→decode
+//! round per technology — the kernel behind Figs. 10–13.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use freerider_channel::channel::Fading;
+use freerider_channel::BackscatterBudget;
+use freerider_core::link::{BleLink, LinkConfig, WifiLink, ZigbeeLink};
+
+fn one_packet(budget: BackscatterBudget, d: f64, payload: usize) -> LinkConfig {
+    LinkConfig {
+        payload_len: payload,
+        packets: 1,
+        fading: Fading::None,
+        ..LinkConfig::new(budget, d, 1)
+    }
+}
+
+fn bench_links(c: &mut Criterion) {
+    let mut g = c.benchmark_group("link");
+    g.sample_size(10);
+    let wifi = WifiLink::new(one_packet(BackscatterBudget::wifi_los(), 5.0, 1000));
+    g.bench_function("wifi_1000B_packet", |b| b.iter(|| black_box(wifi.run())));
+    let zig = ZigbeeLink::new(one_packet(BackscatterBudget::zigbee_los(), 5.0, 100));
+    g.bench_function("zigbee_100B_packet", |b| b.iter(|| black_box(zig.run())));
+    let ble = BleLink::new(one_packet(BackscatterBudget::ble_los(), 3.0, 37));
+    g.bench_function("ble_37B_packet", |b| b.iter(|| black_box(ble.run())));
+    g.finish();
+}
+
+fn bench_decoders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decoder");
+    let orig: Vec<u8> = (0..12_000).map(|i| ((i * 11) % 5 < 2) as u8).collect();
+    let back: Vec<u8> = orig.iter().map(|b| b ^ 1).collect();
+    g.bench_function("xor_majority_500_tag_bits", |b| {
+        b.iter(|| {
+            black_box(freerider_core::decoder::decode_wifi_binary(
+                black_box(&orig),
+                black_box(&back),
+                24,
+                4,
+                1,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_links, bench_decoders);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! `repro` — regenerates every table and figure of the FreeRider paper.
+//!
+//! ```sh
+//! cargo run --release -p freerider-bench --bin repro -- all
+//! cargo run --release -p freerider-bench --bin repro -- fig10 fig17
+//! cargo run --release -p freerider-bench --bin repro -- --quick all
+//! cargo run --release -p freerider-bench --bin repro -- --list
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let list = args.iter().any(|a| a == "--list" || a == "-l");
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(String::as_str)
+        .collect();
+
+    if list {
+        println!("available experiments:");
+        for e in freerider_bench::EXPERIMENTS {
+            println!("  {e}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if targets.is_empty() {
+        eprintln!("usage: repro [--quick] <experiment>... | all | --list");
+        return ExitCode::FAILURE;
+    }
+
+    let names: Vec<&str> = if targets.contains(&"all") {
+        freerider_bench::EXPERIMENTS.to_vec()
+    } else {
+        targets
+    };
+
+    let mut failed = false;
+    for name in names {
+        match freerider_bench::run(name, quick) {
+            Some(out) => {
+                println!("{}", "=".repeat(78));
+                println!("{out}");
+            }
+            None => {
+                eprintln!("unknown experiment `{name}` (try --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,147 @@
+//! GFSK modulation, discriminator demodulation, and the channel filter.
+
+use crate::{DEVIATION_HZ, SAMPLES_PER_BIT, SAMPLE_RATE};
+use freerider_dsp::fir::Fir;
+use freerider_dsp::Complex;
+
+/// Modulates bits into a constant-envelope GFSK waveform.
+///
+/// Bits are mapped to NRZ (0 → −1, 1 → +1), upsampled, shaped with a
+/// BT = 0.5 Gaussian filter spanning 3 bit periods, and frequency-modulated
+/// at ±[`DEVIATION_HZ`].
+pub fn modulate(bits: &[u8]) -> Vec<Complex> {
+    let gauss = Fir::gaussian(0.5, SAMPLES_PER_BIT, 3);
+    // NRZ impulse train at the sample rate (rectangular bit pulses).
+    let mut nrz = Vec::with_capacity(bits.len() * SAMPLES_PER_BIT);
+    for &b in bits {
+        let v = if b & 1 == 1 { 1.0 } else { -1.0 };
+        nrz.extend(std::iter::repeat_n(v, SAMPLES_PER_BIT));
+    }
+    let shaped = gauss.filter_real(&nrz);
+    // Integrate frequency to phase.
+    let k = 2.0 * std::f64::consts::PI * DEVIATION_HZ / SAMPLE_RATE;
+    let mut phase = 0.0f64;
+    shaped
+        .iter()
+        .map(|&m| {
+            phase += k * m;
+            Complex::cis(phase)
+        })
+        .collect()
+}
+
+/// Per-sample frequency discriminator: `f[n] = arg(s[n]·conj(s[n−1]))`,
+/// normalised so a clean tone at +[`DEVIATION_HZ`] reads ≈ +1.0.
+///
+/// Output has the same length as the input (first sample is 0).
+pub fn discriminate(samples: &[Complex]) -> Vec<f64> {
+    let k = 2.0 * std::f64::consts::PI * DEVIATION_HZ / SAMPLE_RATE;
+    let mut out = Vec::with_capacity(samples.len());
+    out.push(0.0);
+    for w in samples.windows(2) {
+        out.push((w[1] * w[0].conj()).arg() / k);
+    }
+    out
+}
+
+/// The receiver's channel-select filter: a low-pass whose cutoff keeps the
+/// ±250 kHz FSK codewords and rejects energy beyond ~±600 kHz — including
+/// the mirror sideband a FreeRider tag creates at ±750 kHz (Eq. 10).
+pub fn channel_filter() -> Fir {
+    // 560 kHz cutoff at 8 Msps → 0.07 cycles/sample with a sharp 129-tap
+    // roll-off: keeps the ±250 kHz codewords (and a tag's frequency-swept
+    // transients), while still crushing the tag's ±750 kHz mirror sideband.
+    Fir::low_pass(0.07, 129)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freerider_dsp::db;
+    use freerider_dsp::osc::SquareWave;
+
+    #[test]
+    fn constant_envelope() {
+        let bits: Vec<u8> = (0..40).map(|i| (i % 3 == 0) as u8).collect();
+        let wave = modulate(&bits);
+        for z in &wave {
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn discriminator_recovers_bits() {
+        let bits: Vec<u8> = vec![0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0, 0];
+        let wave = modulate(&bits);
+        let f = discriminate(&wave);
+        // Sample at each bit centre (the Gaussian FIR's group delay is
+        // already compensated by `filter_real`'s "same" convolution).
+        let delay = 0;
+        for (i, &b) in bits.iter().enumerate() {
+            let idx = delay + i * SAMPLES_PER_BIT + SAMPLES_PER_BIT / 2;
+            if idx < f.len() {
+                let hard = u8::from(f[idx] > 0.0);
+                assert_eq!(hard, b, "bit {i}: freq {}", f[idx]);
+            }
+        }
+    }
+
+    #[test]
+    fn deviation_is_250khz() {
+        // A long run of ones settles the discriminator at +1.0 (=+250 kHz).
+        let bits = vec![1u8; 30];
+        let wave = modulate(&bits);
+        let f = discriminate(&wave);
+        let mid = &f[100..140];
+        let avg: f64 = mid.iter().sum::<f64>() / mid.len() as f64;
+        assert!((avg - 1.0).abs() < 0.02, "deviation {avg}");
+    }
+
+    #[test]
+    fn modulation_index_is_half() {
+        // h = (f1 − f0)/bitrate = 2·250 kHz / 1 MHz = 0.5.
+        let h = 2.0 * DEVIATION_HZ / 1e6;
+        assert!((h - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_filter_passes_codewords_and_rejects_mirror() {
+        let f = channel_filter();
+        // Tone at +250 kHz (codeword) passes…
+        let tone = |freq_hz: f64| -> f64 {
+            let w: Vec<Complex> = (0..4000)
+                .map(|n| Complex::cis(2.0 * std::f64::consts::PI * freq_hz / SAMPLE_RATE * n as f64))
+                .collect();
+            let y = f.filter(&w);
+            db::mean_power(&y[1000..3000])
+        };
+        assert!(tone(250e3) > 0.9, "codeword attenuated");
+        assert!(tone(-250e3) > 0.9, "codeword attenuated");
+        // …the tag's unwanted sideband at ±750 kHz is crushed.
+        assert!(tone(750e3) < 0.01, "mirror not rejected");
+        assert!(tone(-750e3) < 0.01, "mirror not rejected");
+    }
+
+    #[test]
+    fn square_wave_toggle_swaps_fsk_codewords() {
+        // The heart of §2.3.3: multiply a data-one (+250 kHz) GFSK tone by
+        // a 500 kHz square wave, channel-filter, and the discriminator
+        // reads data-zero (−250 kHz).
+        let bits = vec![1u8; 40];
+        let wave = modulate(&bits);
+        let mut sq = SquareWave::new(500e3 / SAMPLE_RATE);
+        let toggled = sq.modulate(&wave);
+        let filtered = channel_filter().filter(&toggled);
+        let f = discriminate(&filtered);
+        let mid = &f[150..250];
+        let avg: f64 = mid.iter().sum::<f64>() / mid.len() as f64;
+        assert!(
+            (avg + 1.0).abs() < 0.1,
+            "expected −250 kHz after codeword swap, got {avg}"
+        );
+        // And the surviving sideband carries ≈ (2/π)² of the power.
+        let p = db::mean_power(&filtered[150..250]);
+        let expect = SquareWave::FUNDAMENTAL_SIDEBAND_GAIN.powi(2);
+        assert!((p - expect).abs() < 0.05, "sideband power {p} vs {expect}");
+    }
+}

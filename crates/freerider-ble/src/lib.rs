@@ -1,0 +1,52 @@
+//! # freerider-ble
+//!
+//! A software Bluetooth Low Energy PHY: 1 Mbps GFSK with modulation index
+//! 0.5 (±250 kHz deviation) and BT = 0.5 Gaussian shaping, at 8 Msps
+//! complex baseband — matching the TI CC2541 radio the FreeRider paper
+//! uses as its Bluetooth excitation source (§3.1: "1 Mbps and 0 dBm using
+//! FSK modulation with a frequency deviation of 250 kHz and a bandwidth of
+//! 1 MHz. The modulation index used is 0.5").
+//!
+//! * [`gfsk`] — Gaussian-shaped frequency modulation and the discriminator
+//!   demodulator, plus the channel-select filter whose stop band is what
+//!   removes a tag's unwanted mirror sideband (paper Eq. 10 / Fig. 8).
+//! * [`packet`] — BLE framing: preamble, access address, PDU header,
+//!   whitening, CRC-24.
+//! * [`tx::Transmitter`] / [`rx::Receiver`] — the full chains.
+//!
+//! ## The FSK codeword swap
+//!
+//! BLE's codebook has two codewords: a tone at f₁ = +250 kHz (bit 1) and at
+//! f₀ = −250 kHz (bit 0). A backscatter tag toggling its RF transistor at
+//! Δf = f₁ − f₀ = 500 kHz multiplies the signal by a square wave, creating
+//! copies at ±Δf. The copy at −Δf maps f₁ → f₀ and the copy at +Δf maps
+//! f₀ → f₁: **one sideband always lands exactly on the other codeword**,
+//! while the other sideband lands at ±750 kHz, outside the receiver's
+//! channel filter (Eq. 10 with w = 1 MHz, i = 0.5). The receiver therefore
+//! decodes the *complement* bit wherever the tag toggled — Table 1 again.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gfsk;
+pub mod packet;
+pub mod rx;
+pub mod tx;
+
+pub use rx::{Receiver, RxConfig, RxError, RxPacket};
+pub use tx::Transmitter;
+
+/// Baseband sample rate (8 samples per microsecond-long bit).
+pub const SAMPLE_RATE: f64 = 8e6;
+
+/// Samples per bit at 1 Mbps.
+pub const SAMPLES_PER_BIT: usize = 8;
+
+/// Frequency deviation in Hz (modulation index 0.5 at 1 Mbps).
+pub const DEVIATION_HZ: f64 = 250e3;
+
+/// The advertising-channel access address.
+pub const ADVERTISING_AA: u32 = 0x8E89_BED6;
+
+/// Default whitening channel (advertising channel 37).
+pub const DEFAULT_CHANNEL: u8 = 37;

@@ -1,0 +1,170 @@
+//! BLE link-layer packet framing.
+//!
+//! On-air format: `preamble(1B) | access address(4B) | PDU header(2B) |
+//! payload(≤37B) | CRC-24(3B)`, with whitening applied to header, payload
+//! and CRC (not to preamble/AA), all bits LSB-first.
+
+use crate::ADVERTISING_AA;
+use freerider_coding::crc::crc24_ble;
+use freerider_coding::whitening::Whitener;
+use freerider_dsp::bits;
+
+/// Maximum advertising payload length.
+pub const MAX_PAYLOAD: usize = 37;
+
+/// CRC init value on advertising channels.
+pub const ADV_CRC_INIT: u32 = 0x55_5555;
+
+/// Errors from packet assembly/parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// Payload longer than 37 bytes.
+    TooLong(usize),
+    /// Bit stream shorter than header + declared length + CRC.
+    Truncated,
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::TooLong(n) => write!(f, "payload of {n} bytes exceeds 37"),
+            PacketError::Truncated => write!(f, "PDU truncated"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// A BLE advertising-style packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlePacket {
+    /// PDU type nibble (e.g. 0x2 = ADV_NONCONN_IND).
+    pub pdu_type: u8,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl BlePacket {
+    /// Builds an advertising packet.
+    pub fn new(pdu_type: u8, payload: &[u8]) -> Result<Self, PacketError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(PacketError::TooLong(payload.len()));
+        }
+        Ok(BlePacket {
+            pdu_type: pdu_type & 0x0F,
+            payload: payload.to_vec(),
+        })
+    }
+
+    /// Serialises to the on-air bit stream (LSB-first), whitened for
+    /// `channel`.
+    pub fn to_air_bits(&self, channel: u8) -> Vec<u8> {
+        let mut pdu = vec![self.pdu_type, self.payload.len() as u8];
+        pdu.extend_from_slice(&self.payload);
+        let crc = crc24_ble(&pdu, ADV_CRC_INIT);
+        pdu.push((crc & 0xFF) as u8);
+        pdu.push(((crc >> 8) & 0xFF) as u8);
+        pdu.push(((crc >> 16) & 0xFF) as u8);
+
+        let mut air = bits::bytes_to_bits_lsb(&[0xAA]); // preamble
+        air.extend(bits::bytes_to_bits_lsb(&ADVERTISING_AA.to_le_bytes()));
+        let pdu_bits = bits::bytes_to_bits_lsb(&pdu);
+        air.extend(Whitener::for_channel(channel).whiten(&pdu_bits));
+        air
+    }
+
+    /// Parses dewhitened PDU bits (header + payload + CRC). Returns the
+    /// packet, CRC validity, and bits consumed.
+    pub fn parse_pdu_bits(pdu_bits: &[u8]) -> Result<(BlePacket, bool, usize), PacketError> {
+        if pdu_bits.len() < 16 {
+            return Err(PacketError::Truncated);
+        }
+        let header = bits::bits_to_bytes_lsb(&pdu_bits[..16]);
+        let len = header[1] as usize;
+        let need = 16 + 8 * len + 24;
+        if pdu_bits.len() < need {
+            return Err(PacketError::Truncated);
+        }
+        let body = bits::bits_to_bytes_lsb(&pdu_bits[..16 + 8 * len]);
+        let crc_bytes = bits::bits_to_bytes_lsb(&pdu_bits[16 + 8 * len..need]);
+        let got_crc =
+            (crc_bytes[0] as u32) | ((crc_bytes[1] as u32) << 8) | ((crc_bytes[2] as u32) << 16);
+        let crc_ok = crc24_ble(&body, ADV_CRC_INIT) == got_crc;
+        Ok((
+            BlePacket {
+                pdu_type: body[0] & 0x0F,
+                payload: body[2..].to_vec(),
+            },
+            crc_ok,
+            need,
+        ))
+    }
+
+    /// Number of on-air bits for a payload of `len` bytes.
+    pub fn air_bits_for(len: usize) -> usize {
+        8 + 32 + 16 + 8 * len + 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freerider_coding::whitening::Whitener;
+    use freerider_dsp::bits as b;
+
+    #[test]
+    fn round_trip() {
+        let pkt = BlePacket::new(0x2, b"freerider tag data").unwrap();
+        let air = pkt.to_air_bits(37);
+        assert_eq!(air.len(), BlePacket::air_bits_for(18));
+        // Strip preamble + AA, dewhiten, parse.
+        let pdu = Whitener::for_channel(37).whiten(&air[40..]);
+        let (parsed, crc_ok, used) = BlePacket::parse_pdu_bits(&pdu).unwrap();
+        assert!(crc_ok);
+        assert_eq!(used, pdu.len());
+        assert_eq!(parsed, pkt);
+    }
+
+    #[test]
+    fn preamble_and_aa_in_clear() {
+        let pkt = BlePacket::new(0x2, &[]).unwrap();
+        let air = pkt.to_air_bits(37);
+        assert_eq!(b::bits_to_bytes_lsb(&air[..8]), vec![0xAA]);
+        assert_eq!(
+            b::bits_to_bytes_lsb(&air[8..40]),
+            crate::ADVERTISING_AA.to_le_bytes().to_vec()
+        );
+    }
+
+    #[test]
+    fn bit_flip_breaks_crc() {
+        let pkt = BlePacket::new(0x2, b"x").unwrap();
+        let air = pkt.to_air_bits(37);
+        let mut pdu = Whitener::for_channel(37).whiten(&air[40..]);
+        pdu[20] ^= 1;
+        let (_, crc_ok, _) = BlePacket::parse_pdu_bits(&pdu).unwrap();
+        assert!(!crc_ok);
+    }
+
+    #[test]
+    fn oversize_and_truncated() {
+        assert_eq!(
+            BlePacket::new(0, &[0; 38]).unwrap_err(),
+            PacketError::TooLong(38)
+        );
+        assert_eq!(
+            BlePacket::parse_pdu_bits(&[0; 10]).unwrap_err(),
+            PacketError::Truncated
+        );
+    }
+
+    #[test]
+    fn empty_payload() {
+        let pkt = BlePacket::new(0x2, &[]).unwrap();
+        let air = pkt.to_air_bits(0);
+        let pdu = Whitener::for_channel(0).whiten(&air[40..]);
+        let (parsed, crc_ok, _) = BlePacket::parse_pdu_bits(&pdu).unwrap();
+        assert!(crc_ok);
+        assert!(parsed.payload.is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! The BLE transmitter.
+
+use crate::gfsk::modulate;
+use crate::packet::{BlePacket, PacketError};
+use crate::DEFAULT_CHANNEL;
+use freerider_dsp::IqBuf;
+
+/// The BLE transmitter: packets → 8 Msps complex baseband GFSK.
+#[derive(Debug, Clone, Copy)]
+pub struct Transmitter {
+    /// Whitening channel index.
+    pub channel: u8,
+}
+
+impl Default for Transmitter {
+    fn default() -> Self {
+        Transmitter {
+            channel: DEFAULT_CHANNEL,
+        }
+    }
+}
+
+impl Transmitter {
+    /// Creates a transmitter on the default advertising channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generates the waveform for an advertising packet carrying `payload`.
+    pub fn transmit(&self, payload: &[u8]) -> Result<IqBuf, PacketError> {
+        let pkt = BlePacket::new(0x2, payload)?;
+        Ok(self.transmit_packet(&pkt))
+    }
+
+    /// Generates the waveform for an assembled packet.
+    pub fn transmit_packet(&self, pkt: &BlePacket) -> IqBuf {
+        modulate(&pkt.to_air_bits(self.channel))
+    }
+
+    /// Waveform length in samples for a payload of `len` bytes.
+    pub fn ppdu_len_samples(&self, len: usize) -> usize {
+        BlePacket::air_bits_for(len) * crate::SAMPLES_PER_BIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waveform_length_and_airtime() {
+        let tx = Transmitter::new();
+        let wave = tx.transmit(&[0u8; 20]).unwrap();
+        assert_eq!(wave.len(), tx.ppdu_len_samples(20));
+        // 8+32+16+160+24 = 240 bits at 1 Mbps = 240 µs = 1920 samples.
+        assert_eq!(wave.len(), 1920);
+    }
+
+    #[test]
+    fn constant_envelope() {
+        let tx = Transmitter::new();
+        let wave = tx.transmit(b"ble!").unwrap();
+        for z in &wave {
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # freerider-channel
+//!
+//! Radio-propagation substrate: everything between a transmitter's DAC and
+//! a receiver's ADC in the FreeRider experiments.
+//!
+//! The original evaluation was run in the hallways and offices of Figure 9
+//! of the paper; since no physical RF environment is available, this crate
+//! provides calibrated statistical models whose parameters are fitted to
+//! the RSSI-vs-distance measurements the paper itself reports
+//! (Figs. 10c/11c/12c/13c) — see the constants on
+//! [`budget::BackscatterBudget`].
+//!
+//! * [`pathloss`] — log-distance path loss and the floor-plan wall model.
+//! * [`geometry`] — 2D sites (points, wall segments, crossing counts) for
+//!   deployment-scale simulation.
+//! * [`budget`] — the two-segment TX → tag → RX backscatter link budget.
+//! * [`channel`] — applies a budget to IQ waveforms: power scaling, block
+//!   Rician fading, and thermal AWGN.
+//! * [`interference`] — duty-cycled co/adjacent-channel interferers with
+//!   spectral-mask leakage (for the coexistence experiments, Figs. 15/16).
+//! * [`ambient`] — the synthetic ambient-traffic generator reproducing the
+//!   packet-duration distribution of Fig. 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ambient;
+pub mod budget;
+pub mod channel;
+pub mod geometry;
+pub mod interference;
+pub mod pathloss;
+
+pub use budget::BackscatterBudget;
+pub use channel::Channel;
+pub use pathloss::{FloorPlan, PathLoss};

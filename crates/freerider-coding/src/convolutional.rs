@@ -1,0 +1,499 @@
+//! The 802.11 convolutional code with hard- and soft-decision Viterbi
+//! decoders.
+//!
+//! Encoder: constraint length K=7, generators g₀ = 133₈, g₁ = 171₈ — this is
+//! Equation 9 of the FreeRider paper:
+//!
+//! ```text
+//! C1[k] = b[k] ⊕ b[k−2] ⊕ b[k−3] ⊕ b[k−5] ⊕ b[k−6]
+//! C2[k] = b[k] ⊕ b[k−1] ⊕ b[k−2] ⊕ b[k−3] ⊕ b[k−6]
+//! ```
+//!
+//! Rate 1/2 natively; rates 2/3 and 3/4 by the standard puncturing patterns.
+//!
+//! Both generators have **odd weight (5 taps)** — the linear-algebraic fact
+//! the FreeRider tag exploits: complementing a long run of inputs
+//! complements the outputs inside the run, so a 180° phase flip at the tag
+//! re-encodes to *another valid codeword* whose decode is the bitwise
+//! complement (§3.2.1 of the paper). See `complement_run_property`.
+
+/// Code rates supported by 802.11a/g.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodeRate {
+    /// Rate 1/2 (no puncturing).
+    Half,
+    /// Rate 2/3 (puncture every 4th output bit).
+    TwoThirds,
+    /// Rate 3/4.
+    ThreeQuarters,
+}
+
+impl CodeRate {
+    /// Numerator/denominator of the rate.
+    pub fn as_fraction(self) -> (usize, usize) {
+        match self {
+            CodeRate::Half => (1, 2),
+            CodeRate::TwoThirds => (2, 3),
+            CodeRate::ThreeQuarters => (3, 4),
+        }
+    }
+
+    /// Puncturing pattern over the rate-1/2 output stream (A1 B1 A2 B2 …);
+    /// `true` = transmit, `false` = puncture. Patterns per IEEE 802.11-2012
+    /// §18.3.5.6.
+    fn pattern(self) -> &'static [bool] {
+        match self {
+            CodeRate::Half => &[true, true],
+            // A1 B1 A2 (B2 punctured)
+            CodeRate::TwoThirds => &[true, true, true, false],
+            // A1 B1 A2 B3 (B2, A3 punctured)
+            CodeRate::ThreeQuarters => &[true, true, true, false, false, true],
+        }
+    }
+}
+
+const K: usize = 7;
+const NSTATES: usize = 1 << (K - 1); // 64
+const G0: u8 = 0o133;
+const G1: u8 = 0o171;
+
+#[inline]
+fn parity(x: u8) -> u8 {
+    (x.count_ones() & 1) as u8
+}
+
+/// Encodes `bits` at rate 1/2 (two output bits per input bit, A then B).
+/// The encoder starts from the all-zero state; callers append `K−1 = 6`
+/// zero tail bits if they need the trellis terminated.
+pub fn encode_half(bits: &[u8]) -> Vec<u8> {
+    let mut state: u8 = 0; // shift register of previous 6 bits
+    let mut out = Vec::with_capacity(bits.len() * 2);
+    for &b in bits {
+        let reg = ((b & 1) << 6) | state; // b[k] in MSB position of 7-bit window
+        out.push(parity(reg & G0));
+        out.push(parity(reg & G1));
+        state = reg >> 1;
+    }
+    out
+}
+
+/// Encodes at the given rate (encode 1/2 then puncture).
+pub fn encode(bits: &[u8], rate: CodeRate) -> Vec<u8> {
+    let full = encode_half(bits);
+    let pat = rate.pattern();
+    full.iter()
+        .enumerate()
+        .filter(|(i, _)| pat[i % pat.len()])
+        .map(|(_, &b)| b)
+        .collect()
+}
+
+/// Depunctures a received hard-bit stream back to the rate-1/2 lattice,
+/// marking punctured positions as erasures (`None`).
+fn depuncture(bits: &[u8], rate: CodeRate) -> Vec<Option<u8>> {
+    let pat = rate.pattern();
+    let mut out = Vec::new();
+    let mut it = bits.iter();
+    'outer: loop {
+        for &keep in pat {
+            if keep {
+                match it.next() {
+                    Some(&b) => out.push(Some(b & 1)),
+                    None => break 'outer,
+                }
+            } else {
+                out.push(None);
+            }
+        }
+    }
+    // Trim dangling erasures that extend past the last real bit pair.
+    while out.len() % 2 != 0 {
+        out.pop();
+    }
+    out
+}
+
+/// Hard-decision Viterbi decoder for the (133,171) code.
+///
+/// `coded` is the punctured bit stream; returns the maximum-likelihood input
+/// sequence (`coded_pairs` input bits). The decoder runs a full traceback
+/// (packets in this workspace are short); the survivor matrix is O(N·64) u8.
+pub fn viterbi_decode(coded: &[u8], rate: CodeRate) -> Vec<u8> {
+    let llrs: Vec<f64> = coded
+        .iter()
+        .map(|&b| if b & 1 == 1 { 1.0 } else { -1.0 })
+        .collect();
+    viterbi_decode_soft(&llrs, rate)
+}
+
+/// Depunctures soft values back to the rate-1/2 lattice, marking punctured
+/// positions as zero-confidence erasures.
+fn depuncture_soft(llrs: &[f64], rate: CodeRate) -> Vec<f64> {
+    let pat = rate.pattern();
+    let mut out = Vec::new();
+    let mut it = llrs.iter();
+    'outer: loop {
+        for &keep in pat {
+            if keep {
+                match it.next() {
+                    Some(&v) => out.push(v),
+                    None => break 'outer,
+                }
+            } else {
+                out.push(0.0);
+            }
+        }
+    }
+    while out.len() % 2 != 0 {
+        out.pop();
+    }
+    out
+}
+
+/// Soft-decision Viterbi decoder.
+///
+/// `llrs` are per-coded-bit soft values: positive = bit 1, negative =
+/// bit 0, magnitude = confidence. In the OFDM receiver the magnitude
+/// carries the subcarrier's channel gain, so bits on faded subcarriers
+/// contribute little to the path metric — the standard soft-decoding gain
+/// (~2 dB AWGN, far more on frequency-selective channels) that commodity
+/// 802.11 chips rely on.
+#[allow(clippy::needless_range_loop)] // `b` is the encoder input bit, not a mere index
+pub fn viterbi_decode_soft(llrs: &[f64], rate: CodeRate) -> Vec<u8> {
+    let lattice = depuncture_soft(llrs, rate);
+    let nsteps = lattice.len() / 2;
+    if nsteps == 0 {
+        return Vec::new();
+    }
+
+    const INF: f64 = f64::MAX / 4.0;
+    let mut metric = vec![INF; NSTATES];
+    metric[0] = 0.0; // encoder starts in state 0
+    let mut next = vec![INF; NSTATES];
+    let mut surv_bit = vec![0u8; nsteps * NSTATES];
+    let mut surv_prev = vec![0u8; nsteps * NSTATES];
+
+    // Transition table, as in the hard decoder.
+    let mut trans = [[(0u8, 0u8, 0u8); 2]; NSTATES];
+    for (ps, row) in trans.iter_mut().enumerate() {
+        for (b, entry) in row.iter_mut().enumerate() {
+            let reg = ((b as u8) << 6) | ps as u8;
+            *entry = (parity(reg & G0), parity(reg & G1), (reg >> 1));
+        }
+    }
+
+    for t in 0..nsteps {
+        let ra = lattice[2 * t];
+        let rb = lattice[2 * t + 1];
+        next.iter_mut().for_each(|m| *m = INF);
+        for ps in 0..NSTATES {
+            let pm = metric[ps];
+            if pm >= INF {
+                continue;
+            }
+            for b in 0..2 {
+                let (ea, eb, ns) = trans[ps][b];
+                // Cost of receiving llr r when bit e was sent: −r if e=1,
+                // +r if e=0 (maximise agreement = minimise cost).
+                let mut cost = pm;
+                cost += if ea == 1 { -ra } else { ra };
+                cost += if eb == 1 { -rb } else { rb };
+                let nsu = ns as usize;
+                if cost < next[nsu] {
+                    next[nsu] = cost;
+                    surv_bit[t * NSTATES + nsu] = b as u8;
+                    surv_prev[t * NSTATES + nsu] = ps as u8;
+                }
+            }
+        }
+        std::mem::swap(&mut metric, &mut next);
+    }
+
+    let mut state = metric
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite metrics"))
+        .map(|(s, _)| s)
+        .unwrap_or(0);
+    let mut decoded = vec![0u8; nsteps];
+    for t in (0..nsteps).rev() {
+        decoded[t] = surv_bit[t * NSTATES + state];
+        state = surv_prev[t * NSTATES + state] as usize;
+    }
+    decoded
+}
+
+/// The original hard-decision path, retained for spot-checks and tests.
+#[allow(clippy::needless_range_loop)] // `b` is the encoder input bit, not a mere index
+pub fn viterbi_decode_hard(coded: &[u8], rate: CodeRate) -> Vec<u8> {
+    let lattice = depuncture(coded, rate);
+    let nsteps = lattice.len() / 2;
+    if nsteps == 0 {
+        return Vec::new();
+    }
+
+    const INF: u32 = u32::MAX / 2;
+    let mut metric = vec![INF; NSTATES];
+    metric[0] = 0; // encoder starts in state 0
+    let mut next = vec![INF; NSTATES];
+    // survivors[t][s] = input bit that led to state s at step t, plus prev state.
+    let mut surv_bit = vec![0u8; nsteps * NSTATES];
+    let mut surv_prev = vec![0u8; nsteps * NSTATES];
+
+    // Precompute expected outputs: for (prev_state, input) → (a, b, next_state).
+    // prev_state holds bits b[k-1]..b[k-6] with b[k-1] at MSB (bit 5).
+    let mut trans = [[(0u8, 0u8, 0u8); 2]; NSTATES];
+    for (ps, row) in trans.iter_mut().enumerate() {
+        for (b, entry) in row.iter_mut().enumerate() {
+            let reg = ((b as u8) << 6) | ps as u8;
+            let a = parity(reg & G0);
+            let bb = parity(reg & G1);
+            let ns = reg >> 1;
+            *entry = (a, bb, ns);
+        }
+    }
+
+    for t in 0..nsteps {
+        let ra = lattice[2 * t];
+        let rb = lattice[2 * t + 1];
+        next.iter_mut().for_each(|m| *m = INF);
+        for ps in 0..NSTATES {
+            let pm = metric[ps];
+            if pm >= INF {
+                continue;
+            }
+            for b in 0..2 {
+                let (ea, eb, ns) = trans[ps][b];
+                let mut cost = pm;
+                if let Some(r) = ra {
+                    cost += u32::from(r != ea);
+                }
+                if let Some(r) = rb {
+                    cost += u32::from(r != eb);
+                }
+                let nsu = ns as usize;
+                if cost < next[nsu] {
+                    next[nsu] = cost;
+                    surv_bit[t * NSTATES + nsu] = b as u8;
+                    surv_prev[t * NSTATES + nsu] = ps as u8;
+                }
+            }
+        }
+        std::mem::swap(&mut metric, &mut next);
+    }
+
+    // Traceback from the best final state.
+    let mut state = metric
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &m)| m)
+        .map(|(s, _)| s)
+        .unwrap_or(0);
+    let mut decoded = vec![0u8; nsteps];
+    for t in (0..nsteps).rev() {
+        decoded[t] = surv_bit[t * NSTATES + state];
+        state = surv_prev[t * NSTATES + state] as usize;
+    }
+    decoded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..2u8)).collect()
+    }
+
+    #[test]
+    fn encoder_matches_equation_9() {
+        // C1[k] = b[k]⊕b[k−2]⊕b[k−3]⊕b[k−5]⊕b[k−6]
+        // C2[k] = b[k]⊕b[k−1]⊕b[k−2]⊕b[k−3]⊕b[k−6]
+        let b = random_bits(64, 1);
+        let coded = encode_half(&b);
+        let at = |k: isize| -> u8 {
+            if k < 0 {
+                0
+            } else {
+                b[k as usize]
+            }
+        };
+        for k in 0..64isize {
+            let c1 = at(k) ^ at(k - 2) ^ at(k - 3) ^ at(k - 5) ^ at(k - 6);
+            let c2 = at(k) ^ at(k - 1) ^ at(k - 2) ^ at(k - 3) ^ at(k - 6);
+            assert_eq!(coded[2 * k as usize], c1, "C1 at {k}");
+            assert_eq!(coded[2 * k as usize + 1], c2, "C2 at {k}");
+        }
+    }
+
+    #[test]
+    fn viterbi_inverts_encoder_noiselessly() {
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let mut bits = random_bits(120, 7);
+            bits.extend_from_slice(&[0; 6]); // tail
+            let coded = encode(&bits, rate);
+            let decoded = viterbi_decode(&coded, rate);
+            assert_eq!(&decoded[..bits.len()], &bits[..], "rate {rate:?}");
+        }
+    }
+
+    #[test]
+    fn viterbi_corrects_scattered_errors() {
+        let mut bits = random_bits(200, 3);
+        bits.extend_from_slice(&[0; 6]);
+        let mut coded = encode(&bits, CodeRate::Half);
+        // Flip well-separated bits: free distance is 10, so isolated single
+        // errors are easily corrected.
+        for i in [5usize, 60, 121, 240, 333] {
+            coded[i] ^= 1;
+        }
+        let decoded = viterbi_decode(&coded, CodeRate::Half);
+        assert_eq!(&decoded[..bits.len()], &bits[..]);
+    }
+
+    #[test]
+    fn viterbi_corrects_errors_at_punctured_rates() {
+        let mut bits = random_bits(120, 9);
+        bits.extend_from_slice(&[0; 6]);
+        let mut coded = encode(&bits, CodeRate::ThreeQuarters);
+        coded[40] ^= 1;
+        coded[110] ^= 1;
+        let decoded = viterbi_decode(&coded, CodeRate::ThreeQuarters);
+        assert_eq!(&decoded[..bits.len()], &bits[..]);
+    }
+
+    #[test]
+    fn rates_have_expected_lengths() {
+        let bits = random_bits(24, 5);
+        assert_eq!(encode(&bits, CodeRate::Half).len(), 48);
+        assert_eq!(encode(&bits, CodeRate::TwoThirds).len(), 36);
+        assert_eq!(encode(&bits, CodeRate::ThreeQuarters).len(), 32);
+    }
+
+    #[test]
+    fn generators_have_odd_weight() {
+        // The property the whole paper rests on (§3.2.1).
+        assert_eq!(G0.count_ones() % 2, 1, "g0 must have odd weight");
+        assert_eq!(G1.count_ones() % 2, 1, "g1 must have odd weight");
+    }
+
+    #[test]
+    fn complement_run_property() {
+        // Complementing a run of ≥K input bits complements the outputs in
+        // the run's interior (all taps see flipped bits ⇒ odd number of
+        // flips ⇒ output flips). Boundary effects span at most K−1=6 bits.
+        let bits = random_bits(100, 11);
+        let mut flipped = bits.clone();
+        for b in flipped[30..70].iter_mut() {
+            *b ^= 1;
+        }
+        let ca = encode_half(&bits);
+        let cb = encode_half(&flipped);
+        // Interior of the run: inputs k ∈ [36, 69] have all taps inside.
+        for k in 36..70 {
+            assert_eq!(ca[2 * k] ^ 1, cb[2 * k], "C1 interior at {k}");
+            assert_eq!(ca[2 * k + 1] ^ 1, cb[2 * k + 1], "C2 interior at {k}");
+        }
+        // Far outside the run the outputs are identical.
+        for k in 0..30 {
+            assert_eq!(ca[2 * k], cb[2 * k]);
+        }
+        for k in 76..100 {
+            assert_eq!(ca[2 * k], cb[2 * k]);
+        }
+    }
+
+    #[test]
+    fn complemented_codeword_decodes_to_complement() {
+        // Stronger end-to-end form: flipping ALL coded bits decodes to the
+        // complement of the message — i.e. the complement of a codeword is a
+        // codeword. This is what makes the backscattered 802.11 signal
+        // decodable by an unmodified receiver.
+        let mut bits = random_bits(80, 13);
+        bits.extend_from_slice(&[0; 6]);
+        let coded = encode_half(&bits);
+        let flipped: Vec<u8> = coded.iter().map(|b| b ^ 1).collect();
+        let decoded = viterbi_decode(&flipped, CodeRate::Half);
+        let expect: Vec<u8> = bits.iter().map(|b| b ^ 1).collect();
+        // The encoder is forced to start in state 0, so the first ≤K−1 bits
+        // of the complemented stream sit a few Hamming units away from the
+        // nearest codeword; likewise the tail. The interior — which is what
+        // the tag's majority-vote decoder uses — must be the exact
+        // complement. This is the boundary effect that gives FreeRider its
+        // residual ~1e-3 tag BER.
+        assert_eq!(&decoded[8..80], &expect[8..80]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(encode_half(&[]).is_empty());
+        assert!(viterbi_decode(&[], CodeRate::Half).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod soft_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..2u8)).collect()
+    }
+
+    #[test]
+    fn soft_matches_hard_on_clean_input() {
+        let mut bits = random_bits(150, 21);
+        bits.extend_from_slice(&[0; 6]);
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let coded = encode(&bits, rate);
+            assert_eq!(
+                viterbi_decode(&coded, rate),
+                viterbi_decode_hard(&coded, rate),
+                "{rate:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn soft_information_beats_hard_decisions() {
+        // Corrupt bits with *low-confidence* noise: flip several bits but
+        // mark them weak. The soft decoder must recover where equal-weight
+        // hard decisions would be at the correction limit.
+        let mut bits = random_bits(200, 22);
+        bits.extend_from_slice(&[0; 6]);
+        let coded = encode(&bits, CodeRate::Half);
+        let mut llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 1 { 1.0 } else { -1.0 })
+            .collect();
+        // Dense burst of 8 flipped-but-weak bits (a faded subcarrier).
+        for llr in llrs[100..108].iter_mut() {
+            *llr = -*llr * 0.05;
+        }
+        let decoded = viterbi_decode_soft(&llrs, CodeRate::Half);
+        assert_eq!(&decoded[..bits.len()], &bits[..]);
+    }
+
+    #[test]
+    fn erasures_are_neutral() {
+        // Zero-LLR positions carry no information; the decoder must still
+        // recover from the surrounding strong bits.
+        let mut bits = random_bits(120, 23);
+        bits.extend_from_slice(&[0; 6]);
+        let coded = encode(&bits, CodeRate::Half);
+        let mut llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 1 { 1.0 } else { -1.0 })
+            .collect();
+        for k in (0..llrs.len()).step_by(7) {
+            llrs[k] = 0.0;
+        }
+        let decoded = viterbi_decode_soft(&llrs, CodeRate::Half);
+        assert_eq!(&decoded[..bits.len()], &bits[..]);
+    }
+}

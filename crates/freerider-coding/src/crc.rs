@@ -1,0 +1,168 @@
+//! Frame check sequences for the three PHYs.
+//!
+//! * [`crc32`] — IEEE 802.3/802.11 FCS (reflected, init/xorout `0xFFFFFFFF`).
+//! * [`crc16_itu`] — IEEE 802.15.4 FCS (ITU-T x¹⁶+x¹²+x⁵+1, init 0,
+//!   bit-reflected as transmitted LSB-first).
+//! * [`crc24_ble`] — Bluetooth LE CRC (poly `0x00065B`, init per connection;
+//!   advertising channels use `0x555555`).
+//!
+//! The monitor-mode trick FreeRider uses (reporting packets with *bad*
+//! checksums, §3.1) means these are computed but a failed check does not
+//! drop the packet at the backscatter receiver — the workspace mirrors that
+//! by exposing validity as data rather than gating on it.
+
+/// Computes the IEEE 802.11 FCS (CRC-32) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320; // reflected 0x04C11DB7
+            }
+        }
+    }
+    !crc
+}
+
+/// Computes the IEEE 802.15.4 FCS (CRC-16 ITU-T) over `data`.
+pub fn crc16_itu(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0x0000;
+    for &byte in data {
+        crc ^= byte as u16;
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0x8408; // reflected 0x1021
+            }
+        }
+    }
+    crc
+}
+
+/// Computes the Bluetooth LE CRC-24 over `data` with the given init value
+/// (`0x555555` on advertising channels).
+///
+/// BLE processes bits LSB-first through the LFSR defined by
+/// x²⁴+x¹⁰+x⁹+x⁶+x⁴+x³+x+1.
+pub fn crc24_ble(data: &[u8], init: u32) -> u32 {
+    let mut crc = init & 0x00FF_FFFF;
+    for &byte in data {
+        for i in 0..8 {
+            let in_bit = ((byte >> i) & 1) as u32;
+            let fb = (crc >> 23) & 1 ^ in_bit;
+            crc = (crc << 1) & 0x00FF_FFFF;
+            if fb != 0 {
+                crc ^= 0x00_065B;
+            }
+        }
+    }
+    crc
+}
+
+/// Appends a little-endian CRC-32 FCS to a frame body.
+pub fn append_crc32(frame: &mut Vec<u8>) {
+    let fcs = crc32(frame);
+    frame.extend_from_slice(&fcs.to_le_bytes());
+}
+
+/// Checks a frame whose last 4 bytes are a little-endian CRC-32 FCS.
+pub fn check_crc32(frame: &[u8]) -> bool {
+    if frame.len() < 4 {
+        return false;
+    }
+    let (body, fcs) = frame.split_at(frame.len() - 4);
+    crc32(body).to_le_bytes() == fcs
+}
+
+/// Appends a little-endian CRC-16 FCS (802.15.4).
+pub fn append_crc16(frame: &mut Vec<u8>) {
+    let fcs = crc16_itu(frame);
+    frame.extend_from_slice(&fcs.to_le_bytes());
+}
+
+/// Checks a frame whose last 2 bytes are a little-endian CRC-16 FCS.
+pub fn check_crc16(frame: &[u8]) -> bool {
+    if frame.len() < 2 {
+        return false;
+    }
+    let (body, fcs) = frame.split_at(frame.len() - 2);
+    crc16_itu(body).to_le_bytes() == fcs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_value() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_empty() {
+        // init 0xFFFFFFFF, no data, final inversion → 0.
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc16_check_value() {
+        // CRC-16/KERMIT (ITU-T, reflected, init 0): "123456789" → 0x2189.
+        assert_eq!(crc16_itu(b"123456789"), 0x2189);
+    }
+
+    #[test]
+    fn crc24_known_properties() {
+        // Differential: changing one bit changes the CRC.
+        let a = crc24_ble(&[0x00, 0x01, 0x02], 0x555555);
+        let b = crc24_ble(&[0x00, 0x01, 0x03], 0x555555);
+        assert_ne!(a, b);
+        // Result fits in 24 bits.
+        assert_eq!(a & 0xFF00_0000, 0);
+        // Deterministic.
+        assert_eq!(a, crc24_ble(&[0x00, 0x01, 0x02], 0x555555));
+        // Init matters.
+        assert_ne!(a, crc24_ble(&[0x00, 0x01, 0x02], 0x123456));
+    }
+
+    #[test]
+    fn append_and_check_crc32() {
+        let mut frame = b"FreeRider payload".to_vec();
+        append_crc32(&mut frame);
+        assert!(check_crc32(&frame));
+        frame[3] ^= 0x40;
+        assert!(!check_crc32(&frame));
+    }
+
+    #[test]
+    fn append_and_check_crc16() {
+        let mut frame = b"zigbee".to_vec();
+        append_crc16(&mut frame);
+        assert!(check_crc16(&frame));
+        frame[0] ^= 1;
+        assert!(!check_crc16(&frame));
+    }
+
+    #[test]
+    fn short_frames_fail_check() {
+        assert!(!check_crc32(&[1, 2, 3]));
+        assert!(!check_crc16(&[9]));
+    }
+
+    #[test]
+    fn crc32_detects_all_single_bit_errors() {
+        let mut frame = vec![0xA5; 16];
+        append_crc32(&mut frame);
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                frame[byte] ^= 1 << bit;
+                assert!(!check_crc32(&frame), "missed error at {byte}.{bit}");
+                frame[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

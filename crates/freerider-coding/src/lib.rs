@@ -1,0 +1,33 @@
+//! # freerider-coding
+//!
+//! Channel-coding substrate: every bit-domain transform that sits between
+//! payload bytes and modulated symbols in the three commodity PHYs that
+//! FreeRider backscatters on.
+//!
+//! * [`scrambler`] — the 802.11 frame-synchronous scrambler (x⁷+x⁴+1,
+//!   Eq. 8 of the paper).
+//! * [`convolutional`] — the 802.11 K=7 (133,171) convolutional encoder with
+//!   puncturing (Eq. 9) and hard-/soft-decision Viterbi decoders.
+//! * [`interleaver`] — the per-OFDM-symbol two-permutation block interleaver.
+//! * [`whitening`] — BLE data whitening.
+//! * [`crc`] — CRC-32 (802.11 FCS), CRC-16 (802.15.4 FCS), CRC-24 (BLE).
+//!
+//! ## Why this crate matters to FreeRider
+//!
+//! The paper's §3.2.1 observes that the scrambler and convolutional encoder
+//! both *commute with complementation over runs of bits*: because their tap
+//! sets have odd weight, feeding `b[k]⊕1` over a long run produces exactly
+//! `C[k]⊕1` inside the run. That is the algebraic fact that lets a
+//! frequency-flat 180° phase flip — all a backscatter tag can apply —
+//! survive the whole 802.11 TX chain and come out of a *commodity* receiver
+//! as an XOR-able bit flip. Both properties are unit-tested here
+//! (`complement_run_*` tests) because the entire system rests on them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convolutional;
+pub mod crc;
+pub mod interleaver;
+pub mod scrambler;
+pub mod whitening;

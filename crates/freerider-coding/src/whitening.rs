@@ -1,0 +1,110 @@
+//! Bluetooth LE data whitening.
+//!
+//! BLE whitens PDU+CRC bits with a 7-bit LFSR (polynomial x⁷+x⁴+1 — the
+//! same polynomial as the 802.11 scrambler, in a different wiring)
+//! initialised from the RF channel index: `state = 0b1 || channel[5..0]`
+//! (position 0 set to 1, positions 1..6 from the channel index MSB-first).
+//!
+//! Like the 802.11 scrambler, whitening is data-independent, so it has the
+//! complement-run property FreeRider needs: a tag-induced FSK codeword swap
+//! (bit flip) on the air XORs straight through to the dewhitened output.
+
+/// BLE whitening engine.
+#[derive(Debug, Clone)]
+pub struct Whitener {
+    state: u8, // 7 bits: position1 = bit6 ... position7 = bit0
+}
+
+impl Whitener {
+    /// Creates a whitener for the given BLE RF channel index (0–39).
+    ///
+    /// # Panics
+    /// Panics if `channel > 39`.
+    pub fn for_channel(channel: u8) -> Self {
+        assert!(channel <= 39, "BLE channel index 0–39, got {channel}");
+        // Position 0 ← 1, positions 1..=6 ← channel bits MSB-first.
+        // Register layout here: bit6 = position0 … bit0 = position6.
+        let mut state = 0x40; // position0 = 1
+        for i in 0..6 {
+            let ch_bit = (channel >> (5 - i)) & 1;
+            state |= ch_bit << (5 - i);
+        }
+        Whitener { state }
+    }
+
+    /// Advances one step, returning the whitening bit (position 6 output).
+    #[inline]
+    fn step(&mut self) -> u8 {
+        let out = self.state & 1; // position 6
+        self.state >>= 1;
+        if out != 0 {
+            // Feedback into position 0 (bit6) and XOR into position 4 (bit2).
+            self.state ^= 0x40 | 0x04;
+        }
+        out
+    }
+
+    /// Whitens (or dewhitens — involution) a bit sequence.
+    pub fn whiten(&mut self, bits: &[u8]) -> Vec<u8> {
+        bits.iter().map(|&b| (b ^ self.step()) & 1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn involution() {
+        let bits: Vec<u8> = (0..200).map(|i| ((i * 3) % 7 < 4) as u8).collect();
+        for ch in [0u8, 11, 37, 39] {
+            let w = Whitener::for_channel(ch).whiten(&bits);
+            let back = Whitener::for_channel(ch).whiten(&w);
+            assert_eq!(back, bits, "channel {ch}");
+            if ch != 0 {
+                assert_ne!(w, bits, "whitening must alter data on channel {ch}");
+            }
+        }
+    }
+
+    #[test]
+    fn channels_differ() {
+        let zeros = vec![0u8; 64];
+        let a = Whitener::for_channel(37).whiten(&zeros);
+        let b = Whitener::for_channel(38).whiten(&zeros);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sequence_period_is_127() {
+        let mut w = Whitener::for_channel(37);
+        let seq = w.whiten(&vec![0u8; 254]);
+        assert_eq!(&seq[..127], &seq[127..]);
+    }
+
+    #[test]
+    fn complement_run_property() {
+        // Whitening is data-independent ⇒ flipping a run of input bits flips
+        // exactly that run of output bits — the BLE leg of Table 1.
+        let bits: Vec<u8> = (0..100).map(|i| (i % 2) as u8).collect();
+        let mut flipped = bits.clone();
+        for b in flipped[20..60].iter_mut() {
+            *b ^= 1;
+        }
+        let a = Whitener::for_channel(5).whiten(&bits);
+        let b = Whitener::for_channel(5).whiten(&flipped);
+        for k in 0..100 {
+            if (20..60).contains(&k) {
+                assert_eq!(a[k] ^ 1, b[k]);
+            } else {
+                assert_eq!(a[k], b[k]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_channel_panics() {
+        let _ = Whitener::for_channel(40);
+    }
+}

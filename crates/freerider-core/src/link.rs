@@ -1,0 +1,560 @@
+//! End-to-end single-tag backscatter links.
+//!
+//! Each link wires the full pipeline of Fig. 1 of the paper:
+//!
+//! ```text
+//! excitation TX ──(direct channel)──► receiver 1  (original decode)
+//!        │
+//!        └─(TX→tag channel)─► tag: codeword translation + freq shift
+//!                 └─(tag→RX channel)─► receiver 2  (backscatter decode)
+//!                                          │
+//!                orig bits ⊕ backscatter bits ──► tag data
+//! ```
+//!
+//! The excitation radio keeps doing *productive* communication: the link
+//! verifies receiver 1 still gets FCS-valid packets while the tag rides
+//! on them.
+
+use crate::decoder;
+use crate::metrics::LinkStats;
+use freerider_channel::channel::Channel;
+pub use freerider_channel::channel::{Fading, Multipath};
+use freerider_channel::BackscatterBudget;
+use freerider_tag::translator::{FskTranslator, PhaseTranslator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration shared by the three technology links.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// The calibrated link budget (includes deployment geometry model).
+    pub budget: BackscatterBudget,
+    /// Excitation-transmitter-to-tag distance, metres (1 m in §4.1).
+    pub d_tx_tag_m: f64,
+    /// Tag-to-receiver distance, metres (the swept variable).
+    pub d_tag_rx_m: f64,
+    /// Excitation payload length, bytes.
+    pub payload_len: usize,
+    /// Packets to run.
+    pub packets: usize,
+    /// Fading on the backscatter path.
+    pub fading: Fading,
+    /// Frequency-selective multipath on the backscatter path (`None` =
+    /// flat). The experiment presets enable the calibrated per-technology
+    /// profiles; unit tests keep the flat channel for determinism.
+    pub multipath: Option<Multipath>,
+    /// Oscillator phase-noise random walk, radians per √sample.
+    pub phase_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LinkConfig {
+    /// The paper's default geometry: tag 1 m from the transmitter.
+    pub fn new(budget: BackscatterBudget, d_tag_rx_m: f64, seed: u64) -> Self {
+        LinkConfig {
+            budget,
+            d_tx_tag_m: 1.0,
+            d_tag_rx_m,
+            payload_len: 1000,
+            packets: 20,
+            fading: Fading::Rician { k_db: 9.0 },
+            multipath: None,
+            phase_noise: 0.0,
+            seed,
+        }
+    }
+}
+
+fn random_bits<R: Rng>(n: usize, rng: &mut R) -> Vec<u8> {
+    (0..n).map(|_| rng.gen_range(0..2u8)).collect()
+}
+
+fn random_bytes<R: Rng>(n: usize, rng: &mut R) -> Vec<u8> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// RSSI at which receiver 1 (co-located with the excitation TX) hears the
+/// original signal — strong by construction.
+const REFERENCE_RSSI_DBM: f64 = -45.0;
+
+/// The 802.11g/n backscatter link.
+#[derive(Debug, Clone)]
+pub struct WifiLink {
+    /// Link configuration.
+    pub config: LinkConfig,
+    /// The tag's phase translator.
+    pub translator: PhaseTranslator,
+    /// Tag data encoding: binary Δθ=180° (Eq. 4) or quaternary Δθ=90°
+    /// (Eq. 5).
+    pub scheme: WifiTagScheme,
+    /// Excitation MCS. The paper's evaluation runs at 6 Mbps BPSK; the
+    /// binary π translation is equally a valid codeword translation on
+    /// QPSK (both bits of a symbol complement), so 12/18 Mbps excitation
+    /// works too. 16/64-QAM excitation does *not* XOR-decode (a π flip
+    /// complements only the sign bits — see
+    /// `freerider_wifi::mapping::tests::pi_rotation_flips_only_sign_bits_of_qam16`).
+    pub excitation_rate: freerider_wifi::Mcs,
+    /// Backscatter-receiver configuration (the `ablation-pilots` bench
+    /// sets `phase_tracking` to `FullPilot` here).
+    pub rx_config: freerider_wifi::RxConfig,
+}
+
+/// The two tag-data encodings of §2.3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WifiTagScheme {
+    /// Eq. 4: Δθ = 180°, one tag bit per window, decoded by bit XOR.
+    Binary,
+    /// Eq. 5: Δθ = 90°, two tag bits per window, decoded from the
+    /// equalised constellations.
+    Quaternary,
+}
+
+impl WifiLink {
+    /// Creates the paper's standard WiFi link (6 Mbps excitation, binary
+    /// 180° translation over 4-symbol windows).
+    pub fn new(config: LinkConfig) -> Self {
+        WifiLink {
+            config,
+            translator: PhaseTranslator::wifi_binary(),
+            scheme: WifiTagScheme::Binary,
+            excitation_rate: freerider_wifi::Mcs::Bpsk12,
+            rx_config: freerider_wifi::RxConfig::default(),
+        }
+    }
+
+    /// Creates the higher-rate quaternary link (Eq. 5): 2 tag bits per
+    /// 4-symbol window ⇒ ~125 kbps in-packet.
+    ///
+    /// Quaternary translation is only a *valid codeword translation* when
+    /// π/2 is a symmetry of the excitation constellation, so this link
+    /// excites at 12 Mbps QPSK. The receiver's decision-directed tracker
+    /// (fourth-power on QPSK, blind mod π/2) then passes the tag's
+    /// rotations through while still tracking drift — robust even on long
+    /// packets, unlike `PhaseTracking::Off`.
+    pub fn new_quaternary(config: LinkConfig) -> Self {
+        WifiLink {
+            config,
+            translator: PhaseTranslator::wifi_quaternary(),
+            scheme: WifiTagScheme::Quaternary,
+            excitation_rate: freerider_wifi::Mcs::Qpsk12,
+            rx_config: freerider_wifi::RxConfig::default(),
+        }
+    }
+
+    /// Runs the link, returning aggregate statistics.
+    pub fn run(&self) -> LinkStats {
+        use freerider_wifi::{Mpdu, Receiver, RxConfig, Transmitter, TxConfig};
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let tx = Transmitter::new(TxConfig {
+            rate: self.excitation_rate,
+            ..TxConfig::default()
+        });
+        let rx_ref = Receiver::new(RxConfig {
+            sensitivity_dbm: -200.0,
+            ..self.rx_config
+        });
+        let rx_back = Receiver::new(self.rx_config);
+        let n_dbps = tx.config().rate.data_bits_per_symbol();
+
+        let rssi = cfg.budget.rssi_dbm(cfg.d_tx_tag_m, cfg.d_tag_rx_m);
+        let floor = cfg.budget.noise_floor_dbm;
+        let mut ref_channel = Channel::new(REFERENCE_RSSI_DBM, floor, Fading::None, cfg.seed ^ 0x11);
+        let mut back_channel = Channel::new(rssi, floor, cfg.fading, cfg.seed ^ 0x22)
+            .with_phase_noise(cfg.phase_noise);
+        if let Some(mp) = cfg.multipath {
+            back_channel = back_channel.with_multipath(mp);
+        }
+
+        let mut stats = LinkStats::new(rssi);
+        if !cfg.budget.tag_operational(cfg.d_tx_tag_m) {
+            // The excitation cannot power the tag's front end (§4.3's
+            // TX-to-tag bound): nothing is backscattered at all.
+            return stats;
+        }
+        for _ in 0..cfg.packets {
+            let frame = Mpdu::build(
+                freerider_wifi::frame::MacAddr::local(1),
+                freerider_wifi::frame::MacAddr::local(2),
+                rng.gen_range(0..4096),
+                &random_bytes(cfg.payload_len, &mut rng),
+            );
+            let wave = tx.transmit(frame.as_bytes()).expect("payload fits");
+            stats.add_airtime(wave.len() as f64 / freerider_wifi::SAMPLE_RATE);
+
+            // Receiver 1: the productive link.
+            let ref_rx = rx_ref.receive(&ref_channel.propagate(&wave));
+            let original = match ref_rx {
+                Ok(p) => {
+                    stats.note_productive(p.fcs_valid);
+                    p
+                }
+                Err(_) => {
+                    stats.note_productive(false);
+                    continue;
+                }
+            };
+
+            // The tag.
+            let tag_bits = random_bits(self.translator.capacity(wave.len()), &mut rng);
+            let (tagged, consumed) = self.translator.translate(&wave, &tag_bits);
+            debug_assert_eq!(consumed, tag_bits.len());
+            stats.note_sent(tag_bits.len());
+
+            // Receiver 2: the backscatter path.
+            match rx_back.receive(&back_channel.propagate_padded(&tagged, 200)) {
+                Ok(pkt) => {
+                    stats.note_measured_rssi(pkt.rssi_dbm);
+                    let decoded = match self.scheme {
+                        WifiTagScheme::Binary => decoder::decode_wifi_binary(
+                            &original.data_bits,
+                            &pkt.data_bits,
+                            n_dbps,
+                            self.translator.symbols_per_step,
+                            1,
+                        ),
+                        WifiTagScheme::Quaternary => decoder::decode_wifi_quaternary(
+                            &original.equalized,
+                            &pkt.equalized,
+                            self.translator.symbols_per_step,
+                            1,
+                            self.translator.delta_theta,
+                        ),
+                    };
+                    stats.note_decoded(&tag_bits, &decoded);
+                }
+                Err(_) => stats.note_lost(),
+            }
+        }
+        stats
+    }
+}
+
+/// The ZigBee backscatter link.
+#[derive(Debug, Clone)]
+pub struct ZigbeeLink {
+    /// Link configuration.
+    pub config: LinkConfig,
+    /// The tag's phase translator.
+    pub translator: PhaseTranslator,
+    /// Backscatter-receiver configuration.
+    pub rx_config: freerider_zigbee::RxConfig,
+}
+
+impl ZigbeeLink {
+    /// Creates the paper's standard ZigBee link (180° translation over
+    /// 4-symbol windows).
+    pub fn new(config: LinkConfig) -> Self {
+        ZigbeeLink {
+            config,
+            translator: PhaseTranslator::zigbee_binary(),
+            rx_config: freerider_zigbee::RxConfig::default(),
+        }
+    }
+
+    /// Runs the link.
+    pub fn run(&self) -> LinkStats {
+        use freerider_zigbee::{Receiver, RxConfig, Transmitter};
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let tx = Transmitter::new();
+        let rx_ref = Receiver::new(RxConfig {
+            sensitivity_dbm: -200.0,
+            ..RxConfig::default()
+        });
+        let rx_back = Receiver::new(self.rx_config);
+
+        let rssi = cfg.budget.rssi_dbm(cfg.d_tx_tag_m, cfg.d_tag_rx_m);
+        let floor = cfg.budget.noise_floor_dbm;
+        let mut ref_channel = Channel::new(REFERENCE_RSSI_DBM, floor, Fading::None, cfg.seed ^ 0x33);
+        let mut back_channel = Channel::new(rssi, floor, cfg.fading, cfg.seed ^ 0x44)
+            .with_phase_noise(cfg.phase_noise);
+        if let Some(mp) = cfg.multipath {
+            back_channel = back_channel.with_multipath(mp);
+        }
+
+        let payload_len = cfg.payload_len.min(125);
+        let mut stats = LinkStats::new(rssi);
+        if !cfg.budget.tag_operational(cfg.d_tx_tag_m) {
+            // The excitation cannot power the tag's front end (§4.3's
+            // TX-to-tag bound): nothing is backscattered at all.
+            return stats;
+        }
+        for _ in 0..cfg.packets {
+            let wave = tx
+                .transmit(&random_bytes(payload_len, &mut rng))
+                .expect("payload fits");
+            stats.add_airtime(wave.len() as f64 / freerider_zigbee::SAMPLE_RATE);
+
+            let original = match rx_ref.receive(&ref_channel.propagate(&wave)) {
+                Ok(p) => {
+                    stats.note_productive(p.fcs_valid);
+                    p
+                }
+                Err(_) => {
+                    stats.note_productive(false);
+                    continue;
+                }
+            };
+
+            let tag_bits = random_bits(self.translator.capacity(wave.len()), &mut rng);
+            let (tagged, consumed) = self.translator.translate(&wave, &tag_bits);
+            debug_assert_eq!(consumed, tag_bits.len());
+            stats.note_sent(tag_bits.len());
+
+            match rx_back.receive(&back_channel.propagate_padded(&tagged, 150)) {
+                Ok(pkt) => {
+                    stats.note_measured_rssi(pkt.rssi_dbm);
+                    let decoded = decoder::decode_zigbee_binary(
+                        &original.psdu_symbols,
+                        &pkt.psdu_symbols,
+                        self.translator.symbols_per_step,
+                    );
+                    stats.note_decoded(&tag_bits, &decoded);
+                }
+                Err(_) => stats.note_lost(),
+            }
+        }
+        stats
+    }
+}
+
+/// The Bluetooth backscatter link.
+#[derive(Debug, Clone)]
+pub struct BleLink {
+    /// Link configuration.
+    pub config: LinkConfig,
+    /// The tag's FSK translator.
+    pub translator: FskTranslator,
+    /// Backscatter-receiver configuration (the `ablation-shifter` bench
+    /// disables `channel_filter` here to expose the mirror sideband).
+    pub rx_config: freerider_ble::RxConfig,
+}
+
+impl BleLink {
+    /// Creates the paper's standard Bluetooth link (Δf = 500 kHz toggling
+    /// over 16-bit windows).
+    pub fn new(config: LinkConfig) -> Self {
+        BleLink {
+            config,
+            translator: FskTranslator::ble(),
+            rx_config: freerider_ble::RxConfig::default(),
+        }
+    }
+
+    /// Runs the link.
+    pub fn run(&self) -> LinkStats {
+        use freerider_ble::{Receiver, RxConfig, Transmitter};
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let tx = Transmitter::new();
+        let rx_ref = Receiver::new(RxConfig {
+            sensitivity_dbm: -200.0,
+            ..RxConfig::default()
+        });
+        let rx_back = Receiver::new(self.rx_config);
+
+        let rssi = cfg.budget.rssi_dbm(cfg.d_tx_tag_m, cfg.d_tag_rx_m);
+        let floor = cfg.budget.noise_floor_dbm;
+        let mut ref_channel = Channel::new(REFERENCE_RSSI_DBM, floor, Fading::None, cfg.seed ^ 0x55);
+        let mut back_channel = Channel::new(rssi, floor, cfg.fading, cfg.seed ^ 0x66)
+            .with_phase_noise(cfg.phase_noise);
+        if let Some(mp) = cfg.multipath {
+            back_channel = back_channel.with_multipath(mp);
+        }
+
+        let payload_len = cfg.payload_len.min(37);
+        let mut stats = LinkStats::new(rssi);
+        if !cfg.budget.tag_operational(cfg.d_tx_tag_m) {
+            // The excitation cannot power the tag's front end (§4.3's
+            // TX-to-tag bound): nothing is backscattered at all.
+            return stats;
+        }
+        for _ in 0..cfg.packets {
+            let wave = tx
+                .transmit(&random_bytes(payload_len, &mut rng))
+                .expect("payload fits");
+            stats.add_airtime(wave.len() as f64 / freerider_ble::SAMPLE_RATE);
+
+            let original = match rx_ref.receive(&ref_channel.propagate(&wave)) {
+                Ok(p) => {
+                    stats.note_productive(p.crc_valid);
+                    p
+                }
+                Err(_) => {
+                    stats.note_productive(false);
+                    continue;
+                }
+            };
+
+            let tag_bits = random_bits(self.translator.capacity(wave.len()), &mut rng);
+            let (tagged, consumed) = self.translator.translate(&wave, &tag_bits);
+            debug_assert_eq!(consumed, tag_bits.len());
+            stats.note_sent(tag_bits.len());
+
+            match rx_back.receive(&back_channel.propagate_padded(&tagged, 200)) {
+                Ok(pkt) => {
+                    stats.note_measured_rssi(pkt.rssi_dbm);
+                    let decoded = decoder::decode_ble_binary(
+                        &original.pdu_bits,
+                        &pkt.pdu_bits,
+                        self.translator.bits_per_tag_bit,
+                        16,
+                    );
+                    stats.note_decoded(&tag_bits, &decoded);
+                }
+                Err(_) => stats.note_lost(),
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wifi_cfg(d: f64) -> LinkConfig {
+        LinkConfig {
+            payload_len: 200,
+            packets: 4,
+            fading: Fading::None,
+            ..LinkConfig::new(BackscatterBudget::wifi_los(), d, 7)
+        }
+    }
+
+    #[test]
+    fn wifi_link_close_range_is_error_free() {
+        let stats = WifiLink::new(wifi_cfg(2.0)).run();
+        assert_eq!(stats.packets_sent, 4);
+        assert_eq!(stats.packets_decoded, 4);
+        assert_eq!(stats.productive_ok, 4, "excitation link must stay productive");
+        assert!(stats.tag_bits_sent > 0);
+        assert!(stats.ber() < 1e-2, "BER {}", stats.ber());
+        // ~60 kbps at close range (Fig. 10a).
+        let t = stats.throughput_bps();
+        assert!((50e3..66e3).contains(&t), "throughput {t}");
+    }
+
+    #[test]
+    fn wifi_link_dies_past_max_range(){
+        let stats = WifiLink::new(wifi_cfg(60.0)).run();
+        assert_eq!(stats.packets_decoded, 0, "60 m is past the 42 m cliff");
+        assert_eq!(stats.throughput_bps(), 0.0);
+    }
+
+    #[test]
+    fn zigbee_link_close_range_works() {
+        let cfg = LinkConfig {
+            payload_len: 60,
+            packets: 4,
+            fading: Fading::None,
+            ..LinkConfig::new(BackscatterBudget::zigbee_los(), 3.0, 9)
+        };
+        let stats = ZigbeeLink::new(cfg).run();
+        assert_eq!(stats.packets_decoded, 4);
+        assert!(stats.ber() < 0.12, "BER {}", stats.ber());
+        let t = stats.throughput_bps();
+        assert!((10e3..17e3).contains(&t), "throughput {t}");
+    }
+
+    #[test]
+    fn ble_link_close_range_works() {
+        let cfg = LinkConfig {
+            payload_len: 37,
+            packets: 6,
+            fading: Fading::None,
+            ..LinkConfig::new(BackscatterBudget::ble_los(), 2.0, 11)
+        };
+        let stats = BleLink::new(cfg).run();
+        assert_eq!(stats.packets_decoded, 6);
+        assert!(stats.ber() < 0.12, "BER {}", stats.ber());
+        let t = stats.throughput_bps();
+        assert!((40e3..60e3).contains(&t), "throughput {t}");
+    }
+}
+
+#[cfg(test)]
+mod rate_tests {
+    use super::*;
+    use freerider_wifi::Mcs;
+
+    fn cfg(seed: u64) -> LinkConfig {
+        LinkConfig {
+            payload_len: 300,
+            packets: 3,
+            fading: Fading::None,
+            ..LinkConfig::new(BackscatterBudget::wifi_los(), 3.0, seed)
+        }
+    }
+
+    #[test]
+    fn qpsk_excitation_carries_tag_data_too() {
+        // §2.2.1: "FreeRider does codeword translation regardless of the
+        // data transmitted by these radios" — and regardless of whether
+        // the symbols are BPSK or QPSK (π flips complement both bits).
+        for rate in [Mcs::Qpsk12, Mcs::Qpsk34] {
+            let mut link = WifiLink::new(cfg(71));
+            link.excitation_rate = rate;
+            let s = link.run();
+            assert_eq!(s.packets_decoded, 3, "{rate:?}");
+            assert_eq!(s.ber(), 0.0, "{rate:?} BER {}", s.ber());
+            assert_eq!(s.productive_ok, 3, "{rate:?} productive");
+        }
+    }
+
+    #[test]
+    fn qam_excitation_breaks_xor_decoding() {
+        // The flip complements only the sign bits of 16-QAM symbols: the
+        // Viterbi decoder no longer sees complement-runs and the XOR
+        // stream is garbage — the structural reason the paper evaluates
+        // at 6 Mbps.
+        let mut link = WifiLink::new(cfg(72));
+        link.excitation_rate = Mcs::Qam16Half;
+        let s = link.run();
+        assert_eq!(s.productive_ok, 3, "excitation itself still works");
+        assert!(s.ber() > 0.2, "QAM tag BER should collapse: {}", s.ber());
+    }
+
+    #[test]
+    fn faster_excitation_does_not_change_tag_rate() {
+        // The tag rate is set by the OFDM symbol clock, not the bit rate.
+        let mut a = WifiLink::new(cfg(73));
+        a.excitation_rate = Mcs::Bpsk12;
+        let mut b = WifiLink::new(cfg(73));
+        b.excitation_rate = Mcs::Qpsk12;
+        let sa = a.run();
+        let sb = b.run();
+        // Same payload → half the symbols at QPSK → roughly half the tag
+        // bits per packet, but the per-second rate during a packet is
+        // identical (62.5 kbps); throughput over airtime matches closely.
+        assert!((sa.throughput_bps() - sb.throughput_bps()).abs() < 6e3);
+    }
+}
+
+#[cfg(test)]
+mod quaternary_tests {
+    use super::*;
+
+    #[test]
+    fn quaternary_on_qpsk_survives_long_packets() {
+        // The fourth-power tracker removes drift mod π/2 while passing the
+        // tag's Eq. 5 rotations — so even 1000-byte excitation packets
+        // (340+ OFDM symbols of accumulated residual CFO) decode cleanly.
+        let cfg = LinkConfig {
+            payload_len: 1000,
+            packets: 3,
+            fading: Fading::None,
+            ..LinkConfig::new(BackscatterBudget::wifi_los(), 4.0, 81)
+        };
+        let s = WifiLink::new_quaternary(cfg).run();
+        assert_eq!(s.packets_decoded, 3);
+        assert_eq!(s.productive_ok, 3, "QPSK excitation stays productive");
+        assert!(s.ber() < 5e-3, "BER {}", s.ber());
+        // ~125 kbps in-packet at QPSK: half the symbols of a BPSK packet
+        // carry the same payload, so delivered rate stays ≈ 120 kbps.
+        let t = s.throughput_bps();
+        assert!((100e3..130e3).contains(&t), "throughput {t}");
+    }
+}

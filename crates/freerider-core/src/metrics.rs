@@ -1,0 +1,268 @@
+//! Measurement accumulators: link statistics and empirical CDFs.
+
+/// Aggregate statistics from a link run.
+#[derive(Debug, Clone)]
+pub struct LinkStats {
+    /// Excitation packets transmitted.
+    pub packets_sent: usize,
+    /// Backscattered packets the receiver synchronised on and decoded.
+    pub packets_decoded: usize,
+    /// Excitation packets receiver 1 decoded with valid FCS (the
+    /// productive link's health).
+    pub productive_ok: usize,
+    /// Tag bits embedded across all packets.
+    pub tag_bits_sent: u64,
+    /// Tag bits compared on decoded packets.
+    pub tag_bits_compared: u64,
+    /// Of those, bits decoded correctly.
+    pub tag_bits_correct: u64,
+    /// Link-budget RSSI, dBm.
+    pub budget_rssi_dbm: f64,
+    /// Mean receiver-reported RSSI over decoded packets, dBm.
+    pub measured_rssi_dbm: f64,
+    rssi_acc: f64,
+    rssi_n: usize,
+    /// Total excitation airtime, seconds.
+    pub airtime_s: f64,
+}
+
+impl LinkStats {
+    /// Creates an empty accumulator for a link with the given budget RSSI.
+    pub fn new(budget_rssi_dbm: f64) -> Self {
+        LinkStats {
+            packets_sent: 0,
+            packets_decoded: 0,
+            productive_ok: 0,
+            tag_bits_sent: 0,
+            tag_bits_compared: 0,
+            tag_bits_correct: 0,
+            budget_rssi_dbm,
+            measured_rssi_dbm: f64::NAN,
+            rssi_acc: 0.0,
+            rssi_n: 0,
+            airtime_s: 0.0,
+        }
+    }
+
+    /// Records one excitation packet's airtime.
+    pub fn add_airtime(&mut self, s: f64) {
+        self.airtime_s += s;
+        self.packets_sent += 1;
+    }
+
+    /// Records the productive (receiver 1) outcome.
+    pub fn note_productive(&mut self, fcs_ok: bool) {
+        if fcs_ok {
+            self.productive_ok += 1;
+        }
+    }
+
+    /// Records tag bits embedded on a packet.
+    pub fn note_sent(&mut self, bits: usize) {
+        self.tag_bits_sent += bits as u64;
+    }
+
+    /// Records a decoded backscatter packet: compares sent vs decoded tag
+    /// bits over their common prefix.
+    pub fn note_decoded(&mut self, sent: &[u8], decoded: &[u8]) {
+        self.packets_decoded += 1;
+        let n = sent.len().min(decoded.len());
+        self.tag_bits_compared += n as u64;
+        self.tag_bits_correct += sent[..n]
+            .iter()
+            .zip(&decoded[..n])
+            .filter(|(a, b)| (**a & 1) == (**b & 1))
+            .count() as u64;
+    }
+
+    /// Records a receiver RSSI observation.
+    pub fn note_measured_rssi(&mut self, rssi_dbm: f64) {
+        self.rssi_acc += rssi_dbm;
+        self.rssi_n += 1;
+        self.measured_rssi_dbm = self.rssi_acc / self.rssi_n as f64;
+    }
+
+    /// Records a lost backscatter packet (no sync / undecodable).
+    pub fn note_lost(&mut self) {}
+
+    /// Tag throughput in bits/second: correctly decoded tag bits over the
+    /// total excitation airtime (back-to-back transmission, as in §4.2).
+    pub fn throughput_bps(&self) -> f64 {
+        if self.airtime_s <= 0.0 {
+            return 0.0;
+        }
+        self.tag_bits_correct as f64 / self.airtime_s
+    }
+
+    /// Tag-bit error rate over decoded packets (the paper's Fig. 10b
+    /// metric: conditioned on the packet being received).
+    pub fn ber(&self) -> f64 {
+        if self.tag_bits_compared == 0 {
+            return 1.0;
+        }
+        1.0 - self.tag_bits_correct as f64 / self.tag_bits_compared as f64
+    }
+
+    /// Packet reception rate of the backscatter path.
+    pub fn prr(&self) -> f64 {
+        if self.packets_sent == 0 {
+            return 0.0;
+        }
+        self.packets_decoded as f64 / self.packets_sent as f64
+    }
+}
+
+/// An empirical CDF accumulator (used for the Figs. 15/16 coexistence
+/// plots).
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Cdf::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the CDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; NaN when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.ensure_sorted();
+        let idx = ((q * self.samples.len() as f64).ceil() as usize)
+            .clamp(1, self.samples.len())
+            - 1;
+        self.samples[idx]
+    }
+
+    /// The median.
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Empirical `P(X ≤ x)`.
+    pub fn prob_le(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.ensure_sorted();
+        let n = self.samples.partition_point(|&s| s <= x);
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// `(value, cumulative probability)` pairs for plotting.
+    pub fn points(&mut self) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        let n = self.samples.len();
+        self.samples
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_counts_only_correct_bits() {
+        let mut s = LinkStats::new(-70.0);
+        s.add_airtime(1.0);
+        s.note_sent(100);
+        s.note_decoded(&[1; 100], &{
+            let mut d = vec![1u8; 100];
+            for b in d[..10].iter_mut() {
+                *b = 0;
+            }
+            d
+        });
+        assert!((s.throughput_bps() - 90.0).abs() < 1e-9);
+        assert!((s.ber() - 0.1).abs() < 1e-9);
+        assert!((s.prr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undetected_packets_zero_throughput() {
+        let mut s = LinkStats::new(-95.0);
+        s.add_airtime(0.5);
+        s.note_sent(50);
+        s.note_lost();
+        assert_eq!(s.throughput_bps(), 0.0);
+        assert_eq!(s.ber(), 1.0);
+        assert_eq!(s.prr(), 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_compare_common_prefix() {
+        let mut s = LinkStats::new(-70.0);
+        s.add_airtime(1.0);
+        s.note_sent(10);
+        s.note_decoded(&[1, 0, 1, 0, 1, 0, 1, 0, 1, 0], &[1, 0, 1, 0]);
+        assert_eq!(s.tag_bits_compared, 4);
+        assert_eq!(s.tag_bits_correct, 4);
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let mut c = Cdf::new();
+        for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            c.push(x);
+        }
+        assert_eq!(c.median(), 3.0);
+        assert_eq!(c.quantile(0.2), 1.0);
+        assert_eq!(c.quantile(1.0), 5.0);
+        assert!((c.prob_le(3.0) - 0.6).abs() < 1e-12);
+        assert_eq!(c.prob_le(0.0), 0.0);
+        assert_eq!(c.prob_le(10.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let mut c = Cdf::new();
+        for i in 0..50 {
+            c.push(((i * 37) % 11) as f64);
+        }
+        let pts = c.points();
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cdf_is_nan() {
+        let mut c = Cdf::new();
+        assert!(c.median().is_nan());
+        assert!(c.prob_le(1.0).is_nan());
+    }
+}

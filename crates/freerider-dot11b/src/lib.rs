@@ -1,0 +1,53 @@
+//! # freerider-dot11b
+//!
+//! A software 802.11b DSSS physical layer (1 Mbps DBPSK over 11-chip
+//! Barker spreading at 11 Mchip/s) and the **HitchHike** backscatter
+//! baseline built on it.
+//!
+//! HitchHike (Zhang et al., SenSys'16) is the system FreeRider extends:
+//! it introduced codeword translation, but — as the FreeRider paper's
+//! introduction stresses — "only works with 802.11b WiFi. Most modern WiFi
+//! clients use 802.11g/n where OFDM signals are transmitted." This crate
+//! implements that baseline so the comparison the paper draws (§4.2.1:
+//! FreeRider's OFDM tag rate is *lower* than HitchHike's "because OFDM
+//! symbols are longer in duration than DSSS symbols") can be reproduced
+//! quantitatively.
+//!
+//! * [`barker`] — the 11-chip Barker sequence and spreading.
+//! * [`scrambler`] — the 802.11b *self-synchronising* scrambler (different
+//!   from 802.11g's frame-synchronous one; its feedforward/feedback
+//!   structure shapes how tag flips propagate, see [`hitchhike`]).
+//! * [`tx`] / [`rx`] — DBPSK transmitter and Barker-correlator receiver.
+//! * [`hitchhike`] — the baseline tag: differential phase-flip codeword
+//!   translation on DBPSK, and the XOR decoder that inverts the
+//!   self-synchronising scrambler's error spreading.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barker;
+pub mod hitchhike;
+pub mod rx;
+pub mod scrambler;
+pub mod tx;
+
+pub use rx::{Receiver, RxConfig, RxError, RxPacket};
+pub use tx::Transmitter;
+
+/// Baseband sample rate: 2 samples per chip at 11 Mchip/s.
+pub const SAMPLE_RATE: f64 = 22e6;
+
+/// Samples per chip.
+pub const SAMPLES_PER_CHIP: usize = 2;
+
+/// Chips per DBPSK symbol (the Barker length).
+pub const CHIPS_PER_SYMBOL: usize = 11;
+
+/// Samples per 1 µs DBPSK symbol.
+pub const SAMPLES_PER_SYMBOL: usize = CHIPS_PER_SYMBOL * SAMPLES_PER_CHIP;
+
+/// Number of scrambled-ones bits in the (shortened) sync preamble.
+pub const SYNC_BITS: usize = 64;
+
+/// The 16-bit start-of-frame delimiter, transmitted LSB-first.
+pub const SFD: u16 = 0xF3A0;

@@ -1,0 +1,276 @@
+//! The 802.11b receiver: Barker correlation timing, DBPSK differential
+//! decoding, self-sync descrambling and SFD framing.
+
+use crate::barker::despread_symbol;
+use crate::scrambler::Descrambler;
+use crate::tx::Transmitter;
+use crate::{SAMPLES_PER_SYMBOL, SFD, SYNC_BITS};
+use freerider_coding::crc::crc16_itu;
+use freerider_dsp::{bits, db, Complex};
+
+/// Receiver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RxConfig {
+    /// Peak-to-offpeak ratio of the Barker correlator required to declare
+    /// a signal present (the DSSS processing-gain evidence).
+    pub detection_ratio: f64,
+    /// Minimum estimated *signal* power for sync, dBm. DSSS decodes below
+    /// the 22 MHz noise floor (−94.6 dBm): 1 Mbps DBPSK sensitivity on
+    /// commodity cards is ≈ −98 dBm.
+    pub sensitivity_dbm: f64,
+}
+
+impl Default for RxConfig {
+    fn default() -> Self {
+        RxConfig {
+            detection_ratio: 4.0,
+            sensitivity_dbm: -98.0,
+        }
+    }
+}
+
+/// Errors from [`Receiver::receive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxError {
+    /// No DSSS signal found.
+    NoSignal,
+    /// Signal present but the SFD never appeared.
+    NoSfd,
+    /// The PLCP header CRC failed.
+    BadHeader,
+    /// Buffer ends before the declared PSDU does.
+    Truncated,
+}
+
+impl std::fmt::Display for RxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RxError::NoSignal => write!(f, "no 802.11b signal detected"),
+            RxError::NoSfd => write!(f, "SFD not found"),
+            RxError::BadHeader => write!(f, "PLCP header CRC failed"),
+            RxError::Truncated => write!(f, "PPDU truncated"),
+        }
+    }
+}
+
+impl std::error::Error for RxError {}
+
+/// A received 802.11b frame.
+#[derive(Debug, Clone)]
+pub struct RxPacket {
+    /// The PSDU bytes.
+    pub psdu: Vec<u8>,
+    /// Descrambled PSDU bits — the stream a HitchHike-style decoder
+    /// compares between the two receivers.
+    pub psdu_bits: Vec<u8>,
+    /// Estimated signal RSSI, dBm.
+    pub rssi_dbm: f64,
+    /// Sample index of the first demodulated symbol.
+    pub start: usize,
+}
+
+/// The 802.11b receiver.
+#[derive(Debug, Clone)]
+pub struct Receiver {
+    config: RxConfig,
+}
+
+impl Receiver {
+    /// Creates a receiver.
+    pub fn new(config: RxConfig) -> Self {
+        Receiver { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RxConfig {
+        &self.config
+    }
+
+    /// Receives the first frame in `samples`.
+    pub fn receive(&self, samples: &[Complex]) -> Result<RxPacket, RxError> {
+        let min_len = (SYNC_BITS + 16 + 32) * SAMPLES_PER_SYMBOL;
+        if samples.len() < min_len {
+            return Err(RxError::NoSignal);
+        }
+
+        // --- Symbol timing: Barker correlation energy, folded mod 22. ---
+        // Search over the first part of the buffer for the chip phase with
+        // the strongest periodic peaks.
+        let search_symbols = (samples.len() / SAMPLES_PER_SYMBOL).clamp(8, 3 * SYNC_BITS);
+        let mut fold = [0.0f64; SAMPLES_PER_SYMBOL];
+        let search_len = search_symbols * SAMPLES_PER_SYMBOL;
+        let mut best_off = 0usize;
+        let mut corr_cache = vec![0.0f64; search_len];
+        for (n, c) in corr_cache.iter_mut().enumerate() {
+            if n + SAMPLES_PER_SYMBOL <= samples.len() {
+                *c = despread_symbol(&samples[n..]).norm_sqr();
+            }
+        }
+        for (n, &c) in corr_cache.iter().enumerate() {
+            fold[n % SAMPLES_PER_SYMBOL] += c;
+        }
+        let mut best_val = f64::MIN;
+        for (off, &v) in fold.iter().enumerate() {
+            if v > best_val {
+                best_val = v;
+                best_off = off;
+            }
+        }
+        let total: f64 = fold.iter().sum();
+        let offpeak = (total - best_val) / (SAMPLES_PER_SYMBOL - 1) as f64;
+        if best_val < self.config.detection_ratio * offpeak.max(1e-30) {
+            return Err(RxError::NoSignal);
+        }
+
+        // --- Sensitivity gate on estimated signal power. ---
+        // Peak bins carry ≈ G²·Pₛ + G·Pₙ and off-peak bins ≈ G·Pₙ (+ small
+        // sidelobes), with G = 22 samples per correlation.
+        let n_syms = corr_cache.len() / SAMPLES_PER_SYMBOL;
+        let peak_mean = best_val / n_syms.max(1) as f64;
+        let off_mean = offpeak / n_syms.max(1) as f64;
+        let g = SAMPLES_PER_SYMBOL as f64;
+        let ps = ((peak_mean - off_mean) / (g * g - 4.0 * g)).max(1e-30);
+        let rssi_dbm = db::mw_to_dbm(ps);
+        if rssi_dbm < self.config.sensitivity_dbm {
+            return Err(RxError::NoSignal);
+        }
+
+        // --- Demodulate every symbol from the timing offset. ---
+        let mut symbols = Vec::new();
+        let mut n = best_off;
+        while n + SAMPLES_PER_SYMBOL <= samples.len() {
+            symbols.push(despread_symbol(&samples[n..]));
+            n += SAMPLES_PER_SYMBOL;
+        }
+        if symbols.len() < 2 {
+            return Err(RxError::NoSignal);
+        }
+        // DBPSK differential decode.
+        let mut raw_bits = Vec::with_capacity(symbols.len() - 1);
+        for w in symbols.windows(2) {
+            raw_bits.push(u8::from((w[1] * w[0].conj()).re < 0.0));
+        }
+        // Descramble (self-synchronising: no seed needed).
+        let descrambled = Descrambler::new().descramble(&raw_bits);
+
+        // --- Find the SFD. ---
+        let sfd_bits = bits::bytes_to_bits_lsb(&SFD.to_le_bytes());
+        let sfd_at = descrambled
+            .windows(16)
+            .position(|w| w == &sfd_bits[..])
+            .ok_or(RxError::NoSfd)?;
+        let hdr = sfd_at + 16;
+        if descrambled.len() < hdr + 32 {
+            return Err(RxError::Truncated);
+        }
+        let len_bytes = bits::bits_to_bytes_lsb(&descrambled[hdr..hdr + 16]);
+        let len = u16::from_le_bytes([len_bytes[0], len_bytes[1]]) as usize;
+        let crc_bytes = bits::bits_to_bytes_lsb(&descrambled[hdr + 16..hdr + 32]);
+        let got = u16::from_le_bytes([crc_bytes[0], crc_bytes[1]]);
+        if crc16_itu(&(len as u16).to_le_bytes()) != got {
+            return Err(RxError::BadHeader);
+        }
+        let body = hdr + 32;
+        if descrambled.len() < body + 8 * len {
+            return Err(RxError::Truncated);
+        }
+        let psdu_bits = descrambled[body..body + 8 * len].to_vec();
+        let psdu = bits::bits_to_bytes_lsb(&psdu_bits);
+        Ok(RxPacket {
+            psdu,
+            psdu_bits,
+            rssi_dbm,
+            start: best_off,
+        })
+    }
+
+    /// Airtime helper mirroring the transmitter's framing.
+    pub fn airtime_s(len: usize) -> f64 {
+        Transmitter::new().airtime_s(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freerider_dsp::noise::NoiseSource;
+
+    fn rx_test() -> Receiver {
+        Receiver::new(RxConfig {
+            sensitivity_dbm: -200.0,
+            ..RxConfig::default()
+        })
+    }
+
+    #[test]
+    fn noiseless_loopback() {
+        let tx = Transmitter::new();
+        let mut buf = vec![Complex::ZERO; 97];
+        buf.extend(tx.transmit(b"hitchhike substrate").unwrap());
+        buf.extend(vec![Complex::ZERO; 60]);
+        let pkt = rx_test().receive(&buf).unwrap();
+        assert_eq!(pkt.psdu, b"hitchhike substrate");
+    }
+
+    #[test]
+    fn loopback_below_the_noise_floor() {
+        // DSSS processing gain: decode at −3 dB SNR (signal below noise).
+        let tx = Transmitter::new();
+        let wave = tx.transmit(&[0x42; 80]).unwrap();
+        let mut buf: Vec<Complex> = wave
+            .iter()
+            .map(|&z| z * freerider_dsp::db::field_scale(-3.0))
+            .collect();
+        NoiseSource::new(3, 1.0).add_to(&mut buf);
+        let pkt = rx_test().receive(&buf).unwrap();
+        assert_eq!(pkt.psdu, vec![0x42; 80]);
+    }
+
+    #[test]
+    fn noise_only_is_rejected() {
+        let buf = NoiseSource::new(9, 1.0).take(8000);
+        let rx = rx_test();
+        assert!(matches!(
+            rx.receive(&buf),
+            Err(RxError::NoSignal) | Err(RxError::NoSfd)
+        ));
+    }
+
+    #[test]
+    fn phase_offset_is_harmless() {
+        // DBPSK is differential: an arbitrary carrier phase cancels.
+        let tx = Transmitter::new();
+        let wave = tx.transmit(b"rotate me").unwrap();
+        let rot = Complex::cis(2.2);
+        let rotated: Vec<Complex> = wave.iter().map(|&z| z * rot).collect();
+        let pkt = rx_test().receive(&rotated).unwrap();
+        assert_eq!(pkt.psdu, b"rotate me");
+    }
+
+    #[test]
+    fn truncated_frame() {
+        let tx = Transmitter::new();
+        let wave = tx.transmit(&[9u8; 200]).unwrap();
+        let cut = &wave[..wave.len() * 2 / 3];
+        assert_eq!(rx_test().receive(cut).unwrap_err(), RxError::Truncated);
+    }
+
+    #[test]
+    fn rssi_estimate_tracks_signal_level() {
+        let tx = Transmitter::new();
+        let wave = tx.transmit(&[1u8; 60]).unwrap();
+        for target in [-60.0, -80.0] {
+            let mut buf: Vec<Complex> = wave
+                .iter()
+                .map(|&z| z * freerider_dsp::db::field_scale(target))
+                .collect();
+            NoiseSource::new(5, freerider_dsp::db::dbm_to_mw(-94.6)).add_to(&mut buf);
+            let pkt = rx_test().receive(&buf).unwrap();
+            assert!(
+                (pkt.rssi_dbm - target).abs() < 3.0,
+                "target {target}: est {}",
+                pkt.rssi_dbm
+            );
+        }
+    }
+}

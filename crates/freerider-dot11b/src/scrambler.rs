@@ -1,0 +1,119 @@
+//! The 802.11b self-synchronising scrambler (IEEE 802.11-2012 §17.2.4).
+//!
+//! Unlike 802.11g's frame-synchronous scrambler (a free-running LFSR XORed
+//! onto the data), 802.11b scrambles with feedback through the
+//! *transmitted* bits and descrambles feedforward through the *received*
+//! bits:
+//!
+//! ```text
+//! scramble:   s[k] = d[k] ⊕ s[k−4] ⊕ s[k−7]
+//! descramble: d[k] = s[k] ⊕ s[k−4] ⊕ s[k−7]
+//! ```
+//!
+//! Self-synchronisation is why the receiver needs no seed exchange — and
+//! it is also why a HitchHike tag's bit flips *spread*: one flipped
+//! on-air bit appears at three positions of the descrambled output
+//! (k, k+4, k+7). The [`crate::hitchhike`] decoder has to invert exactly
+//! this structure.
+
+/// Scrambler state: the last 7 *output* bits.
+#[derive(Debug, Clone)]
+pub struct Scrambler {
+    state: u8,
+}
+
+impl Scrambler {
+    /// Creates a scrambler with the given initial register (any value —
+    /// the receiver self-synchronises after 7 bits).
+    pub fn new(seed: u8) -> Self {
+        Scrambler { state: seed & 0x7F }
+    }
+
+    /// Scrambles a bit sequence (TX side, feedback structure).
+    pub fn scramble(&mut self, bits: &[u8]) -> Vec<u8> {
+        bits.iter()
+            .map(|&d| {
+                let fb = ((self.state >> 3) ^ (self.state >> 6)) & 1;
+                let s = (d & 1) ^ fb;
+                self.state = ((self.state << 1) | s) & 0x7F;
+                s
+            })
+            .collect()
+    }
+}
+
+/// Descrambler state: the last 7 *received* bits.
+#[derive(Debug, Clone, Default)]
+pub struct Descrambler {
+    state: u8,
+}
+
+impl Descrambler {
+    /// Creates a descrambler (state fills from the received stream).
+    pub fn new() -> Self {
+        Descrambler::default()
+    }
+
+    /// Descrambles a bit sequence (RX side, feedforward structure).
+    pub fn descramble(&mut self, bits: &[u8]) -> Vec<u8> {
+        bits.iter()
+            .map(|&s| {
+                let s = s & 1;
+                let d = s ^ ((self.state >> 3) & 1) ^ ((self.state >> 6) & 1);
+                self.state = ((self.state << 1) | s) & 0x7F;
+                d
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_after_sync() {
+        let data: Vec<u8> = (0..200).map(|i| ((i * 13) % 7 < 3) as u8).collect();
+        for seed in [0u8, 0x1B, 0x7F] {
+            let scrambled = Scrambler::new(seed).scramble(&data);
+            let out = Descrambler::new().descramble(&scrambled);
+            // The first 7 bits may be wrong (descrambler state empty);
+            // everything after self-synchronises regardless of the seed.
+            assert_eq!(&out[7..], &data[7..], "seed {seed:#x}");
+        }
+    }
+
+    #[test]
+    fn whitens_constant_input() {
+        // The sync preamble is scrambled ones — the output must not be
+        // constant (that is its entire purpose).
+        let ones = vec![1u8; 128];
+        let s = Scrambler::new(0x1B).scramble(&ones);
+        let transitions = s.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(transitions > 30, "only {transitions} transitions");
+    }
+
+    #[test]
+    fn single_flip_spreads_to_three_positions() {
+        // The HitchHike-relevant property: flipping one on-air bit flips
+        // descrambled bits k, k+4 and k+7.
+        let data: Vec<u8> = (0..64).map(|i| (i % 2) as u8).collect();
+        let scrambled = Scrambler::new(0x55).scramble(&data);
+        let mut corrupted = scrambled.clone();
+        corrupted[30] ^= 1;
+        let clean = Descrambler::new().descramble(&scrambled);
+        let dirty = Descrambler::new().descramble(&corrupted);
+        let flipped: Vec<usize> = (0..64).filter(|&k| clean[k] != dirty[k]).collect();
+        assert_eq!(flipped, vec![30, 34, 37]);
+    }
+
+    #[test]
+    fn descrambler_resyncs_mid_stream() {
+        // Joining a stream at an arbitrary point still descrambles after
+        // 7 bits — self-synchronisation.
+        let data: Vec<u8> = (0..120).map(|i| ((i * 31) % 11 < 5) as u8).collect();
+        let scrambled = Scrambler::new(0x3C).scramble(&data);
+        let out = Descrambler::new().descramble(&scrambled[40..]);
+        assert_eq!(&out[7..], &data[47..]);
+    }
+}

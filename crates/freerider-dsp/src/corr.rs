@@ -1,0 +1,180 @@
+//! Correlation and peak search.
+//!
+//! Packet detection in every receiver (WiFi STF/LTF, ZigBee SHR, BLE
+//! preamble) is built on sliding cross-correlation against a known reference
+//! and normalised-peak thresholding.
+
+use crate::complex::Complex;
+
+/// Sliding cross-correlation of `signal` against `reference`.
+///
+/// Output index `n` holds `Σ_k signal[n+k]·conj(reference[k])` for all `n`
+/// where the reference fits entirely inside the signal
+/// (`signal.len() - reference.len() + 1` outputs). Returns an empty vector if
+/// the reference is longer than the signal.
+pub fn cross_correlate(signal: &[Complex], reference: &[Complex]) -> Vec<Complex> {
+    if reference.is_empty() || reference.len() > signal.len() {
+        return Vec::new();
+    }
+    let n_out = signal.len() - reference.len() + 1;
+    let mut out = Vec::with_capacity(n_out);
+    for n in 0..n_out {
+        let mut acc = Complex::ZERO;
+        for (k, &r) in reference.iter().enumerate() {
+            acc += signal[n + k] * r.conj();
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Normalised sliding correlation magnitude in `[0, 1]`.
+///
+/// `|Σ s·conj(r)| / (‖s_window‖·‖r‖)` — robust to absolute signal level, the
+/// standard metric for preamble detection thresholds.
+pub fn normalized_correlation(signal: &[Complex], reference: &[Complex]) -> Vec<f64> {
+    if reference.is_empty() || reference.len() > signal.len() {
+        return Vec::new();
+    }
+    let r_energy: f64 = reference.iter().map(|z| z.norm_sqr()).sum();
+    if r_energy <= 0.0 {
+        return vec![0.0; signal.len() - reference.len() + 1];
+    }
+    let n_out = signal.len() - reference.len() + 1;
+    // Running window energy for the signal.
+    let mut win_energy: f64 = signal[..reference.len()].iter().map(|z| z.norm_sqr()).sum();
+    let mut out = Vec::with_capacity(n_out);
+    for n in 0..n_out {
+        let mut acc = Complex::ZERO;
+        for (k, &r) in reference.iter().enumerate() {
+            acc += signal[n + k] * r.conj();
+        }
+        let denom = (win_energy * r_energy).sqrt();
+        out.push(if denom > 1e-30 { acc.abs() / denom } else { 0.0 });
+        if n + 1 < n_out {
+            win_energy += signal[n + reference.len()].norm_sqr() - signal[n].norm_sqr();
+            if win_energy < 0.0 {
+                win_energy = 0.0;
+            }
+        }
+    }
+    out
+}
+
+/// Finds the index and value of the maximum in a real sequence.
+/// Returns `None` for an empty input.
+pub fn peak(values: &[f64]) -> Option<(usize, f64)> {
+    values
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(_, v)| !v.is_nan())
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+}
+
+/// Finds the first index where `values` crosses `threshold`, or `None`.
+pub fn first_above(values: &[f64], threshold: f64) -> Option<usize> {
+    values.iter().position(|&v| v >= threshold)
+}
+
+/// Schmidl–Cox style delay-and-correlate metric for repeating preambles
+/// (the 802.11 STF repeats every 16 samples): output `n` is
+/// `|Σ_{k<win} s[n+k]·conj(s[n+k+lag])| / Σ |s[n+k+lag]|²`.
+pub fn delay_correlate(signal: &[Complex], lag: usize, window: usize) -> Vec<f64> {
+    if signal.len() < lag + window {
+        return Vec::new();
+    }
+    let n_out = signal.len() - lag - window + 1;
+    let mut out = Vec::with_capacity(n_out);
+    for n in 0..n_out {
+        let mut acc = Complex::ZERO;
+        let mut energy = 0.0;
+        for k in 0..window {
+            acc += signal[n + k] * signal[n + k + lag].conj();
+            energy += signal[n + k + lag].norm_sqr();
+        }
+        out.push(if energy > 1e-30 { acc.abs() / energy } else { 0.0 });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseSource;
+    use crate::osc::Nco;
+
+    fn chirp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::cis(0.001 * (i * i) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn finds_embedded_reference() {
+        let reference = chirp(32);
+        let mut signal = vec![Complex::ZERO; 100];
+        for (i, &r) in reference.iter().enumerate() {
+            signal[40 + i] = r;
+        }
+        let c = normalized_correlation(&signal, &reference);
+        let (idx, val) = peak(&c).unwrap();
+        assert_eq!(idx, 40);
+        assert!(val > 0.999);
+    }
+
+    #[test]
+    fn finds_reference_under_noise() {
+        let reference = chirp(64);
+        let mut signal = NoiseSource::new(5, 0.1).take(300);
+        for (i, &r) in reference.iter().enumerate() {
+            signal[120 + i] += r;
+        }
+        let c = normalized_correlation(&signal, &reference);
+        let (idx, val) = peak(&c).unwrap();
+        assert_eq!(idx, 120);
+        assert!(val > 0.8, "peak {val}");
+    }
+
+    #[test]
+    fn empty_or_oversize_reference_yields_empty() {
+        let sig = vec![Complex::ONE; 4];
+        assert!(cross_correlate(&sig, &[]).is_empty());
+        assert!(cross_correlate(&sig, &[Complex::ONE; 5]).is_empty());
+        assert!(normalized_correlation(&sig, &[Complex::ONE; 5]).is_empty());
+    }
+
+    #[test]
+    fn normalisation_is_scale_invariant() {
+        let reference = chirp(32);
+        let mut signal = vec![Complex::ZERO; 80];
+        for (i, &r) in reference.iter().enumerate() {
+            signal[20 + i] = r * 1e-4; // very weak copy
+        }
+        let c = normalized_correlation(&signal, &reference);
+        let (idx, val) = peak(&c).unwrap();
+        assert_eq!(idx, 20);
+        assert!(val > 0.999);
+    }
+
+    #[test]
+    fn delay_correlate_detects_periodicity() {
+        // A tone with period 16 repeats with lag 16 → metric ~1.
+        let mut nco = Nco::new(1.0 / 16.0);
+        let periodic = nco.take(200);
+        let m = delay_correlate(&periodic, 16, 64);
+        assert!(m.iter().all(|&v| v > 0.99));
+        // Noise should not.
+        let noise = NoiseSource::new(11, 1.0).take(200);
+        let mn = delay_correlate(&noise, 16, 64);
+        let avg: f64 = mn.iter().sum::<f64>() / mn.len() as f64;
+        assert!(avg < 0.5, "noise metric {avg}");
+    }
+
+    #[test]
+    fn first_above_and_peak_edges() {
+        assert_eq!(peak(&[]), None);
+        assert_eq!(first_above(&[0.1, 0.5, 0.9], 0.6), Some(2));
+        assert_eq!(first_above(&[0.1, 0.2], 0.6), None);
+    }
+}

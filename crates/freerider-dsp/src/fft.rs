@@ -1,0 +1,194 @@
+//! Iterative radix-2 FFT / IFFT.
+//!
+//! The OFDM modem in `freerider-wifi` runs a 64-point transform per symbol;
+//! this implementation supports any power-of-two size. It follows the
+//! classic Cooley–Tukey decimation-in-time structure with an explicit
+//! bit-reversal permutation, which is simple, allocation-free (in place), and
+//! fast enough to simulate multi-megasample packets in the benches.
+//!
+//! Conventions: [`fft`] computes the *unnormalised* forward DFT
+//! `X[k] = Σ_n x[n]·e^{-j2πkn/N}`; [`ifft`] computes the inverse with a
+//! `1/N` normalisation, so `ifft(fft(x)) == x`.
+
+use crate::complex::Complex;
+
+/// Errors from the transform entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftError {
+    /// Input length is not a power of two (or is zero).
+    NotPowerOfTwo(usize),
+}
+
+impl std::fmt::Display for FftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo(n) => {
+                write!(f, "FFT length {n} is not a nonzero power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+/// In-place forward FFT. Length must be a nonzero power of two.
+pub fn fft(data: &mut [Complex]) -> Result<(), FftError> {
+    transform(data, false)
+}
+
+/// In-place inverse FFT with `1/N` normalisation.
+pub fn ifft(data: &mut [Complex]) -> Result<(), FftError> {
+    transform(data, true)?;
+    let n = data.len() as f64;
+    for x in data.iter_mut() {
+        *x = *x / n;
+    }
+    Ok(())
+}
+
+fn transform(data: &mut [Complex], inverse: bool) -> Result<(), FftError> {
+    let n = data.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(FftError::NotPowerOfTwo(n));
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Performs an FFT shift: swaps the two halves of the spectrum so that DC
+/// moves to the centre. For even lengths this is its own inverse.
+pub fn fft_shift(data: &mut [Complex]) {
+    let n = data.len();
+    data.rotate_left(n / 2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut v = vec![Complex::ZERO; 3];
+        assert_eq!(fft(&mut v), Err(FftError::NotPowerOfTwo(3)));
+        let mut v = vec![];
+        assert_eq!(fft(&mut v), Err(FftError::NotPowerOfTwo(0)));
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut v = vec![Complex::ZERO; 8];
+        v[0] = Complex::ONE;
+        fft(&mut v).unwrap();
+        for x in &v {
+            assert!(close(*x, Complex::ONE));
+        }
+    }
+
+    #[test]
+    fn dc_has_impulse_spectrum() {
+        let mut v = vec![Complex::ONE; 16];
+        fft(&mut v).unwrap();
+        assert!(close(v[0], Complex::new(16.0, 0.0)));
+        for x in &v[1..] {
+            assert!(x.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_on_its_bin() {
+        let n = 64;
+        let k0 = 5;
+        let mut v: Vec<Complex> = (0..n)
+            .map(|t| Complex::cis(2.0 * std::f64::consts::PI * k0 as f64 * t as f64 / n as f64))
+            .collect();
+        fft(&mut v).unwrap();
+        for (k, x) in v.iter().enumerate() {
+            if k == k0 {
+                assert!((x.abs() - n as f64).abs() < 1e-8);
+            } else {
+                assert!(x.abs() < 1e-8, "leakage at bin {k}: {}", x.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let orig: Vec<Complex> = (0..128)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+            .collect();
+        let mut v = orig.clone();
+        fft(&mut v).unwrap();
+        ifft(&mut v).unwrap();
+        for (a, b) in v.iter().zip(orig.iter()) {
+            assert!(close(*a, *b));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let x: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let te: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut s = x.clone();
+        fft(&mut s).unwrap();
+        let fe: f64 = s.iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
+        assert!((te - fe).abs() < 1e-8);
+    }
+
+    #[test]
+    fn shift_centres_dc() {
+        let mut v: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64, 0.0)).collect();
+        fft_shift(&mut v);
+        assert_eq!(v[0].re, 4.0);
+        assert_eq!(v[4].re, 0.0);
+        fft_shift(&mut v);
+        assert_eq!(v[0].re, 0.0);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex> = (0..32).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex> = (0..32).map(|i| Complex::new(0.0, -(i as f64))).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fab: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        fft(&mut fa).unwrap();
+        fft(&mut fb).unwrap();
+        fft(&mut fab).unwrap();
+        for i in 0..32 {
+            assert!(close(fab[i], fa[i] + fb[i]));
+        }
+    }
+}

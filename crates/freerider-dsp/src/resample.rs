@@ -1,0 +1,91 @@
+//! Integer-factor resampling.
+//!
+//! Used by the frequency-shifting integration tests: representing a tag's
+//! multi-megahertz channel shift at IQ level needs a simulation band wider
+//! than one PHY's baseband, so narrowband waveforms are upsampled into a
+//! wide band, shifted with the real square wave, and the receiver's
+//! channel selection brings them back down.
+
+use crate::fir::Fir;
+use crate::Complex;
+
+/// Upsamples by 2: zero-stuffing followed by a half-band low-pass
+/// (gain-compensated). Output length is `2 × input.len()`.
+pub fn upsample2(input: &[Complex]) -> Vec<Complex> {
+    let mut stuffed = Vec::with_capacity(input.len() * 2);
+    for &z in input {
+        stuffed.push(z);
+        stuffed.push(Complex::ZERO);
+    }
+    let lpf = Fir::low_pass(0.23, 63);
+    // Zero-stuffing halves the signal power in-band; compensate ×2.
+    lpf.filter(&stuffed).into_iter().map(|z| z * 2.0).collect()
+}
+
+/// Downsamples by 2: half-band low-pass then decimation.
+/// Output length is `input.len() / 2`.
+pub fn downsample2(input: &[Complex]) -> Vec<Complex> {
+    let lpf = Fir::low_pass(0.23, 63);
+    lpf.filter(input).into_iter().step_by(2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db;
+    use crate::osc::Nco;
+
+    #[test]
+    fn up_then_down_is_identity_in_band() {
+        let mut nco = Nco::new(0.05);
+        let orig = nco.take(600);
+        let up = upsample2(&orig);
+        assert_eq!(up.len(), 1200);
+        let back = downsample2(&up);
+        assert_eq!(back.len(), 600);
+        // Compare away from the filter edges.
+        for k in 100..500 {
+            assert!(
+                (back[k] - orig[k]).abs() < 0.02,
+                "sample {k}: {} vs {}",
+                back[k],
+                orig[k]
+            );
+        }
+    }
+
+    #[test]
+    fn upsample_preserves_in_band_power() {
+        let mut nco = Nco::new(0.08);
+        let orig = nco.take(800);
+        let up = upsample2(&orig);
+        let p = db::mean_power(&up[200..1400]);
+        assert!((p - 1.0).abs() < 0.05, "power {p}");
+    }
+
+    #[test]
+    fn upsampled_tone_halves_its_normalised_frequency() {
+        let mut nco = Nco::new(0.1);
+        let orig = nco.take(512);
+        let up = upsample2(&orig);
+        // Instantaneous frequency of the upsampled tone = 0.05 cyc/sample.
+        let mid = &up[300..700];
+        let mut acc = Complex::ZERO;
+        for w in mid.windows(2) {
+            acc += w[1] * w[0].conj();
+        }
+        let f = acc.arg() / std::f64::consts::TAU;
+        assert!((f - 0.05).abs() < 1e-3, "freq {f}");
+    }
+
+    #[test]
+    fn downsample_rejects_upper_half_band() {
+        // A tone at 0.4 cyc/sample would alias to 0.2 after decimation if
+        // not filtered; the half-band filter must crush it first.
+        let mut nco = Nco::new(0.4);
+        let tone = nco.take(800);
+        let down = downsample2(&tone);
+        let p = db::mean_power(&down[100..300]);
+        assert!(p < 1e-3, "aliased power {p}");
+    }
+}

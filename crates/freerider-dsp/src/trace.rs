@@ -1,0 +1,221 @@
+//! IQ trace capture — the workspace's analogue of a pcap dump.
+//!
+//! Every link in the workspace moves complex baseband buffers around;
+//! when an experiment misbehaves, the fastest diagnosis is to dump the
+//! waveform at a pipeline stage and inspect it offline. [`IqTrace`] writes
+//! a minimal self-describing binary format (magic, sample rate, f32 IQ
+//! pairs) that round-trips losslessly enough for debugging and can be
+//! loaded by common SDR tools as raw interleaved `f32` after skipping the
+//! 16-byte header.
+
+use crate::Complex;
+use std::io::{self, Read, Write};
+
+/// File magic: "FRIQ" + version 1.
+const MAGIC: [u8; 4] = *b"FRIQ";
+const VERSION: u32 = 1;
+
+/// An IQ trace: a sample rate and a buffer of complex samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IqTrace {
+    /// Sample rate in Hz.
+    pub sample_rate: f64,
+    /// The samples.
+    pub samples: Vec<Complex>,
+}
+
+/// Errors from trace (de)serialisation.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not an IQ trace (bad magic) or unsupported version.
+    BadFormat,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadFormat => write!(f, "not an FRIQ trace"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl IqTrace {
+    /// Wraps a buffer as a trace.
+    pub fn new(sample_rate: f64, samples: Vec<Complex>) -> Self {
+        IqTrace {
+            sample_rate,
+            samples,
+        }
+    }
+
+    /// Serialises to a writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), TraceError> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(self.sample_rate as f32).to_le_bytes())?;
+        w.write_all(&(self.samples.len() as u32).to_le_bytes())?;
+        for z in &self.samples {
+            w.write_all(&(z.re as f32).to_le_bytes())?;
+            w.write_all(&(z.im as f32).to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialises from a reader.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self, TraceError> {
+        let mut hdr = [0u8; 16];
+        r.read_exact(&mut hdr)?;
+        if hdr[..4] != MAGIC {
+            return Err(TraceError::BadFormat);
+        }
+        let version = u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(TraceError::BadFormat);
+        }
+        let sample_rate = f32::from_le_bytes(hdr[8..12].try_into().expect("4 bytes")) as f64;
+        let n = u32::from_le_bytes(hdr[12..16].try_into().expect("4 bytes")) as usize;
+        let mut buf = vec![0u8; n * 8];
+        r.read_exact(&mut buf)?;
+        let samples = buf
+            .chunks_exact(8)
+            .map(|c| {
+                Complex::new(
+                    f32::from_le_bytes(c[..4].try_into().expect("4 bytes")) as f64,
+                    f32::from_le_bytes(c[4..].try_into().expect("4 bytes")) as f64,
+                )
+            })
+            .collect();
+        Ok(IqTrace {
+            sample_rate,
+            samples,
+        })
+    }
+
+    /// Writes to a file path.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), TraceError> {
+        let mut f = std::fs::File::create(path)?;
+        self.write_to(&mut f)
+    }
+
+    /// Reads from a file path.
+    pub fn load(path: &std::path::Path) -> Result<Self, TraceError> {
+        let mut f = std::fs::File::open(path)?;
+        Self::read_from(&mut f)
+    }
+
+    /// A text summary: duration, power, peak, and a coarse envelope
+    /// sparkline — the "tcpdump one-liner" for a waveform.
+    pub fn summary(&self) -> String {
+        let n = self.samples.len();
+        if n == 0 {
+            return "empty trace".to_string();
+        }
+        let mean_p = crate::db::mean_power(&self.samples);
+        let peak = self
+            .samples
+            .iter()
+            .map(|z| z.norm_sqr())
+            .fold(0.0f64, f64::max);
+        let dur_us = n as f64 / self.sample_rate * 1e6;
+        let bars = b" .:-=+*#%@";
+        let nbins = 48.min(n);
+        let mut spark = String::new();
+        for b in 0..nbins {
+            let lo = b * n / nbins;
+            let hi = ((b + 1) * n / nbins).max(lo + 1);
+            let p = crate::db::mean_power(&self.samples[lo..hi]);
+            let idx = if peak > 0.0 {
+                ((p / peak).sqrt() * (bars.len() - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            spark.push(bars[idx.min(bars.len() - 1)] as char);
+        }
+        format!(
+            "{n} samples @ {:.3} Msps = {dur_us:.1} µs | mean {:.1} dBm, peak {:.1} dBm\n[{spark}]",
+            self.sample_rate / 1e6,
+            crate::db::mw_to_dbm(mean_p),
+            crate::db::mw_to_dbm(peak),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chirp(n: usize) -> Vec<Complex> {
+        (0..n).map(|i| Complex::cis(0.001 * (i * i) as f64)).collect()
+    }
+
+    #[test]
+    fn round_trip_through_memory() {
+        let t = IqTrace::new(20e6, chirp(500));
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), 16 + 500 * 8);
+        let back = IqTrace::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.samples.len(), 500);
+        assert!((back.sample_rate - 20e6).abs() < 1.0);
+        for (a, b) in back.samples.iter().zip(t.samples.iter()) {
+            assert!((*a - *b).abs() < 1e-6, "f32 round-trip tolerance");
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = vec![0u8; 64];
+        assert!(matches!(
+            IqTrace::read_from(&mut buf.as_slice()),
+            Err(TraceError::BadFormat)
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let t = IqTrace::new(4e6, chirp(100));
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(matches!(
+            IqTrace::read_from(&mut buf.as_slice()),
+            Err(TraceError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = IqTrace::new(8e6, chirp(64));
+        let path = std::env::temp_dir().join("freerider_trace_test.friq");
+        t.save(&path).unwrap();
+        let back = IqTrace::load(&path).unwrap();
+        assert_eq!(back.samples.len(), 64);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn summary_reads_sensibly() {
+        let mut samples = vec![Complex::ZERO; 100];
+        samples.extend(vec![Complex::ONE; 100]);
+        let t = IqTrace::new(1e6, samples);
+        let s = t.summary();
+        assert!(s.contains("200 samples"));
+        assert!(s.contains("200.0 µs"));
+        // Envelope shows silence then signal.
+        let spark = s.split('[').nth(1).unwrap();
+        assert!(spark.starts_with(' '));
+        assert!(spark.contains('@'));
+        assert_eq!(IqTrace::new(1e6, vec![]).summary(), "empty trace");
+    }
+}

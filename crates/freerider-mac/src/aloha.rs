@@ -1,0 +1,169 @@
+//! One round of Framed Slotted Aloha.
+
+use rand::Rng;
+
+/// Outcome of a single slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// No tag transmitted.
+    Empty,
+    /// Exactly one tag transmitted.
+    Success(usize),
+    /// Two or more tags transmitted but the strongest was decodable
+    /// (near-far capture).
+    Capture(usize),
+    /// Two or more tags transmitted; nothing decodable.
+    Collision(Vec<usize>),
+}
+
+/// Summary counts of a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundOutcome {
+    /// Slots with no transmission.
+    pub empty: usize,
+    /// Slots with exactly one transmission.
+    pub success: usize,
+    /// Collision slots salvaged by capture.
+    pub capture: usize,
+    /// Unsalvaged collision slots.
+    pub collision: usize,
+}
+
+impl RoundOutcome {
+    /// Slots that delivered data.
+    pub fn delivered(&self) -> usize {
+        self.success + self.capture
+    }
+}
+
+/// Runs one round: each tag in `participants` picks a uniform slot in
+/// `0..n_slots`; slots with ≥2 tags are salvaged with probability
+/// `capture_prob` (the strongest tag wins).
+///
+/// Returns the per-slot outcomes.
+pub fn run_round<R: Rng>(
+    participants: &[usize],
+    n_slots: u16,
+    capture_prob: f64,
+    rng: &mut R,
+) -> Vec<SlotOutcome> {
+    assert!(n_slots >= 1);
+    let mut slots: Vec<Vec<usize>> = vec![Vec::new(); n_slots as usize];
+    for &tag in participants {
+        let s = rng.gen_range(0..n_slots as usize);
+        slots[s].push(tag);
+    }
+    slots
+        .into_iter()
+        .map(|tags| match tags.len() {
+            0 => SlotOutcome::Empty,
+            1 => SlotOutcome::Success(tags[0]),
+            _ => {
+                if rng.gen_bool(capture_prob) {
+                    // The "strongest" tag is the winner; with i.i.d.
+                    // placement any of them is equally likely.
+                    let w = tags[rng.gen_range(0..tags.len())];
+                    SlotOutcome::Capture(w)
+                } else {
+                    SlotOutcome::Collision(tags)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Condenses per-slot outcomes into counts.
+pub fn summarize(outcomes: &[SlotOutcome]) -> RoundOutcome {
+    let mut r = RoundOutcome::default();
+    for o in outcomes {
+        match o {
+            SlotOutcome::Empty => r.empty += 1,
+            SlotOutcome::Success(_) => r.success += 1,
+            SlotOutcome::Capture(_) => r.capture += 1,
+            SlotOutcome::Collision(_) => r.collision += 1,
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_tag_always_succeeds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let out = run_round(&[7], 8, 0.0, &mut rng);
+            let s = summarize(&out);
+            assert_eq!(s.success, 1);
+            assert_eq!(s.collision, 0);
+            assert_eq!(s.empty, 7);
+        }
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let tags: Vec<usize> = (0..20).collect();
+        let out = run_round(&tags, 24, 0.3, &mut rng);
+        assert_eq!(out.len(), 24);
+        let s = summarize(&out);
+        assert_eq!(s.empty + s.success + s.capture + s.collision, 24);
+        // Every tag appears exactly once across all slots.
+        let mut seen = [0usize; 20];
+        for o in &out {
+            match o {
+                SlotOutcome::Success(t) => seen[*t] += 1,
+                SlotOutcome::Capture(t) => seen[*t] += 1,
+                SlotOutcome::Collision(ts) => {
+                    for &t in ts {
+                        seen[t] += 1;
+                    }
+                }
+                SlotOutcome::Empty => {}
+            }
+        }
+        // Captured slots hide the losers, so count only lower bound.
+        assert!(seen.iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    fn success_rate_near_1_over_e_when_slots_equal_tags() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 32usize;
+        let tags: Vec<usize> = (0..n).collect();
+        let mut delivered = 0usize;
+        let rounds = 2000;
+        for _ in 0..rounds {
+            let s = summarize(&run_round(&tags, n as u16, 0.0, &mut rng));
+            delivered += s.success;
+        }
+        let rate = delivered as f64 / (rounds * n) as f64;
+        // (1 − 1/n)^{n−1} ≈ 0.374 for n = 32.
+        assert!((rate - 0.374).abs() < 0.02, "success rate {rate}");
+    }
+
+    #[test]
+    fn capture_salvages_collisions() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let tags: Vec<usize> = (0..32).collect();
+        let mut without = 0usize;
+        let mut with = 0usize;
+        for _ in 0..1000 {
+            without += summarize(&run_round(&tags, 32, 0.0, &mut rng)).delivered();
+            with += summarize(&run_round(&tags, 32, 0.5, &mut rng)).delivered();
+        }
+        assert!(with as f64 > without as f64 * 1.15, "{with} vs {without}");
+    }
+
+    #[test]
+    fn empty_participants_yield_all_empty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = summarize(&run_round(&[], 10, 0.5, &mut rng));
+        assert_eq!(s.empty, 10);
+        assert_eq!(s.delivered(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Transmitter-side round coordination: slot-count adaptation.
+//!
+//! §2.4.1: "The number of slots is inferred by the receiver from how many
+//! packets it receives, as well as any collisions. … If the transmitter
+//! sees many collisions, it adds slots. It decreases the number of slots
+//! if there are many un-utilized."
+//!
+//! The estimator is the classic framed-Aloha backlog estimate: each
+//! collision slot hides ≈ 2.39 tags in expectation, so the next frame is
+//! sized to `successes + captures + ⌈2.39 × collisions⌉`, clamped to the
+//! PLM message's 1..=64 range.
+
+use crate::aloha::RoundOutcome;
+
+/// Expected number of tags in a collided slot (Schoute's estimate).
+pub const TAGS_PER_COLLISION: f64 = 2.39;
+
+/// The round coordinator.
+#[derive(Debug, Clone, Copy)]
+pub struct Coordinator {
+    n_slots: u16,
+    min_slots: u16,
+    max_slots: u16,
+}
+
+impl Coordinator {
+    /// Creates a coordinator starting at `initial` slots.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ min ≤ initial ≤ max ≤ 64`.
+    pub fn new(initial: u16, min_slots: u16, max_slots: u16) -> Self {
+        assert!(min_slots >= 1 && min_slots <= initial && initial <= max_slots && max_slots <= 64);
+        Coordinator {
+            n_slots: initial,
+            min_slots,
+            max_slots,
+        }
+    }
+
+    /// A coordinator with the defaults used in the Fig. 17 experiments.
+    pub fn with_defaults() -> Self {
+        Coordinator::new(4, 2, 64)
+    }
+
+    /// Slots to announce for the upcoming round.
+    pub fn n_slots(&self) -> u16 {
+        self.n_slots
+    }
+
+    /// Adapts the slot count from the previous round's outcome.
+    pub fn adapt(&mut self, outcome: &RoundOutcome) {
+        let backlog = outcome.success as f64
+            + outcome.capture as f64
+            + TAGS_PER_COLLISION * outcome.collision as f64;
+        // Target a frame size slightly above the backlog estimate (frame
+        // size = backlog maximises Aloha efficiency at 1/e; a touch more
+        // headroom trades a little throughput for stability).
+        let target = (backlog * 1.1).ceil() as u16;
+        self.n_slots = target.clamp(self.min_slots, self.max_slots);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(empty: usize, success: usize, capture: usize, collision: usize) -> RoundOutcome {
+        RoundOutcome {
+            empty,
+            success,
+            capture,
+            collision,
+        }
+    }
+
+    #[test]
+    fn collisions_grow_the_frame() {
+        let mut c = Coordinator::new(4, 2, 64);
+        c.adapt(&outcome(0, 1, 0, 3));
+        assert!(c.n_slots() > 4, "got {}", c.n_slots());
+    }
+
+    #[test]
+    fn empties_shrink_the_frame() {
+        let mut c = Coordinator::new(32, 2, 64);
+        c.adapt(&outcome(28, 4, 0, 0));
+        assert!(c.n_slots() < 32, "got {}", c.n_slots());
+        assert!(c.n_slots() >= 4);
+    }
+
+    #[test]
+    fn clamped_to_bounds() {
+        let mut c = Coordinator::new(4, 2, 16);
+        c.adapt(&outcome(0, 0, 0, 16)); // backlog ≈ 38 → clamp to 16
+        assert_eq!(c.n_slots(), 16);
+        c.adapt(&outcome(16, 0, 0, 0)); // backlog 0 → clamp to 2
+        assert_eq!(c.n_slots(), 2);
+    }
+
+    #[test]
+    fn converges_to_tag_count() {
+        // Closed loop against the Aloha model: with n tags the frame size
+        // should settle near n (± the 1.1 headroom).
+        use crate::aloha::{run_round, summarize};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        let tags: Vec<usize> = (0..20).collect();
+        let mut c = Coordinator::with_defaults();
+        let mut sizes = Vec::new();
+        for _ in 0..60 {
+            let out = summarize(&run_round(&tags, c.n_slots(), 0.0, &mut rng));
+            c.adapt(&out);
+            sizes.push(c.n_slots());
+        }
+        let tail: f64 = sizes[30..].iter().map(|&s| s as f64).sum::<f64>() / 30.0;
+        assert!((tail - 22.0).abs() < 7.0, "steady-state frame {tail}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_bounds_panic() {
+        let _ = Coordinator::new(1, 2, 64);
+    }
+}

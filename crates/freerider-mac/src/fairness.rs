@@ -1,0 +1,56 @@
+//! Jain's fairness index (Fig. 17b).
+//!
+//! `J(x) = (Σxᵢ)² / (n · Σxᵢ²)` — 1.0 when all tags get equal service,
+//! 1/n when one tag gets everything.
+
+/// Computes Jain's fairness index over per-entity allocations.
+/// Returns 1.0 for an empty input (vacuously fair) and for all-zero
+/// allocations.
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    if allocations.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sq_sum: f64 = allocations.iter().map(|x| x * x).sum();
+    if sq_sum <= 0.0 {
+        return 1.0;
+    }
+    sum * sum / (allocations.len() as f64 * sq_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_fair_is_one() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monopolised_is_one_over_n() {
+        let j = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intermediate_values() {
+        let j = jain_index(&[1.0, 2.0, 3.0, 4.0]);
+        // (10)²/(4·30) = 100/120.
+        assert!((j - 100.0 / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 5.0]);
+        let b = jain_index(&[10.0, 20.0, 50.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[7.0]) - 1.0).abs() < 1e-12);
+    }
+}

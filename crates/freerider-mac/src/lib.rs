@@ -1,0 +1,28 @@
+//! # freerider-mac
+//!
+//! The FreeRider MAC layer (§2.4 of the paper): a Framed-Slotted-Aloha
+//! random-access scheme coordinated by the excitation transmitter over the
+//! packet-length-modulation (PLM) control channel.
+//!
+//! * [`messages`] — the control-message wire format carried over PLM.
+//! * [`aloha`] — one round of framed slotted Aloha: slot selection and
+//!   outcome classification (empty / success / collision / capture).
+//! * [`coordinator`] — the transmitter-side slot-count adaptation
+//!   ("If the transmitter sees many collisions, it adds slots. It
+//!   decreases the number of slots if there are many un-utilized").
+//! * [`fairness`] — Jain's fairness index (Fig. 17b).
+//! * [`sim`] — the multi-round discrete-event simulator behind Fig. 17,
+//!   with both the Aloha scheme and the TDM comparison the paper uses as
+//!   its no-collision asymptote.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aloha;
+pub mod coordinator;
+pub mod fairness;
+pub mod messages;
+pub mod sim;
+
+pub use coordinator::Coordinator;
+pub use sim::{MacScheme, NetworkConfig, NetworkSim, RoundStats, SimReport};

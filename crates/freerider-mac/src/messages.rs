@@ -1,0 +1,143 @@
+//! Control messages carried transmitter → tags over PLM.
+//!
+//! Wire format (10 bits, keeping PLM airtime ≈ 20 ms at ~500 bps):
+//! `type(2) | n_slots(6, 1..=64 encoded as n−1) | parity(2)`.
+
+/// A transmitter-to-tag control message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlMessage {
+    /// Start a round with the given number of slots (1..=64).
+    RoundStart {
+        /// Slots in the round.
+        n_slots: u16,
+    },
+    /// Stop all backscatter activity.
+    Stop,
+}
+
+/// Length of an encoded control message in bits.
+pub const MESSAGE_BITS: usize = 10;
+
+/// Errors decoding a control message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageError {
+    /// Wrong number of bits.
+    BadLength(usize),
+    /// Parity mismatch.
+    BadParity,
+    /// Unknown type code.
+    BadType(u8),
+}
+
+impl std::fmt::Display for MessageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MessageError::BadLength(n) => write!(f, "control message of {n} bits (need {MESSAGE_BITS})"),
+            MessageError::BadParity => write!(f, "control message parity mismatch"),
+            MessageError::BadType(t) => write!(f, "unknown control message type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for MessageError {}
+
+impl ControlMessage {
+    /// Encodes to [`MESSAGE_BITS`] bits.
+    ///
+    /// # Panics
+    /// Panics if `n_slots` is outside 1..=64.
+    pub fn encode(&self) -> Vec<u8> {
+        let (ty, payload): (u8, u8) = match *self {
+            ControlMessage::RoundStart { n_slots } => {
+                assert!((1..=64).contains(&n_slots), "n_slots 1..=64");
+                (0b01, (n_slots - 1) as u8)
+            }
+            ControlMessage::Stop => (0b10, 0),
+        };
+        let mut bits = Vec::with_capacity(MESSAGE_BITS);
+        bits.push((ty >> 1) & 1);
+        bits.push(ty & 1);
+        for i in (0..6).rev() {
+            bits.push((payload >> i) & 1);
+        }
+        // Two parity bits: over even- and odd-indexed content bits.
+        let even: u8 = bits.iter().step_by(2).sum::<u8>() & 1;
+        let odd: u8 = bits.iter().skip(1).step_by(2).sum::<u8>() & 1;
+        bits.push(even);
+        bits.push(odd);
+        bits
+    }
+
+    /// Decodes from bits.
+    pub fn decode(bits: &[u8]) -> Result<ControlMessage, MessageError> {
+        if bits.len() != MESSAGE_BITS {
+            return Err(MessageError::BadLength(bits.len()));
+        }
+        let content = &bits[..8];
+        let even: u8 = content.iter().step_by(2).map(|b| b & 1).sum::<u8>() & 1;
+        let odd: u8 = content.iter().skip(1).step_by(2).map(|b| b & 1).sum::<u8>() & 1;
+        if even != (bits[8] & 1) || odd != (bits[9] & 1) {
+            return Err(MessageError::BadParity);
+        }
+        let ty = ((bits[0] & 1) << 1) | (bits[1] & 1);
+        let mut payload = 0u8;
+        for &b in &bits[2..8] {
+            payload = (payload << 1) | (b & 1);
+        }
+        match ty {
+            0b01 => Ok(ControlMessage::RoundStart {
+                n_slots: payload as u16 + 1,
+            }),
+            0b10 => Ok(ControlMessage::Stop),
+            t => Err(MessageError::BadType(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_slot_counts() {
+        for n in 1..=64u16 {
+            let m = ControlMessage::RoundStart { n_slots: n };
+            assert_eq!(ControlMessage::decode(&m.encode()), Ok(m));
+        }
+        let s = ControlMessage::Stop;
+        assert_eq!(ControlMessage::decode(&s.encode()), Ok(s));
+    }
+
+    #[test]
+    fn parity_detects_single_flips() {
+        let bits = ControlMessage::RoundStart { n_slots: 12 }.encode();
+        for i in 0..8 {
+            let mut b = bits.clone();
+            b[i] ^= 1;
+            assert_eq!(ControlMessage::decode(&b), Err(MessageError::BadParity), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert_eq!(
+            ControlMessage::decode(&[0; 9]),
+            Err(MessageError::BadLength(9))
+        );
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        // type 00 with matching parity.
+        let mut bits = vec![0u8; 10];
+        bits[8] = 0;
+        bits[9] = 0;
+        assert_eq!(ControlMessage::decode(&bits), Err(MessageError::BadType(0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversize_slot_count_panics() {
+        let _ = ControlMessage::RoundStart { n_slots: 65 }.encode();
+    }
+}

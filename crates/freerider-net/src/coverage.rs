@@ -1,0 +1,151 @@
+//! Coverage maps: where in a site can a tag live?
+//!
+//! Sweeps a grid of candidate tag positions and computes the expected tag
+//! rate at the best receiver for each — the planning artefact a FreeRider
+//! operator would pin to the wall.
+
+use crate::deployment::Deployment;
+use crate::link::LinkModel;
+use freerider_channel::geometry::Point;
+
+/// A rectangular coverage grid.
+#[derive(Debug, Clone)]
+pub struct CoverageMap {
+    /// Lower-left corner.
+    pub origin: Point,
+    /// Cell size, metres.
+    pub cell_m: f64,
+    /// Columns.
+    pub cols: usize,
+    /// Rows.
+    pub rows: usize,
+    /// Expected tag rate per cell, bits/second (row-major, row 0 at the
+    /// *top* of the rendered map = largest y).
+    pub rate_bps: Vec<f64>,
+}
+
+/// Computes the coverage map of `d` over the rectangle from `origin`
+/// (lower-left) spanning `cols × rows` cells of `cell_m` metres.
+pub fn coverage_map(
+    d: &Deployment,
+    model: &LinkModel,
+    origin: Point,
+    cell_m: f64,
+    cols: usize,
+    rows: usize,
+) -> CoverageMap {
+    assert!(cell_m > 0.0 && cols > 0 && rows > 0);
+    let mut rate_bps = Vec::with_capacity(cols * rows);
+    for r in 0..rows {
+        let y = origin.y + (rows - 1 - r) as f64 * cell_m + cell_m / 2.0;
+        for c in 0..cols {
+            let x = origin.x + c as f64 * cell_m + cell_m / 2.0;
+            rate_bps.push(model.expected_rate(d, Point::new(x, y), -36.5));
+        }
+    }
+    CoverageMap {
+        origin,
+        cell_m,
+        cols,
+        rows,
+        rate_bps,
+    }
+}
+
+impl CoverageMap {
+    /// Fraction of cells with expected rate above `threshold_bps`.
+    pub fn covered_fraction(&self, threshold_bps: f64) -> f64 {
+        let n = self.rate_bps.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.rate_bps.iter().filter(|&&r| r >= threshold_bps).count() as f64 / n as f64
+    }
+
+    /// Renders the map as ASCII art: ' ' dead, '.' marginal, then
+    /// increasingly dense glyphs toward full rate.
+    pub fn render(&self, d: &Deployment) -> String {
+        let glyphs = b" .:-=+*#@";
+        let max = self
+            .rate_bps
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        let mut out = String::new();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let x = self.origin.x + c as f64 * self.cell_m + self.cell_m / 2.0;
+                let y = self.origin.y + (self.rows - 1 - r) as f64 * self.cell_m + self.cell_m / 2.0;
+                let p = Point::new(x, y);
+                // Mark infrastructure.
+                if p.distance(&d.exciter.position) < self.cell_m * 0.75 {
+                    out.push('T');
+                    continue;
+                }
+                if d
+                    .receivers
+                    .iter()
+                    .any(|rx| p.distance(&rx.position) < self.cell_m * 0.75)
+                {
+                    out.push('R');
+                    continue;
+                }
+                let rate = self.rate_bps[r * self.cols + c];
+                let idx = ((rate / max).sqrt() * (glyphs.len() - 1) as f64).round() as usize;
+                out.push(glyphs[idx.min(glyphs.len() - 1)] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Deployment;
+
+    #[test]
+    fn coverage_is_centred_on_the_exciter() {
+        // One exciter at the origin with receivers flanking it: the region
+        // near the exciter is covered (the tag-power bound), far corners
+        // are not.
+        let d = Deployment::open_plan()
+            .with_receiver(3.0, 0.0)
+            .with_receiver(-3.0, 0.0);
+        let m = LinkModel::default();
+        let map = coverage_map(&d, &m, Point::new(-10.0, -10.0), 1.0, 20, 20);
+        // Centre cell (just off the exciter) is hot.
+        let centre = m.expected_rate(&d, Point::new(1.5, 0.5), -36.5);
+        assert!(centre > 50e3, "centre {centre}");
+        // Far corner is dead (tag cannot be powered at ~14 m).
+        let corner = map.rate_bps[0];
+        assert_eq!(corner, 0.0);
+        // Coverage fraction is between the extremes.
+        let f = map.covered_fraction(30e3);
+        assert!(f > 0.05 && f < 0.9, "covered {f}");
+    }
+
+    #[test]
+    fn render_shape_and_markers() {
+        let d = Deployment::open_plan().with_receiver(2.0, 0.0);
+        let m = LinkModel::default();
+        let map = coverage_map(&d, &m, Point::new(-5.0, -5.0), 1.0, 10, 10);
+        let art = map.render(&d);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.chars().count() == 10));
+        assert!(art.contains('T'), "exciter marker");
+        assert!(art.contains('R'), "receiver marker");
+    }
+
+    #[test]
+    fn covered_fraction_bounds() {
+        let d = Deployment::open_plan().with_receiver(2.0, 0.0);
+        let m = LinkModel::default();
+        let map = coverage_map(&d, &m, Point::new(-4.0, -4.0), 1.0, 8, 8);
+        assert!(map.covered_fraction(0.0) >= map.covered_fraction(60e3));
+        assert!(map.covered_fraction(f64::INFINITY) == 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! The deployment scene.
+
+use freerider_channel::geometry::{Point, Site};
+use freerider_channel::PathLoss;
+
+/// The excitation radio (the paper's "exciting radio": an AP, a laptop,
+/// or a phone doing productive traffic).
+#[derive(Debug, Clone, Copy)]
+pub struct Exciter {
+    /// Position.
+    pub position: Point,
+    /// Transmit power, dBm.
+    pub tx_power_dbm: f64,
+}
+
+/// A backscatter receiver (an AP on the adjacent channel, backhaul
+/// connected per Fig. 1).
+#[derive(Debug, Clone, Copy)]
+pub struct ReceiverNode {
+    /// Position.
+    pub position: Point,
+    /// Sync sensitivity, dBm (−94 for the WiFi receiver class).
+    pub sensitivity_dbm: f64,
+}
+
+/// A deployed tag.
+#[derive(Debug, Clone, Copy)]
+pub struct TagNode {
+    /// Position.
+    pub position: Point,
+    /// Minimum excitation power for the tag front end, dBm (−36.5 per the
+    /// Fig. 14 calibration).
+    pub sensitivity_dbm: f64,
+}
+
+impl TagNode {
+    /// A tag with the standard front-end threshold.
+    pub fn at(x: f64, y: f64) -> Self {
+        TagNode {
+            position: Point::new(x, y),
+            sensitivity_dbm: -36.5,
+        }
+    }
+}
+
+/// A complete deployment.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// Site geometry and propagation.
+    pub site: Site,
+    /// The exciting radio.
+    pub exciter: Exciter,
+    /// Backscatter receivers.
+    pub receivers: Vec<ReceiverNode>,
+    /// Tags.
+    pub tags: Vec<TagNode>,
+    /// Backscatter conversion loss, dB (Γ efficiency + sideband split).
+    pub backscatter_loss_db: f64,
+}
+
+impl Deployment {
+    /// An empty open-plan deployment with the paper's hallway propagation
+    /// and an 11 dBm exciter at the origin.
+    pub fn open_plan() -> Self {
+        Deployment {
+            site: Site::open(PathLoss::new(35.0, 1.75)),
+            exciter: Exciter {
+                position: Point::new(0.0, 0.0),
+                tx_power_dbm: 11.0,
+            },
+            receivers: Vec::new(),
+            tags: Vec::new(),
+            backscatter_loss_db: freerider_channel::budget::SIDEBAND_LOSS_DB + 2.1,
+        }
+    }
+
+    /// Adds a receiver (builder style).
+    pub fn with_receiver(mut self, x: f64, y: f64) -> Self {
+        self.receivers.push(ReceiverNode {
+            position: Point::new(x, y),
+            sensitivity_dbm: -94.0,
+        });
+        self
+    }
+
+    /// Adds a tag (builder style).
+    pub fn with_tag(mut self, x: f64, y: f64) -> Self {
+        self.tags.push(TagNode::at(x, y));
+        self
+    }
+
+    /// Excitation power arriving at a point, dBm.
+    pub fn power_at(&self, p: Point) -> f64 {
+        self.exciter.tx_power_dbm - self.site.loss_db(self.exciter.position, p)
+    }
+
+    /// Backscatter RSSI from a tag position to a receiver position, dBm.
+    pub fn backscatter_rssi(&self, tag: Point, rx: Point) -> f64 {
+        self.power_at(tag) - self.backscatter_loss_db - self.site.loss_db(tag, rx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freerider_channel::geometry::Wall;
+
+    #[test]
+    fn open_plan_matches_the_calibrated_budget() {
+        // The 2D deployment with no walls must reproduce the 1D budget.
+        let d = Deployment::open_plan().with_receiver(3.0, 0.0);
+        let budget = freerider_channel::BackscatterBudget::wifi_los();
+        let tag = Point::new(1.0, 0.0);
+        let rssi_2d = d.backscatter_rssi(tag, d.receivers[0].position);
+        let rssi_1d = budget.rssi_dbm(1.0, 2.0);
+        assert!((rssi_2d - rssi_1d).abs() < 1e-9, "{rssi_2d} vs {rssi_1d}");
+    }
+
+    #[test]
+    fn walls_attenuate_geometrically() {
+        let mut d = Deployment::open_plan().with_receiver(10.0, 0.0);
+        let tag = Point::new(2.0, 0.0);
+        let open = d.backscatter_rssi(tag, d.receivers[0].position);
+        d.site = d.site.clone().with_wall(Wall::new(
+            Point::new(5.0, -5.0),
+            Point::new(5.0, 5.0),
+            8.0,
+        ));
+        let walled = d.backscatter_rssi(tag, d.receivers[0].position);
+        assert!((open - walled - 8.0).abs() < 1e-9);
+        // The excitation path (0→2 m) doesn't cross the wall.
+        assert!((d.power_at(tag) - (11.0 - 35.0 - 17.5 * 2.0f64.log10())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_accumulates_nodes() {
+        let d = Deployment::open_plan()
+            .with_receiver(1.0, 0.0)
+            .with_receiver(2.0, 0.0)
+            .with_tag(0.5, 0.5);
+        assert_eq!(d.receivers.len(), 2);
+        assert_eq!(d.tags.len(), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! # freerider-net
+//!
+//! Deployment-scale simulation of FreeRider networks: the "office
+//! setting" of the paper's Fig. 1 — a smartphone or AP as the exciting
+//! radio, WiFi APs as backscatter receivers connected by an Ethernet
+//! backhaul, and a population of tags scattered through a floor plan.
+//!
+//! Where `freerider-core` simulates individual links at the IQ-sample
+//! level, this crate answers the questions an operator asks before
+//! deploying: *will a tag at this desk reach any receiver? how many tags
+//! can one exciter serve? what report latency should I expect?* It runs
+//! on top of 2D geometry ([`freerider_channel::geometry`]) and link
+//! response curves calibrated against the workspace's own IQ-level
+//! results (see [`link::LinkModel`]).
+//!
+//! * [`deployment`] — the scene: site geometry, exciter, receivers, tags.
+//! * [`link`] — geometric link budgets → PRR/rate response curves.
+//! * [`sim`] — the multi-round network simulator (PLM reach, Framed
+//!   Slotted Aloha, best-receiver decoding, latency accounting).
+//! * [`coverage`] — tag-placement coverage maps with ASCII rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod deployment;
+pub mod link;
+pub mod sim;
+
+pub use deployment::{Deployment, Exciter, ReceiverNode, TagNode};
+pub use link::LinkModel;
+pub use sim::{DeploymentReport, DeploymentSim};

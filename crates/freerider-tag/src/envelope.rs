@@ -1,0 +1,216 @@
+//! The tag's envelope detector.
+//!
+//! Models the LT5534 + comparator chain of the prototype (§3.1): the RF
+//! input is rectified (|z|²), smoothed by an RC low-pass, and compared
+//! against a reference voltage. The paper measured a 0.35 µs delay between
+//! the excitation signal's true start and the detector's indication, and
+//! found performance does not degrade because of it — the model reproduces
+//! the delay via the RC settling time.
+//!
+//! Low-power envelope detectors consume < 1 µW (§2.4.2, citing ref. 20),
+//! which is what makes PLM viable as a tag-side control channel.
+
+use freerider_dsp::fir::RcLowPass;
+use freerider_dsp::Complex;
+
+/// Envelope detector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvelopeConfig {
+    /// Sample rate of the incoming IQ stream, Hz.
+    pub sample_rate: f64,
+    /// RC time constant, seconds. The prototype's measured 0.35 µs
+    /// detection latency corresponds to τ ≈ 0.15 µs (detection at
+    /// ~90 % settling).
+    pub tau_s: f64,
+    /// Comparator threshold, in linear power units (mW). The paper's
+    /// "reference voltage of 1.8 V" maps onto this detection threshold;
+    /// raising it trades range for noise immunity (§2.4.2).
+    pub threshold_mw: f64,
+    /// Comparator hysteresis as a fraction of the threshold.
+    pub hysteresis: f64,
+}
+
+impl Default for EnvelopeConfig {
+    fn default() -> Self {
+        EnvelopeConfig {
+            sample_rate: 20e6,
+            tau_s: 0.15e-6,
+            threshold_mw: 1e-7, // −70 dBm
+            hysteresis: 0.5,
+        }
+    }
+}
+
+/// The envelope detector.
+#[derive(Debug, Clone)]
+pub struct EnvelopeDetector {
+    config: EnvelopeConfig,
+    rc: RcLowPass,
+    state: bool,
+}
+
+/// A detected RF pulse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pulse {
+    /// Sample index where the comparator fired.
+    pub start: usize,
+    /// Pulse duration in seconds.
+    pub duration_s: f64,
+}
+
+impl EnvelopeDetector {
+    /// Creates a detector.
+    pub fn new(config: EnvelopeConfig) -> Self {
+        let rc = RcLowPass::new(config.tau_s, 1.0 / config.sample_rate);
+        EnvelopeDetector {
+            config,
+            rc,
+            state: false,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EnvelopeConfig {
+        &self.config
+    }
+
+    /// Processes an IQ stream, returning the comparator output per sample.
+    pub fn detect(&mut self, iq: &[Complex]) -> Vec<bool> {
+        let on = self.config.threshold_mw;
+        let off = on * (1.0 - self.config.hysteresis);
+        iq.iter()
+            .map(|z| {
+                let env = self.rc.step(z.norm_sqr());
+                if self.state {
+                    if env < off {
+                        self.state = false;
+                    }
+                } else if env > on {
+                    self.state = true;
+                }
+                self.state
+            })
+            .collect()
+    }
+
+    /// Processes an IQ stream and extracts pulses (rising edge → falling
+    /// edge). A pulse still high at the end of the buffer is discarded —
+    /// its duration is unknown.
+    pub fn pulses(&mut self, iq: &[Complex]) -> Vec<Pulse> {
+        let gate = self.detect(iq);
+        let mut pulses = Vec::new();
+        let mut start = None;
+        for (n, &g) in gate.iter().enumerate() {
+            match (start, g) {
+                (None, true) => start = Some(n),
+                (Some(s), false) => {
+                    pulses.push(Pulse {
+                        start: s,
+                        duration_s: (n - s) as f64 / self.config.sample_rate,
+                    });
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        pulses
+    }
+
+    /// Resets the detector state.
+    pub fn reset(&mut self) {
+        self.rc.reset();
+        self.state = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freerider_dsp::noise::NoiseSource;
+
+    fn burst(pre: usize, len: usize, post: usize, amp: f64) -> Vec<Complex> {
+        let mut v = vec![Complex::ZERO; pre];
+        v.extend(vec![Complex::new(amp, 0.0); len]);
+        v.extend(vec![Complex::ZERO; post]);
+        v
+    }
+
+    #[test]
+    fn detects_a_burst_with_sub_microsecond_latency() {
+        let mut det = EnvelopeDetector::new(EnvelopeConfig {
+            threshold_mw: 0.5,
+            ..EnvelopeConfig::default()
+        });
+        let iq = burst(100, 2000, 100, 1.0);
+        let gate = det.detect(&iq);
+        let rise = gate.iter().position(|&g| g).expect("must fire");
+        // The paper's measured latency is 0.35 µs = 7 samples at 20 Msps.
+        let latency_s = (rise - 100) as f64 / 20e6;
+        assert!(latency_s <= 0.5e-6, "latency {latency_s}");
+        assert!(latency_s > 0.0, "RC must introduce some delay");
+    }
+
+    #[test]
+    fn pulse_duration_is_measured_accurately() {
+        let mut det = EnvelopeDetector::new(EnvelopeConfig {
+            threshold_mw: 0.5,
+            ..EnvelopeConfig::default()
+        });
+        // 1000 µs pulse = 20000 samples.
+        let iq = burst(500, 20_000, 500, 1.0);
+        let pulses = det.pulses(&iq);
+        assert_eq!(pulses.len(), 1);
+        let err = (pulses[0].duration_s - 1e-3).abs();
+        assert!(err < 1e-6, "duration error {err}");
+    }
+
+    #[test]
+    fn below_threshold_stays_silent() {
+        let mut det = EnvelopeDetector::new(EnvelopeConfig {
+            threshold_mw: 0.5,
+            ..EnvelopeConfig::default()
+        });
+        let iq = burst(100, 1000, 100, 0.5); // power 0.25 < 0.5
+        assert!(det.pulses(&iq).is_empty());
+    }
+
+    #[test]
+    fn hysteresis_rides_through_fades() {
+        let mut det = EnvelopeDetector::new(EnvelopeConfig {
+            threshold_mw: 0.5,
+            hysteresis: 0.6,
+            ..EnvelopeConfig::default()
+        });
+        // A burst whose middle dips to 70 % power (above the 0.2 off level).
+        let mut iq = burst(100, 3000, 100, 1.0);
+        for z in iq[1500..1600].iter_mut() {
+            *z = Complex::new(0.7f64.sqrt(), 0.0);
+        }
+        let pulses = det.pulses(&iq);
+        assert_eq!(pulses.len(), 1, "fade must not split the pulse");
+    }
+
+    #[test]
+    fn noise_robustness() {
+        let mut det = EnvelopeDetector::new(EnvelopeConfig {
+            threshold_mw: 0.3,
+            ..EnvelopeConfig::default()
+        });
+        let mut iq = burst(2000, 10_000, 2000, 1.0);
+        NoiseSource::new(3, 0.02).add_to(&mut iq);
+        let pulses = det.pulses(&iq);
+        assert_eq!(pulses.len(), 1);
+        assert!((pulses[0].duration_s - 10_000.0 / 20e6).abs() < 2e-6);
+    }
+
+    #[test]
+    fn unterminated_pulse_is_dropped() {
+        let mut det = EnvelopeDetector::new(EnvelopeConfig {
+            threshold_mw: 0.5,
+            ..EnvelopeConfig::default()
+        });
+        let mut iq = vec![Complex::ZERO; 100];
+        iq.extend(vec![Complex::ONE; 1000]); // never falls
+        assert!(det.pulses(&iq).is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! The antenna impedance bank and reflection coefficients.
+//!
+//! §2.1 of the paper: backscattered signal strength is a function of
+//! `Γ = (Z_T − Z_A*) / (Z_A + Z_T)` where `Z_A` is the antenna impedance
+//! and `Z_T` the terminating impedance. Traditional tags switch between
+//! `Z_T = Z_A` (matched, absorb → Γ=0) and `Z_T = 0` (short, reflect →
+//! |Γ|=1); FreeRider's tag switches across *multiple* impedances to fine
+//! tune the backscattered amplitude.
+
+use freerider_dsp::Complex;
+
+/// A complex impedance in ohms.
+pub type Impedance = Complex;
+
+/// Reflection coefficient for a terminating impedance `zt` on an antenna
+/// of impedance `za`: `Γ = (Z_T − Z_A*) / (Z_A + Z_T)`.
+pub fn reflection_coefficient(za: Impedance, zt: Impedance) -> Complex {
+    (zt - za.conj()) / (za + zt)
+}
+
+/// A bank of terminating impedances selectable by the tag's RF switch.
+#[derive(Debug, Clone)]
+pub struct ImpedanceBank {
+    antenna: Impedance,
+    states: Vec<Impedance>,
+}
+
+impl ImpedanceBank {
+    /// Creates a bank for an antenna of impedance `antenna`.
+    ///
+    /// # Panics
+    /// Panics if `states` is empty.
+    pub fn new(antenna: Impedance, states: Vec<Impedance>) -> Self {
+        assert!(!states.is_empty(), "need at least one impedance state");
+        ImpedanceBank { antenna, states }
+    }
+
+    /// The classic two-state tag on a 50 Ω antenna: matched (absorb) and
+    /// short (full reflect).
+    pub fn binary_50ohm() -> Self {
+        ImpedanceBank::new(
+            Complex::new(50.0, 0.0),
+            vec![Complex::new(50.0, 0.0), Complex::ZERO],
+        )
+    }
+
+    /// A multi-level bank giving graded |Γ| values, for fine amplitude
+    /// control (§2.1: "our tag switches across multiple impedances to fine
+    /// tune the amplitude").
+    pub fn multilevel_50ohm(levels: usize) -> Self {
+        assert!(levels >= 2);
+        // Resistive terminations from short (0 Ω) to matched (50 Ω).
+        let states = (0..levels)
+            .map(|k| Complex::new(50.0 * k as f64 / (levels - 1) as f64, 0.0))
+            .collect();
+        ImpedanceBank::new(Complex::new(50.0, 0.0), states)
+    }
+
+    /// Number of selectable states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the bank is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Γ for state `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn gamma(&self, idx: usize) -> Complex {
+        reflection_coefficient(self.antenna, self.states[idx])
+    }
+
+    /// All |Γ| magnitudes, in state order.
+    pub fn amplitudes(&self) -> Vec<f64> {
+        (0..self.states.len()).map(|i| self.gamma(i).abs()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matched_load_absorbs() {
+        let g = reflection_coefficient(Complex::new(50.0, 0.0), Complex::new(50.0, 0.0));
+        assert!(g.abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_reflects_fully_inverted() {
+        let g = reflection_coefficient(Complex::new(50.0, 0.0), Complex::ZERO);
+        assert!((g.abs() - 1.0).abs() < 1e-12);
+        assert!((g.arg().abs() - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_reflects_fully_in_phase() {
+        let g = reflection_coefficient(Complex::new(50.0, 0.0), Complex::new(1e12, 0.0));
+        assert!((g.re - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reactive_termination_rotates_phase() {
+        // A purely reactive load reflects |Γ| = 1 at a nonzero angle —
+        // the mechanism behind fine phase control.
+        let g = reflection_coefficient(Complex::new(50.0, 0.0), Complex::new(0.0, 50.0));
+        assert!((g.abs() - 1.0).abs() < 1e-12);
+        assert!(g.arg().abs() > 0.1 && g.arg().abs() < std::f64::consts::PI - 0.1);
+    }
+
+    #[test]
+    fn binary_bank_has_absorb_and_reflect() {
+        let bank = ImpedanceBank::binary_50ohm();
+        let amps = bank.amplitudes();
+        assert!(amps[0] < 1e-12);
+        assert!((amps[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multilevel_bank_is_monotonic() {
+        let bank = ImpedanceBank::multilevel_50ohm(5);
+        let amps = bank.amplitudes();
+        assert_eq!(amps.len(), 5);
+        for w in amps.windows(2) {
+            assert!(w[0] > w[1], "|Γ| must fall as Z_T approaches match");
+        }
+        assert!((amps[0] - 1.0).abs() < 1e-12); // short
+        assert!(amps[4] < 1e-12); // matched
+    }
+
+    #[test]
+    fn passivity() {
+        // A passive termination can never reflect more than arrived.
+        for r in [0.0, 10.0, 50.0, 200.0, 1e6] {
+            for x in [-100.0, 0.0, 100.0] {
+                let g = reflection_coefficient(Complex::new(50.0, 0.0), Complex::new(r, x));
+                assert!(g.abs() <= 1.0 + 1e-9, "|Γ| = {} for {r}+{x}j", g.abs());
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # freerider-wifi
+//!
+//! A complete software 802.11g (OFDM / "ERP-OFDM") physical layer:
+//! transmitter and receiver operating on complex baseband IQ at 20 Msps.
+//!
+//! This is the excitation-and-reception substrate for FreeRider's WiFi
+//! experiments (paper §2.3.1, §3.2.1, §4.2.1). The PHY is implemented per
+//! IEEE 802.11-2012 clause 18:
+//!
+//! * [`rates::Mcs`] — the eight 20 MHz OFDM rates (6–54 Mbps).
+//! * [`mapping`] — BPSK/QPSK/16-QAM/64-QAM constellation mapping.
+//! * [`ofdm`] — 64-subcarrier symbol assembly (48 data + 4 pilots),
+//!   IFFT and cyclic prefix.
+//! * [`preamble`] — the short (STF) and long (LTF) training fields.
+//! * [`plcp`] — the SIGNAL field.
+//! * [`frame`] — a minimal MPDU (header + payload + FCS) wrapper.
+//! * [`tx::Transmitter`] / [`rx::Receiver`] — the full chains.
+//!
+//! ## Receiver behaviour FreeRider depends on
+//!
+//! [`rx::RxConfig::phase_tracking`] defaults to
+//! [`rx::PhaseTracking::DecisionDirected`], mirroring the Broadcom
+//! BCM43xx receivers used in the paper (§3.2.1: "many WiFi chips … do not
+//! use pilot tones for phase error correction"): residual carrier drift
+//! is tracked blindly to π rotations, so the tag's phase flips survive.
+//! [`rx::PhaseTracking::FullPilot`] would rotate away exactly the phase
+//! offset the tag uses to carry its data — an ablation the bench suite
+//! measures (`ablation-pilots`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod mapping;
+pub mod ofdm;
+pub mod plcp;
+pub mod preamble;
+pub mod rates;
+pub mod rx;
+pub mod tx;
+
+pub use frame::Mpdu;
+pub use rates::Mcs;
+pub use rx::{PhaseTracking, Receiver, RxConfig, RxError, RxPacket};
+pub use tx::{Transmitter, TxConfig};
+
+/// Baseband sample rate of the 20 MHz OFDM PHY, samples/second.
+pub const SAMPLE_RATE: f64 = 20e6;
+
+/// OFDM symbol duration in samples (3.2 µs useful + 0.8 µs cyclic prefix).
+pub const SYMBOL_LEN: usize = 80;
+
+/// FFT size (number of subcarriers).
+pub const FFT_SIZE: usize = 64;
+
+/// Cyclic prefix length in samples.
+pub const CP_LEN: usize = 16;
+
+/// Number of data subcarriers per symbol.
+pub const N_DATA_CARRIERS: usize = 48;
+
+/// Duration of the PLCP preamble (STF + LTF) in samples (16 µs).
+pub const PREAMBLE_LEN: usize = 320;

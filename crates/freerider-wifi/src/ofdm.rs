@@ -1,0 +1,192 @@
+//! OFDM symbol assembly and disassembly.
+//!
+//! 64 subcarriers at 312.5 kHz spacing: 48 data, 4 pilots (±7, ±21), a null
+//! at DC and 11 guard carriers. Useful symbol 64 samples (3.2 µs) plus a
+//! 16-sample cyclic prefix (0.8 µs).
+
+use crate::{CP_LEN, FFT_SIZE, N_DATA_CARRIERS};
+use freerider_dsp::{fft, Complex};
+
+/// Logical subcarrier indices (−26..=26 excluding 0, ±7, ±21) of the 48
+/// data carriers, in modulation order per the standard.
+pub const DATA_CARRIERS: [i32; N_DATA_CARRIERS] = [
+    -26, -25, -24, -23, -22, -20, -19, -18, -17, -16, -15, -14, -13, -12, -11, -10, -9, -8, -6,
+    -5, -4, -3, -2, -1, 1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 22,
+    23, 24, 25, 26,
+];
+
+/// Pilot subcarrier indices.
+pub const PILOT_CARRIERS: [i32; 4] = [-21, -7, 7, 21];
+
+/// Base pilot values on (−21, −7, +7, +21) before polarity scrambling.
+pub const PILOT_VALUES: [f64; 4] = [1.0, 1.0, 1.0, -1.0];
+
+/// The 127-element pilot polarity sequence p₀…p₁₂₆ (IEEE 802.11-2012
+/// §18.3.5.10): the scrambler sequence for the all-ones seed, mapped
+/// 0→+1, 1→−1. Generated once at startup.
+pub fn pilot_polarity() -> [f64; 127] {
+    // x⁷+x⁴+1 LFSR from state 1111111 — reuse the identical recurrence.
+    let mut state: u8 = 0x7F;
+    let mut out = [0.0f64; 127];
+    for slot in out.iter_mut() {
+        let x = ((state >> 3) ^ (state >> 6)) & 1;
+        state = ((state << 1) | x) & 0x7F;
+        *slot = if x == 1 { -1.0 } else { 1.0 };
+    }
+    out
+}
+
+/// Converts a logical subcarrier index (−32..=31) to an FFT bin (0..=63).
+#[inline]
+pub fn carrier_to_bin(carrier: i32) -> usize {
+    ((carrier + FFT_SIZE as i32) % FFT_SIZE as i32) as usize
+}
+
+/// Assembles one time-domain OFDM symbol (with cyclic prefix) from 48 data
+/// constellation points.
+///
+/// `pilot_polarity` is pₙ for this symbol (+1 or −1).
+///
+/// # Panics
+/// Panics if `data.len() != 48`.
+pub fn modulate_symbol(data: &[Complex], pilot_polarity: f64) -> Vec<Complex> {
+    assert_eq!(data.len(), N_DATA_CARRIERS, "need 48 data carriers");
+    let mut freq = vec![Complex::ZERO; FFT_SIZE];
+    for (i, &c) in DATA_CARRIERS.iter().enumerate() {
+        freq[carrier_to_bin(c)] = data[i];
+    }
+    for (i, &c) in PILOT_CARRIERS.iter().enumerate() {
+        freq[carrier_to_bin(c)] = Complex::new(PILOT_VALUES[i] * pilot_polarity, 0.0);
+    }
+    fft::ifft(&mut freq).expect("64 is a power of two");
+    // Scale so total symbol power is comparable across symbols: the IFFT's
+    // 1/N normalisation leaves per-sample power = (52/64)/64; rescale to
+    // mean unit sample power for 52 active carriers of unit power.
+    let scale = (FFT_SIZE * FFT_SIZE) as f64 / 52.0;
+    let scale = scale.sqrt();
+    let mut sym = Vec::with_capacity(FFT_SIZE + CP_LEN);
+    sym.extend_from_slice(&freq[FFT_SIZE - CP_LEN..]);
+    sym.extend_from_slice(&freq);
+    for s in sym.iter_mut() {
+        *s = s.scale(scale);
+    }
+    sym
+}
+
+/// Extracted frequency-domain contents of one received OFDM symbol.
+#[derive(Debug, Clone)]
+pub struct SymbolCarriers {
+    /// The 48 data-carrier values (un-equalized).
+    pub data: [Complex; N_DATA_CARRIERS],
+    /// The 4 pilot-carrier values (un-equalized).
+    pub pilots: [Complex; 4],
+}
+
+/// Disassembles one received symbol: strips the cyclic prefix, FFTs, and
+/// extracts data and pilot carriers.
+///
+/// # Panics
+/// Panics if `samples.len() != 80`.
+pub fn demodulate_symbol(samples: &[Complex]) -> SymbolCarriers {
+    assert_eq!(samples.len(), FFT_SIZE + CP_LEN, "need one 80-sample symbol");
+    let mut freq: Vec<Complex> = samples[CP_LEN..].to_vec();
+    fft::fft(&mut freq).expect("64 is a power of two");
+    let mut data = [Complex::ZERO; N_DATA_CARRIERS];
+    for (i, &c) in DATA_CARRIERS.iter().enumerate() {
+        data[i] = freq[carrier_to_bin(c)];
+    }
+    let mut pilots = [Complex::ZERO; 4];
+    for (i, &c) in PILOT_CARRIERS.iter().enumerate() {
+        pilots[i] = freq[carrier_to_bin(c)];
+    }
+    SymbolCarriers { data, pilots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carrier_layout_is_consistent() {
+        // 48 data + 4 pilots, no duplicates, none at DC or guards.
+        let mut all: Vec<i32> = DATA_CARRIERS.to_vec();
+        all.extend_from_slice(&PILOT_CARRIERS);
+        assert_eq!(all.len(), 52);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 52, "duplicate carriers");
+        assert!(!all.contains(&0), "DC must be null");
+        assert!(all.iter().all(|&c| (-26..=26).contains(&c)));
+    }
+
+    #[test]
+    fn modulate_demodulate_round_trip() {
+        let data: Vec<Complex> = (0..48)
+            .map(|i| Complex::cis(i as f64 * 0.7) * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let sym = modulate_symbol(&data, 1.0);
+        assert_eq!(sym.len(), 80);
+        let rx = demodulate_symbol(&sym);
+        // Round trip is exact up to the power scale factor.
+        let scale = rx.data[0].abs() / data[0].abs();
+        for (a, b) in rx.data.iter().zip(data.iter()) {
+            assert!((*a - b.scale(scale)).abs() < 1e-9);
+        }
+        // Pilots come back with the right signs.
+        assert!(rx.pilots[0].re > 0.0 && rx.pilots[3].re < 0.0);
+    }
+
+    #[test]
+    fn cyclic_prefix_is_a_copy_of_the_tail() {
+        let data: Vec<Complex> = (0..48).map(|i| Complex::cis(i as f64)).collect();
+        let sym = modulate_symbol(&data, 1.0);
+        for k in 0..CP_LEN {
+            assert!((sym[k] - sym[FFT_SIZE + k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_sample_power_is_unity() {
+        // With unit-power constellation points the time-domain symbol should
+        // have ~unit mean sample power (by Parseval and our scaling).
+        let data: Vec<Complex> = (0..48)
+            .map(|i| Complex::cis(1.3 * i as f64))
+            .collect();
+        let sym = modulate_symbol(&data, 1.0);
+        // Measure over the 64 useful samples: the CP repeats an arbitrary
+        // slice of the symbol, so including it biases the estimate.
+        let p: f64 = sym[CP_LEN..].iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
+        assert!((p - 1.0).abs() < 0.05, "power {p}");
+    }
+
+    #[test]
+    fn pilot_polarity_sequence_starts_correctly() {
+        // First 10 values per the standard: 1,1,1,1,-1,-1,-1,1,-1,-1 …
+        let p = pilot_polarity();
+        assert_eq!(
+            &p[..10],
+            &[1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, 1.0, -1.0, -1.0]
+        );
+        // Balanced: 63 ones of value −1 is impossible — maximal sequence has
+        // 64 of one sign.
+        let minus: usize = p.iter().filter(|&&v| v < 0.0).count();
+        assert_eq!(minus, 64);
+    }
+
+    #[test]
+    fn phase_rotation_commutes_with_ofdm() {
+        // Multiplying the time-domain symbol by e^{jθ} rotates every
+        // subcarrier by θ — the frequency-flat property a backscatter tag
+        // relies on (§2.3.1 of the paper).
+        let theta = std::f64::consts::PI;
+        let data: Vec<Complex> = (0..48).map(|i| Complex::cis(0.9 * i as f64)).collect();
+        let sym = modulate_symbol(&data, 1.0);
+        let rotated: Vec<Complex> = sym.iter().map(|&z| z * Complex::cis(theta)).collect();
+        let a = demodulate_symbol(&sym);
+        let b = demodulate_symbol(&rotated);
+        for (x, y) in a.data.iter().zip(b.data.iter()) {
+            assert!((*x * Complex::cis(theta) - *y).abs() < 1e-9);
+        }
+    }
+}

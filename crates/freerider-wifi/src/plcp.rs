@@ -1,0 +1,149 @@
+//! The SIGNAL field (PLCP header) of an 802.11 OFDM frame.
+//!
+//! One BPSK rate-1/2 OFDM symbol carrying 24 bits:
+//! `RATE(4) | reserved(1) | LENGTH(12, LSB first) | PARITY(1) | TAIL(6)`.
+//! The SIGNAL field is *not* scrambled.
+
+use crate::rates::Mcs;
+
+/// Maximum PSDU length encodable in the 12-bit LENGTH field.
+pub const MAX_PSDU_LEN: usize = 4095;
+
+/// Decoded SIGNAL field contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signal {
+    /// The DATA-portion rate.
+    pub rate: Mcs,
+    /// PSDU length in bytes.
+    pub length: usize,
+}
+
+/// Errors when parsing a SIGNAL field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalError {
+    /// The 4-bit RATE pattern is not one of the eight valid encodings.
+    BadRate,
+    /// Even-parity check over the first 17 bits failed.
+    BadParity,
+    /// The reserved bit was set.
+    ReservedSet,
+}
+
+impl std::fmt::Display for SignalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SignalError::BadRate => write!(f, "invalid RATE field"),
+            SignalError::BadParity => write!(f, "SIGNAL parity check failed"),
+            SignalError::ReservedSet => write!(f, "reserved bit set"),
+        }
+    }
+}
+
+impl std::error::Error for SignalError {}
+
+impl Signal {
+    /// Encodes the 24 SIGNAL bits (before convolutional coding).
+    ///
+    /// # Panics
+    /// Panics if `length > 4095`.
+    pub fn encode(&self) -> [u8; 24] {
+        assert!(self.length <= MAX_PSDU_LEN, "PSDU too long for SIGNAL");
+        let mut bits = [0u8; 24];
+        bits[..4].copy_from_slice(&self.rate.signal_rate_bits());
+        // bits[4] reserved = 0
+        for i in 0..12 {
+            bits[5 + i] = ((self.length >> i) & 1) as u8;
+        }
+        let parity: u8 = bits[..17].iter().sum::<u8>() & 1;
+        bits[17] = parity; // even parity
+        // bits[18..24] tail = 0
+        bits
+    }
+
+    /// Decodes 24 SIGNAL bits.
+    pub fn decode(bits: &[u8; 24]) -> Result<Signal, SignalError> {
+        let parity: u8 = bits[..18].iter().map(|b| b & 1).sum::<u8>() & 1;
+        if parity != 0 {
+            return Err(SignalError::BadParity);
+        }
+        if bits[4] & 1 != 0 {
+            return Err(SignalError::ReservedSet);
+        }
+        let rate = Mcs::from_signal_rate_bits([bits[0], bits[1], bits[2], bits[3]])
+            .ok_or(SignalError::BadRate)?;
+        let mut length = 0usize;
+        for i in 0..12 {
+            length |= ((bits[5 + i] & 1) as usize) << i;
+        }
+        Ok(Signal { rate, length })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_rates() {
+        for rate in Mcs::ALL {
+            for length in [0usize, 1, 100, 1500, 4095] {
+                let s = Signal { rate, length };
+                let bits = s.encode();
+                assert_eq!(Signal::decode(&bits), Ok(s));
+            }
+        }
+    }
+
+    #[test]
+    fn parity_detects_single_bit_error() {
+        let s = Signal {
+            rate: Mcs::Bpsk12,
+            length: 256,
+        };
+        let mut bits = s.encode();
+        bits[7] ^= 1;
+        assert!(matches!(
+            Signal::decode(&bits),
+            Err(SignalError::BadParity)
+        ));
+    }
+
+    #[test]
+    fn invalid_rate_rejected() {
+        let s = Signal {
+            rate: Mcs::Bpsk12,
+            length: 10,
+        };
+        let mut bits = s.encode();
+        // 0000 is not a valid rate; fix parity so the rate check is reached.
+        let flips = bits[0] + bits[1] + bits[2] + bits[3];
+        bits[0] = 0;
+        bits[1] = 0;
+        bits[2] = 0;
+        bits[3] = 0;
+        if flips % 2 == 1 {
+            bits[17] ^= 1;
+        }
+        assert_eq!(Signal::decode(&bits), Err(SignalError::BadRate));
+    }
+
+    #[test]
+    fn tail_bits_are_zero() {
+        let bits = Signal {
+            rate: Mcs::Qam64ThreeQuarters,
+            length: 4095,
+        }
+        .encode();
+        assert!(bits[18..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversize_length_panics() {
+        let _ = Signal {
+            rate: Mcs::Bpsk12,
+            length: 4096,
+        }
+        .encode();
+    }
+}

@@ -1,0 +1,718 @@
+//! The 802.11g OFDM receiver.
+//!
+//! Packet detection (Schmidl–Cox STF trigger + LTF fine timing), fine CFO
+//! estimation and correction, per-subcarrier channel estimation from the
+//! two long training symbols, equalisation, decision-directed phase
+//! tracking, channel-weighted soft demapping, deinterleaving, soft
+//! Viterbi decoding and descrambling.
+//!
+//! Two behaviours matter for FreeRider:
+//!
+//! 1. **Pilot phase tracking is off by default** — matching the Broadcom
+//!    BCM43xx receiver used in the paper (§3.2.1). With tracking on, the
+//!    common phase offset the tag injects is rotated away and the tag data
+//!    is destroyed; the workspace's `ablation-pilots` bench measures this.
+//! 2. **Monitor mode**: frames whose FCS fails are still returned (with
+//!    `fcs_valid == false`) because the backscatter copy of a frame has, by
+//!    design, a different bit stream than the excitation frame and hence a
+//!    broken FCS. This mirrors §3.1's use of `tcpdump` on bad-checksum
+//!    packets.
+
+use crate::mapping::soft_demap_symbols;
+use crate::ofdm::{carrier_to_bin, demodulate_symbol, pilot_polarity, DATA_CARRIERS, PILOT_CARRIERS, PILOT_VALUES};
+use crate::plcp::{Signal, SignalError};
+use crate::preamble::{long_symbol, ltf_carrier};
+use crate::rates::Modulation;
+use crate::{FFT_SIZE, N_DATA_CARRIERS, PREAMBLE_LEN, SYMBOL_LEN};
+use freerider_coding::convolutional::{viterbi_decode_soft, CodeRate};
+use freerider_coding::interleaver::Interleaver;
+use freerider_coding::scrambler::Scrambler;
+use freerider_dsp::{bits, corr, db, Complex};
+
+/// How the receiver tracks residual carrier phase across DATA symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PhaseTracking {
+    /// No tracking at all: raw equalised symbols. Only viable for short
+    /// packets at high SNR; kept for diagnostics and for experiments that
+    /// need non-symmetry phase offsets preserved exactly.
+    Off,
+    /// Decision-directed tracking (the default): drift is followed modulo
+    /// the constellation's rotational symmetry — the 48-carrier squaring
+    /// estimator (mod π) on BPSK, the fourth-power estimator (mod π/2) on
+    /// QPSK, pilots (mod π) on QAM — so a tag's codeword-translating
+    /// rotations pass through untouched. The BCM43xx-like behaviour
+    /// FreeRider relies on (§3.2.1).
+    #[default]
+    DecisionDirected,
+    /// Full pilot-based common-phase correction: a receiver that does use
+    /// its pilots for phase correction. This erases the tag's phase
+    /// offsets (the `ablation-pilots` experiment).
+    FullPilot,
+}
+
+/// Receiver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RxConfig {
+    /// Schmidl–Cox STF plateau threshold, in `[0, 1]`. The metric settles
+    /// at ≈ Pₛ/(Pₛ+Pₙ), so 0.45 triggers down to ≈ −1 dB SNR; the
+    /// sensitivity gate below is what actually bounds range.
+    pub detection_threshold: f64,
+    /// Residual carrier-phase tracking policy.
+    pub phase_tracking: PhaseTracking,
+    /// Minimum preamble RSSI (dBm) for the synchroniser to lock. Models the
+    /// header-detection sensitivity that gates FreeRider's range (§4.2.1:
+    /// "if the header itself is not decoded, then we observe packet loss").
+    pub sensitivity_dbm: f64,
+}
+
+impl Default for RxConfig {
+    fn default() -> Self {
+        RxConfig {
+            detection_threshold: 0.45,
+            phase_tracking: PhaseTracking::default(),
+            sensitivity_dbm: -94.0,
+        }
+    }
+}
+
+/// Errors from [`Receiver::receive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxError {
+    /// No preamble found above the detection threshold / sensitivity.
+    NoPreamble,
+    /// The SIGNAL field failed to decode.
+    BadSignal(SignalError),
+    /// The buffer ends before the PPDU does.
+    Truncated,
+}
+
+impl std::fmt::Display for RxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RxError::NoPreamble => write!(f, "no preamble detected"),
+            RxError::BadSignal(e) => write!(f, "SIGNAL field invalid: {e}"),
+            RxError::Truncated => write!(f, "buffer truncated mid-PPDU"),
+        }
+    }
+}
+
+impl std::error::Error for RxError {}
+
+/// A successfully received PPDU.
+#[derive(Debug, Clone)]
+pub struct RxPacket {
+    /// Decoded SIGNAL field (rate + length).
+    pub signal: Signal,
+    /// The PSDU bytes.
+    pub psdu: Vec<u8>,
+    /// Whether the PSDU's trailing CRC-32 FCS checks out.
+    pub fcs_valid: bool,
+    /// All descrambled DATA-field bits (SERVICE + PSDU + tail + pad),
+    /// exactly `n_symbols × N_DBPS` long. This is the stream the FreeRider
+    /// XOR decoder compares between the two receivers; keeping the symbol
+    /// alignment lets the decoder majority-vote per tag bit.
+    pub data_bits: Vec<u8>,
+    /// Equalised data-carrier constellation points per DATA symbol
+    /// (48 each), before demapping — used by the quaternary phase decoder
+    /// and for diagnostics.
+    pub equalized: Vec<[Complex; N_DATA_CARRIERS]>,
+    /// Preamble-region RSSI in dBm.
+    pub rssi_dbm: f64,
+    /// Estimated carrier frequency offset, cycles/sample.
+    pub cfo: f64,
+    /// Sample index (into the receive buffer) of the preamble start.
+    pub start: usize,
+    /// Sample index one past the PPDU end.
+    pub end: usize,
+}
+
+/// The 802.11g OFDM receiver.
+#[derive(Debug, Clone)]
+pub struct Receiver {
+    config: RxConfig,
+    ltf_ref: Vec<Complex>,
+}
+
+impl Receiver {
+    /// Creates a receiver.
+    pub fn new(config: RxConfig) -> Self {
+        Receiver {
+            config,
+            ltf_ref: long_symbol(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RxConfig {
+        &self.config
+    }
+
+    /// Attempts to receive the first decodable PPDU in `samples`.
+    ///
+    /// A failed decode (spurious sync, corrupted header, truncation) does
+    /// not end the hunt: the receiver resumes scanning past the failed
+    /// lock, as real hardware does. The *first* failure is reported if
+    /// nothing in the buffer decodes.
+    pub fn receive(&self, samples: &[Complex]) -> Result<RxPacket, RxError> {
+        let mut cursor = 0usize;
+        let mut first_err: Option<RxError> = None;
+        while cursor + PREAMBLE_LEN + SYMBOL_LEN <= samples.len() {
+            match self.detect(&samples[cursor..]) {
+                Ok(ltf1) => match self.decode_at(&samples[cursor..], ltf1) {
+                    Ok(mut pkt) => {
+                        pkt.start += cursor;
+                        pkt.end += cursor;
+                        return Ok(pkt);
+                    }
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                        cursor += ltf1 + FFT_SIZE;
+                    }
+                },
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                    break;
+                }
+            }
+        }
+        Err(first_err.unwrap_or(RxError::NoPreamble))
+    }
+
+    /// Receives every decodable PPDU in the buffer, skipping undecodable
+    /// regions.
+    pub fn receive_all(&self, samples: &[Complex]) -> Vec<RxPacket> {
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        while cursor + PREAMBLE_LEN + SYMBOL_LEN < samples.len() {
+            match self.detect(&samples[cursor..]) {
+                Ok(ltf1) => match self.decode_at(&samples[cursor..], ltf1) {
+                    Ok(mut pkt) => {
+                        pkt.start += cursor;
+                        pkt.end += cursor;
+                        let next = pkt.end;
+                        out.push(pkt);
+                        cursor = next;
+                    }
+                    Err(_) => {
+                        // Skip past this false/failed sync point.
+                        cursor += ltf1 + FFT_SIZE;
+                    }
+                },
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// Finds the sample index of the first LTF long symbol.
+    ///
+    /// Detection is the standard two-stage 802.11 design:
+    ///
+    /// 1. **Schmidl–Cox STF detection** — the delay-and-correlate metric
+    ///    at lag 16 plateaus near `Pₛ/(Pₛ+Pₙ)` over the short training
+    ///    field for *any* multipath channel (periodicity survives
+    ///    convolution), giving a channel-immune packet trigger *and* an
+    ///    SNR estimate for the sensitivity gate. Gating on estimated
+    ///    signal power (not signal+noise, which never drops below the
+    ///    floor) is what reproduces the paper's ≈ −94 dBm
+    ///    header-detection cliff.
+    /// 2. **LTF cross-correlation** for fine timing within the window the
+    ///    STF trigger implies.
+    fn detect(&self, samples: &[Complex]) -> Result<usize, RxError> {
+        if samples.len() < PREAMBLE_LEN + SYMBOL_LEN {
+            return Err(RxError::NoPreamble);
+        }
+        let dc = corr::delay_correlate(samples, 16, 64);
+        let thr = self.config.detection_threshold;
+        const SUSTAIN: usize = 40;
+        let mut p = 0usize;
+        'outer: while p + SUSTAIN < dc.len() {
+            if dc[p] < thr {
+                p += 1;
+                continue;
+            }
+            for k in 0..SUSTAIN {
+                if dc[p + k] < thr {
+                    p += k + 1;
+                    continue 'outer;
+                }
+            }
+            // STF plateau found at p. Sensitivity gate: the plateau level
+            // m ≈ Pₛ/(Pₛ+Pₙ), so estimated signal = measured + 10·log₁₀ m.
+            let m: f64 = dc[p..p + SUSTAIN].iter().sum::<f64>() / SUSTAIN as f64;
+            let span_end = (p + 160).min(samples.len());
+            let measured = db::mean_power_dbm(&samples[p..span_end]);
+            let signal_est = measured + 10.0 * m.clamp(1e-6, 1.0).log10();
+            if signal_est < self.config.sensitivity_dbm {
+                // Skip this burst and keep hunting (a later, stronger
+                // packet may still be decodable).
+                p += SUSTAIN;
+                continue;
+            }
+            // Fine timing: LTF cross-correlation in the window the STF
+            // start implies. The plateau can trigger up to ~64 samples
+            // before the true packet start (partial-overlap windows
+            // normalise to high values) or ~40 after (noise dips), so
+            // LTF1 lies in [p+128, p+256]; the window is sized so the
+            // LTF2 partner at +64 is always inside it too.
+            let win_lo = p + 100;
+            let win_hi = (p + 420).min(samples.len());
+            if win_hi <= win_lo + 2 * FFT_SIZE {
+                return Err(RxError::NoPreamble);
+            }
+            let c = corr::normalized_correlation(&samples[win_lo..win_hi], &self.ltf_ref);
+            // The LTF appears twice, 64 samples apart: score candidate
+            // positions by the *pair* so we lock to LTF1, not LTF2.
+            let mut best = (0usize, f64::MIN);
+            for (i, &v) in c.iter().enumerate() {
+                if i + FFT_SIZE < c.len() {
+                    let pair = v + c[i + FFT_SIZE];
+                    if pair > best.1 {
+                        best = (i, pair);
+                    }
+                }
+            }
+            // Multipath disperses the peak but a real preamble keeps a
+            // dominant component; require a modest floor to reject noise.
+            if best.1 < 0.55 {
+                p += SUSTAIN;
+                continue;
+            }
+            // Timing advance: lock a few samples *early*, inside the
+            // cyclic prefix. If the correlator locked onto a delayed
+            // multipath component, a late FFT window would straddle the
+            // next symbol (inter-symbol interference the CP cannot
+            // remove); backing off keeps the whole delay spread inside
+            // the CP. The constant phase ramp this introduces is absorbed
+            // by the channel estimate.
+            const TIMING_ADVANCE: usize = 4;
+            return Ok((win_lo + best.0).saturating_sub(TIMING_ADVANCE));
+        }
+        Err(RxError::NoPreamble)
+    }
+
+    /// Decodes a PPDU whose first long training symbol starts at `ltf1`.
+    fn decode_at(&self, samples: &[Complex], ltf1: usize) -> Result<RxPacket, RxError> {
+        if ltf1 + 2 * FFT_SIZE + SYMBOL_LEN > samples.len() {
+            return Err(RxError::Truncated);
+        }
+        // --- Fine CFO from the repeated long symbols. ---
+        let mut acc = Complex::ZERO;
+        for k in 0..FFT_SIZE {
+            acc += samples[ltf1 + FFT_SIZE + k] * samples[ltf1 + k].conj();
+        }
+        let cfo = acc.arg() / (2.0 * std::f64::consts::PI * FFT_SIZE as f64);
+
+        // CFO-correct everything from LTF1 onward.
+        let corrected: Vec<Complex> = samples[ltf1..]
+            .iter()
+            .enumerate()
+            .map(|(n, &x)| x * Complex::cis(-2.0 * std::f64::consts::PI * cfo * n as f64))
+            .collect();
+
+        // --- Channel estimation from the two long symbols. ---
+        let mut h = [Complex::ZERO; FFT_SIZE];
+        for rep in 0..2 {
+            let mut f: Vec<Complex> =
+                corrected[rep * FFT_SIZE..(rep + 1) * FFT_SIZE].to_vec();
+            freerider_dsp::fft::fft(&mut f).expect("power of two");
+            for c in -26..=26i32 {
+                let l = ltf_carrier(c);
+                if l != 0.0 {
+                    let bin = carrier_to_bin(c);
+                    // The TX scales symbols by √(64²/52); fold that into H.
+                    h[bin] += f[bin].scale(0.5 / l);
+                }
+            }
+        }
+
+        let rssi_dbm = {
+            let pre_start = ltf1.saturating_sub(192);
+            db::mean_power_dbm(&samples[pre_start..ltf1 + 2 * FFT_SIZE])
+        };
+
+        // --- SIGNAL symbol. ---
+        let data_region = &corrected[2 * FFT_SIZE..];
+        if data_region.len() < SYMBOL_LEN {
+            return Err(RxError::Truncated);
+        }
+        // Decision-directed residual-CFO tracker: the one-shot LTF CFO
+        // estimate leaves a residual that accumulates to radians over a
+        // long packet, so every real receiver keeps tracking. The BCM43xx
+        // class of receivers the paper relies on does this blindly to the
+        // data ("do not use pilot tones for phase error correction"),
+        // which makes it blind to rotations by the constellation symmetry
+        // — exactly why a FreeRider tag's Δθ = π flips survive. We model
+        // it with the classic *squaring estimator* for BPSK symbols
+        // (`arg Σ z² / 2` strips BPSK modulation and yields the common
+        // phase mod π, averaged over all 48 data carriers), tracked
+        // differentially so drift is removed while π steps pass through.
+        let mut prev_raw;
+        let mut cum_drift = 0.0f64;
+        let wrap_pi = |x: f64| x - std::f64::consts::PI * (x / std::f64::consts::PI).round();
+        // Per-carrier channel power gains (needed both for the squaring
+        // estimator's matched weighting and for soft demapping).
+        let gains: Vec<f64> = DATA_CARRIERS
+            .iter()
+            .map(|&c| h[carrier_to_bin(c)].norm_sqr())
+            .collect();
+        // Matched squaring estimator: z²·g² = r²·conj(H²), so deeply faded
+        // carriers (whose equalised samples are amplified noise) are
+        // weighted out instead of dominating through their squared noise —
+        // without this, multipath at moderate SNR causes π cycle slips
+        // that corrupt whole stretches of tag data.
+        let squaring_phase = |points: &[Complex]| -> f64 {
+            let acc: Complex = points
+                .iter()
+                .zip(gains.iter())
+                .map(|(&z, &g)| z * z * (g * g))
+                .sum();
+            acc.arg() / 2.0
+        };
+        // Fourth-power analogue for QPSK: z⁴ strips QPSK modulation (and
+        // any multiple-of-π/2 tag rotation), yielding phase mod π/2. QPSK
+        // points sit at odd multiples of 45°, so z⁴ lands at e^{jπ}·e^{j4δ};
+        // negating the accumulator removes that constant π bias.
+        let quartic_phase = |points: &[Complex]| -> f64 {
+            let acc: Complex = points
+                .iter()
+                .zip(gains.iter())
+                .map(|(&z, &g)| {
+                    let z2 = z * z;
+                    z2 * z2 * (g * g * g * g)
+                })
+                .sum();
+            (-acc).arg() / 4.0
+        };
+        let wrap_half_pi = |x: f64| {
+            x - std::f64::consts::FRAC_PI_2 * (x / std::f64::consts::FRAC_PI_2).round()
+        };
+
+        let il_signal = Interleaver::new(48, 1);
+        let (sig_points_raw, _) = self.equalize_symbol(&data_region[..SYMBOL_LEN], &h, 0);
+        let sig_phase = squaring_phase(&sig_points_raw);
+        prev_raw = sig_phase;
+        if self.config.phase_tracking != PhaseTracking::Off {
+            cum_drift += wrap_pi(sig_phase);
+        }
+        let derot = Complex::cis(-cum_drift);
+        let sig_points: Vec<Complex> = sig_points_raw.iter().map(|&p| p * derot).collect();
+        let sig_llrs = soft_demap_symbols(&sig_points, &gains, Modulation::Bpsk);
+        let sig_coded = il_signal.deinterleave_symbol_soft(&sig_llrs);
+        let sig_decoded = viterbi_decode_soft(&sig_coded, CodeRate::Half);
+        let mut sig24 = [0u8; 24];
+        sig24.copy_from_slice(&sig_decoded[..24]);
+        let signal = Signal::decode(&sig24).map_err(RxError::BadSignal)?;
+
+        // --- DATA symbols. ---
+        let rate = signal.rate;
+        let n_sym = rate.data_symbols_for(signal.length);
+        if data_region.len() < SYMBOL_LEN * (1 + n_sym) {
+            return Err(RxError::Truncated);
+        }
+        let il = Interleaver::new(
+            rate.coded_bits_per_symbol(),
+            rate.modulation().bits_per_subcarrier(),
+        );
+        let mut coded_llrs = Vec::with_capacity(n_sym * rate.coded_bits_per_symbol());
+        let mut equalized = Vec::with_capacity(n_sym);
+        for n in 0..n_sym {
+            let off = SYMBOL_LEN * (1 + n);
+            let (points_raw, pilot_phase) =
+                self.equalize_symbol(&data_region[off..off + SYMBOL_LEN], &h, n + 1);
+            let derot = match self.config.phase_tracking {
+                PhaseTracking::FullPilot => {
+                    // Full pilot correction: erases the tag's phase
+                    // offsets (the `ablation-pilots` behaviour).
+                    Complex::cis(-pilot_phase)
+                }
+                PhaseTracking::DecisionDirected => {
+                    // Differential decision-directed tracking: follow only
+                    // phase increments modulo the constellation's rotational
+                    // symmetry, so a tag's codeword-translating rotations
+                    // pass through. BPSK symbols use the 48-carrier squaring
+                    // estimator (mod π); QPSK uses the fourth-power
+                    // estimator (mod π/2 — which also lets the quaternary
+                    // Eq. 5 tag offsets through); QAM falls back to the 4
+                    // BPSK pilots (mod π).
+                    let (raw, delta) = match rate.modulation() {
+                        Modulation::Bpsk => {
+                            let r = squaring_phase(&points_raw);
+                            (r, wrap_pi(r - prev_raw))
+                        }
+                        Modulation::Qpsk => {
+                            let r = quartic_phase(&points_raw);
+                            (r, wrap_half_pi(r - prev_raw))
+                        }
+                        _ => {
+                            let r = wrap_pi(pilot_phase);
+                            (r, wrap_pi(r - prev_raw))
+                        }
+                    };
+                    cum_drift += delta;
+                    prev_raw = raw;
+                    Complex::cis(-cum_drift)
+                }
+                PhaseTracking::Off => Complex::ONE,
+            };
+            let points: Vec<Complex> = points_raw.iter().map(|&p| p * derot).collect();
+            let mut arr = [Complex::ZERO; N_DATA_CARRIERS];
+            arr.copy_from_slice(&points);
+            equalized.push(arr);
+            let llrs = soft_demap_symbols(&points, &gains, rate.modulation());
+            coded_llrs.extend(il.deinterleave_symbol_soft(&llrs));
+        }
+        let scrambled = viterbi_decode_soft(&coded_llrs, rate.code_rate());
+
+        // --- Descramble, recovering the seed from the SERVICE bits. ---
+        let data_bits = match Scrambler::recover_seed(&scrambled[..7]) {
+            Some(mut desc) => {
+                let mut out = vec![0u8; 7]; // SERVICE bits descramble to 0
+                out.extend(desc.scramble(&scrambled[7..]));
+                out
+            }
+            None => scrambled.clone(),
+        };
+
+        let psdu_bits = &data_bits[16..16 + 8 * signal.length];
+        let psdu = bits::bits_to_bytes_lsb(psdu_bits);
+        let fcs_valid = freerider_coding::crc::check_crc32(&psdu);
+
+        let end = ltf1 + 2 * FFT_SIZE + SYMBOL_LEN * (1 + n_sym);
+        Ok(RxPacket {
+            signal,
+            psdu,
+            fcs_valid,
+            data_bits,
+            equalized,
+            rssi_dbm,
+            cfo,
+            start: ltf1.saturating_sub(192),
+            end,
+        })
+    }
+
+    /// Equalises one 80-sample symbol; returns the 48 *uncorrected* data
+    /// points and the raw common phase measured from the pilots. Phase
+    /// correction policy is applied by the caller (see `decode_at`).
+    fn equalize_symbol(
+        &self,
+        symbol: &[Complex],
+        h: &[Complex; FFT_SIZE],
+        symbol_index: usize,
+    ) -> (Vec<Complex>, f64) {
+        debug_assert_eq!(symbol.len(), SYMBOL_LEN);
+        let carriers = demodulate_symbol(&symbol[..SYMBOL_LEN]);
+        let polarity = pilot_polarity()[symbol_index % 127];
+        // Pilot-derived common phase error.
+        let mut pe_acc = Complex::ZERO;
+        for (i, &c) in PILOT_CARRIERS.iter().enumerate() {
+            let expected = PILOT_VALUES[i] * polarity;
+            let bin = carrier_to_bin(c);
+            if h[bin].norm_sqr() > 1e-12 {
+                pe_acc += (carriers.pilots[i] / h[bin]).scale(expected);
+            }
+        }
+        let phase_err = pe_acc.arg();
+        let points: Vec<Complex> = DATA_CARRIERS
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let bin = carrier_to_bin(c);
+                if h[bin].norm_sqr() > 1e-12 {
+                    carriers.data[i] / h[bin]
+                } else {
+                    Complex::ZERO
+                }
+            })
+            .collect();
+        (points, phase_err)
+    }
+}
+
+/// Helper: number of DATA symbols for a decoded packet — re-exported for
+/// XOR-decoder alignment.
+pub fn data_symbols(signal: &Signal) -> usize {
+    signal.rate.data_symbols_for(signal.length)
+}
+
+#[allow(unused_imports)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::{Transmitter, TxConfig};
+    use crate::Mcs;
+    use freerider_dsp::noise::NoiseSource;
+
+    fn loopback(rate: Mcs, payload: &[u8], noise_power: f64, seed: u64) -> Result<RxPacket, RxError> {
+        let tx = Transmitter::new(TxConfig {
+            rate,
+            ..TxConfig::default()
+        });
+        let mut wave = tx.transmit(payload).unwrap();
+        // Surround with silence so detection has to find the packet.
+        let mut buf = vec![Complex::ZERO; 150];
+        buf.append(&mut wave);
+        buf.extend(vec![Complex::ZERO; 150]);
+        if noise_power > 0.0 {
+            NoiseSource::new(seed, noise_power).add_to(&mut buf);
+        }
+        let rx = Receiver::new(RxConfig {
+            sensitivity_dbm: -200.0,
+            ..RxConfig::default()
+        });
+        rx.receive(&buf)
+    }
+
+    #[test]
+    fn noiseless_loopback_all_rates() {
+        let payload: Vec<u8> = (0..=200u8).collect();
+        let mut framed = payload.clone();
+        freerider_coding::crc::append_crc32(&mut framed);
+        for rate in Mcs::ALL {
+            let pkt = loopback(rate, &framed, 0.0, 0).unwrap_or_else(|e| panic!("{rate:?}: {e}"));
+            assert_eq!(pkt.signal.rate, rate);
+            assert_eq!(pkt.signal.length, framed.len());
+            assert_eq!(pkt.psdu, framed, "{rate:?}");
+            assert!(pkt.fcs_valid, "{rate:?}");
+        }
+    }
+
+    #[test]
+    fn loopback_with_moderate_noise() {
+        // 20 dB SNR: every rate should survive a short frame.
+        let mut framed = vec![0xC3u8; 80];
+        freerider_coding::crc::append_crc32(&mut framed);
+        for (i, rate) in [Mcs::Bpsk12, Mcs::Qpsk12, Mcs::Qam16Half].iter().enumerate() {
+            let pkt = loopback(*rate, &framed, 0.01, i as u64).unwrap();
+            assert_eq!(pkt.psdu, framed, "{rate:?}");
+            assert!(pkt.fcs_valid);
+        }
+    }
+
+    #[test]
+    fn low_snr_bpsk_still_decodes() {
+        // 7 dB SNR at 6 Mbps: rate-1/2 BPSK should still get through.
+        let mut framed = vec![0x11u8; 60];
+        freerider_coding::crc::append_crc32(&mut framed);
+        let pkt = loopback(Mcs::Bpsk12, &framed, 0.2, 3).unwrap();
+        assert_eq!(pkt.psdu, framed);
+    }
+
+    #[test]
+    fn noise_only_yields_no_preamble() {
+        let buf = NoiseSource::new(9, 1.0).take(4000);
+        let rx = Receiver::new(RxConfig {
+            sensitivity_dbm: -200.0,
+            ..RxConfig::default()
+        });
+        assert_eq!(rx.receive(&buf).unwrap_err(), RxError::NoPreamble);
+    }
+
+    #[test]
+    fn truncated_packet_reports_truncated() {
+        let tx = Transmitter::new(TxConfig::default());
+        let wave = tx.transmit(&[0u8; 500]).unwrap();
+        let cut = &wave[..wave.len() / 2];
+        let rx = Receiver::new(RxConfig {
+            sensitivity_dbm: -200.0,
+            ..RxConfig::default()
+        });
+        assert_eq!(rx.receive(cut).unwrap_err(), RxError::Truncated);
+    }
+
+    #[test]
+    fn sensitivity_gate_drops_weak_packets() {
+        let tx = Transmitter::new(TxConfig::default());
+        let wave = tx.transmit(&[7u8; 50]).unwrap();
+        // Scale to −97 dBm — below the default −94 dBm sensitivity.
+        let weak: Vec<Complex> = wave
+            .iter()
+            .map(|&z| z * freerider_dsp::db::field_scale(-97.0))
+            .collect();
+        let rx = Receiver::new(RxConfig::default());
+        assert_eq!(rx.receive(&weak).unwrap_err(), RxError::NoPreamble);
+    }
+
+    #[test]
+    fn cfo_is_estimated_and_corrected() {
+        let tx = Transmitter::new(TxConfig::default());
+        let mut framed = vec![0x3Cu8; 100];
+        freerider_coding::crc::append_crc32(&mut framed);
+        let wave = tx.transmit(&framed).unwrap();
+        let f = 30e3 / 20e6; // 30 kHz CFO
+        let shifted: Vec<Complex> = wave
+            .iter()
+            .enumerate()
+            .map(|(n, &z)| z * Complex::cis(2.0 * std::f64::consts::PI * f * n as f64))
+            .collect();
+        let rx = Receiver::new(RxConfig {
+            sensitivity_dbm: -200.0,
+            ..RxConfig::default()
+        });
+        let pkt = rx.receive(&shifted).unwrap();
+        assert!((pkt.cfo - f).abs() < 1e-5, "cfo {} vs {f}", pkt.cfo);
+        assert_eq!(pkt.psdu, framed);
+        assert!(pkt.fcs_valid);
+    }
+
+    #[test]
+    fn receive_all_finds_back_to_back_packets() {
+        let tx = Transmitter::new(TxConfig::default());
+        let mut buf = vec![Complex::ZERO; 100];
+        for i in 0..3u8 {
+            let mut p = vec![i; 40];
+            freerider_coding::crc::append_crc32(&mut p);
+            buf.extend(tx.transmit(&p).unwrap());
+            buf.extend(vec![Complex::ZERO; 200]);
+        }
+        let rx = Receiver::new(RxConfig {
+            sensitivity_dbm: -200.0,
+            ..RxConfig::default()
+        });
+        let pkts = rx.receive_all(&buf);
+        assert_eq!(pkts.len(), 3);
+        for (i, p) in pkts.iter().enumerate() {
+            assert_eq!(p.psdu[0], i as u8);
+            assert!(p.fcs_valid);
+        }
+    }
+
+    #[test]
+    fn flat_phase_offset_flips_bpsk_bits() {
+        // The core FreeRider mechanism at the receiver: a 180° phase
+        // rotation applied to whole data symbols makes the receiver decode
+        // the complement bit stream (still a valid packet structure).
+        let tx = Transmitter::new(TxConfig::default());
+        let mut framed = vec![0x77u8; 60];
+        freerider_coding::crc::append_crc32(&mut framed);
+        let wave = tx.transmit(&framed).unwrap();
+        let rx = Receiver::new(RxConfig {
+            sensitivity_dbm: -200.0,
+            ..RxConfig::default()
+        });
+        let clean = rx.receive(&wave).unwrap();
+
+        // Rotate everything from DATA symbol 1 onward by π.
+        let data_start = PREAMBLE_LEN + SYMBOL_LEN + SYMBOL_LEN; // skip SIGNAL + 1 symbol
+        let mut rotated = wave.clone();
+        for z in rotated[data_start..].iter_mut() {
+            *z = -*z;
+        }
+        let tagged = rx.receive(&rotated).unwrap();
+        assert!(!tagged.fcs_valid, "tag-modified packet must fail FCS");
+        let n_dbps = clean.signal.rate.data_bits_per_symbol();
+        // Symbol 0 decodes identically (Viterbi traceback from the flip
+        // boundary can disturb the last ~half constraint-lengths of the
+        // previous symbol, so leave a 16-bit margin)…
+        assert_eq!(&tagged.data_bits[..n_dbps - 16], &clean.data_bits[..n_dbps - 16]);
+        // …and the interior of the flipped region is the exact complement.
+        let lo = n_dbps + 8;
+        let hi = clean.data_bits.len() - 8;
+        let flipped: usize = (lo..hi)
+            .filter(|&k| tagged.data_bits[k] == clean.data_bits[k] ^ 1)
+            .count();
+        let frac = flipped as f64 / (hi - lo) as f64;
+        assert!(frac > 0.99, "only {frac} of interior bits flipped");
+    }
+}

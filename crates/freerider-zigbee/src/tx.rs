@@ -1,0 +1,73 @@
+//! The 802.15.4 O-QPSK transmitter.
+
+use crate::chips::chip_sequence;
+use crate::frame::{FrameError, Ppdu};
+use crate::oqpsk::modulate_chips;
+use freerider_dsp::IqBuf;
+
+/// The 802.15.4 transmitter: payload bytes → 4 Msps complex baseband.
+#[derive(Debug, Clone, Default)]
+pub struct Transmitter;
+
+impl Transmitter {
+    /// Creates a transmitter.
+    pub fn new() -> Self {
+        Transmitter
+    }
+
+    /// Generates the PPDU waveform for `payload` (CRC appended internally).
+    pub fn transmit(&self, payload: &[u8]) -> Result<IqBuf, FrameError> {
+        let ppdu = Ppdu::build(payload)?;
+        Ok(self.transmit_ppdu(&ppdu))
+    }
+
+    /// Generates the waveform for an already-framed PPDU.
+    pub fn transmit_ppdu(&self, ppdu: &Ppdu) -> IqBuf {
+        let symbols = ppdu.to_symbols();
+        let mut chips = Vec::with_capacity(symbols.len() * 32);
+        for &s in &symbols {
+            chips.extend_from_slice(&chip_sequence(s));
+        }
+        modulate_chips(&chips)
+    }
+
+    /// Waveform length in samples for a `payload_len`-byte payload.
+    pub fn ppdu_len_samples(&self, payload_len: usize) -> usize {
+        let n_sym = 8 + 2 + 2 + 2 * (payload_len + 2);
+        n_sym * crate::SAMPLES_PER_SYMBOL + crate::SAMPLES_PER_CHIP
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freerider_dsp::db;
+
+    #[test]
+    fn waveform_length() {
+        let tx = Transmitter::new();
+        let wave = tx.transmit(b"0123456789").unwrap();
+        assert_eq!(wave.len(), tx.ppdu_len_samples(10));
+        // 10+2 bytes PSDU → 24 symbols + 12 SHR/PHR symbols = 36 symbols
+        // of 64 samples (+ 2-sample Q overhang).
+        assert_eq!(wave.len(), 36 * 64 + 2);
+    }
+
+    #[test]
+    fn near_unit_envelope() {
+        let tx = Transmitter::new();
+        let wave = tx.transmit(&[0xAA; 20]).unwrap();
+        let p = db::mean_power(&wave);
+        assert!((p - 1.0).abs() < 0.1, "power {p}");
+    }
+
+    #[test]
+    fn airtime_matches_250kbps() {
+        // 32-byte payload + 2 FCS = 34 bytes = 68 symbols of 16 µs
+        // → 1088 µs for the PSDU alone; plus 12 SHR/PHR symbols = 192 µs.
+        let tx = Transmitter::new();
+        let wave = tx.transmit(&[0u8; 32]).unwrap();
+        let us = wave.len() as f64 / 4.0;
+        assert!((us - (1088.0 + 192.0)).abs() < 1.0, "airtime {us}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Coexistence check (§4.4): does FreeRider hurt the WiFi network it
+//! rides on, and does ambient WiFi hurt FreeRider?
+//!
+//! ```sh
+//! cargo run --release --example coexistence
+//! ```
+
+use freerider::core::coexist::{
+    backscatter_coexistence, wifi_throughput_cdf, CoexistTech, TAG_LEAK_INTO_WIFI_DBM,
+};
+
+fn main() {
+    println!("FreeRider coexistence with WiFi networks\n");
+
+    // Fig. 15: WiFi throughput with and without a tag backscattering.
+    println!("— Does backscatter impact WiFi? (Fig. 15) —");
+    let mut without = wifi_throughput_cdf(None, 2000, 1);
+    let mut with = wifi_throughput_cdf(Some(TAG_LEAK_INTO_WIFI_DBM), 2000, 2);
+    println!("  WiFi median without tag: {:.1} Mbps", without.median());
+    println!("  WiFi median with tag:    {:.1} Mbps", with.median());
+    println!(
+        "  10th percentiles:        {:.1} / {:.1} Mbps",
+        without.quantile(0.1),
+        with.quantile(0.1)
+    );
+    println!("  (paper: 37.4 Mbps vs 36.8–37.9 Mbps — no measurable impact)\n");
+
+    // Fig. 16: backscatter throughput with and without WiFi traffic.
+    println!("— Does WiFi impact backscatter? (Fig. 16) —");
+    for (tech, label) in [
+        (CoexistTech::Wifi, "WiFi-riding tag (wideband RX)"),
+        (CoexistTech::Zigbee, "ZigBee-riding tag (2 MHz RX)"),
+        (CoexistTech::Ble, "Bluetooth-riding tag (1 MHz RX)"),
+    ] {
+        let r = backscatter_coexistence(tech, 12, 3, 9);
+        let mut absent = r.absent;
+        let mut present = r.present;
+        println!("  {label}");
+        println!(
+            "    median:     {:>6.1} kbps absent | {:>6.1} kbps with WiFi",
+            absent.median() / 1e3,
+            present.median() / 1e3
+        );
+        println!(
+            "    10th pct:   {:>6.1} kbps absent | {:>6.1} kbps with WiFi",
+            absent.quantile(0.1) / 1e3,
+            present.quantile(0.1) / 1e3
+        );
+    }
+    println!("\n(paper: WiFi-riding tail degrades 68→35 kbps for ~10 % of windows;");
+    println!(" narrowband ZigBee/Bluetooth links shift by only 1–2 kbps)");
+}

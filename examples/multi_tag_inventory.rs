@@ -1,0 +1,54 @@
+//! Warehouse inventory with twenty tags — the paper's multi-tag headline
+//! (§4.5 / Fig. 17), run through the integration-level network: real PLM
+//! control messages, real tag state machines, the adaptive Framed-Slotted-
+//! Aloha coordinator, and real codeword translation in every slot.
+//!
+//! ```sh
+//! cargo run --release --example multi_tag_inventory
+//! ```
+
+use freerider::core::network::{TagNetwork, TagNetworkConfig};
+use freerider::mac::{MacScheme, NetworkConfig, NetworkSim};
+
+fn main() {
+    println!("FreeRider multi-tag inventory — 20 tags, Framed Slotted Aloha\n");
+
+    // Integration network: PLM-announced rounds, per-tag queues.
+    let mut net = TagNetwork::new(TagNetworkConfig {
+        n_tags: 20,
+        backlog_bits: 2000,
+        seed: 17,
+        ..TagNetworkConfig::default()
+    });
+    let report = net.run(120);
+    println!("rounds run ............... {}", report.rounds);
+    println!(
+        "announcements heard ...... {} / {}",
+        report.announcements_heard,
+        report.rounds * 20
+    );
+    println!("collision slots .......... {}", report.collisions);
+    println!("Jain fairness index ...... {:.3}", report.fairness);
+    println!("\nper-tag deliveries (bits):");
+    for (i, b) in report.per_tag_bits.iter().enumerate() {
+        let bar = "#".repeat((*b / 100) as usize);
+        println!("  tag {i:>2}: {b:>6}  {bar}");
+    }
+    assert!(report.per_tag_bits.iter().all(|&b| b > 0));
+
+    // Throughput scaling — the calibrated Fig. 17 model.
+    println!("\naggregate throughput vs tag count (calibrated Fig. 17 model):");
+    println!("  tags   aloha (kbps)   TDM (kbps)   fairness");
+    for n in [4usize, 8, 12, 16, 20] {
+        let aloha = NetworkSim::new(NetworkConfig::paper_fig17(n, MacScheme::FramedAloha, 5)).run();
+        let tdm = NetworkSim::new(NetworkConfig::paper_fig17(n, MacScheme::Tdm, 5)).run();
+        println!(
+            "  {n:>4}   {:>12.1}   {:>10.1}   {:>8.3}",
+            aloha.aggregate_bps / 1e3,
+            tdm.aggregate_bps / 1e3,
+            aloha.fairness
+        );
+    }
+    println!("\n(the paper reports ≈7→15 kbps over 4→20 tags, 18 kbps Aloha");
+    println!(" asymptote, 40 kbps TDM asymptote, Jain index ≈0.85+)");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: one FreeRider tag riding on a live 802.11g link.
+//!
+//! Runs the full pipeline — a 6 Mbps WiFi transmitter sending real frames,
+//! a tag 1 m away phase-translating them, a commodity OFDM receiver on the
+//! adjacent channel, and the XOR decoder — and prints what the paper's
+//! headline promises: the tag delivers ~60 kbps while the WiFi link keeps
+//! delivering FCS-valid frames.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use freerider::channel::BackscatterBudget;
+use freerider::core::link::{LinkConfig, WifiLink};
+
+fn main() {
+    println!("FreeRider quickstart — WiFi backscatter at 2 m\n");
+
+    let cfg = LinkConfig {
+        payload_len: 1000,
+        packets: 20,
+        ..LinkConfig::new(BackscatterBudget::wifi_los(), 2.0, 7)
+    };
+    println!(
+        "excitation: 11 dBm 802.11g @ 6 Mbps, tag at {} m, receiver at {} m",
+        cfg.d_tx_tag_m, cfg.d_tag_rx_m
+    );
+    println!("link budget RSSI: {:.1} dBm\n", cfg.budget.rssi_dbm(1.0, 2.0));
+
+    let stats = WifiLink::new(cfg).run();
+
+    println!("excitation packets sent ......... {}", stats.packets_sent);
+    println!(
+        "productive WiFi frames (FCS ok) . {} / {}",
+        stats.productive_ok, stats.packets_sent
+    );
+    println!(
+        "backscatter packets decoded ..... {} / {}",
+        stats.packets_decoded, stats.packets_sent
+    );
+    println!("tag bits embedded ............... {}", stats.tag_bits_sent);
+    println!(
+        "tag throughput .................. {:.1} kbps",
+        stats.throughput_bps() / 1e3
+    );
+    println!("tag bit error rate .............. {:.2e}", stats.ber());
+    println!(
+        "measured backscatter RSSI ....... {:.1} dBm",
+        stats.measured_rssi_dbm
+    );
+
+    assert!(stats.prr() > 0.9, "expected a healthy close-range link");
+    println!("\nThe excitation link stayed productive while the tag rode on it.");
+}

@@ -1,0 +1,65 @@
+//! Integration coverage for the baseline systems the paper positions
+//! itself against: HitchHike (802.11b) and tone excitation.
+
+use freerider::channel::channel::{Channel, Fading};
+use freerider::channel::BackscatterBudget;
+use freerider::dot11b::hitchhike::{decode_hitchhike, HitchhikeTranslator};
+use freerider::dot11b::{Receiver, RxConfig, Transmitter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn hitchhike_link_end_to_end_through_the_channel() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let budget = BackscatterBudget {
+        noise_floor_dbm: freerider::dsp::db::thermal_noise_dbm(22e6, 6.0),
+        ..BackscatterBudget::wifi_los()
+    };
+    let tx = Transmitter::new();
+    let rx_ref = Receiver::new(RxConfig {
+        sensitivity_dbm: -200.0,
+        ..RxConfig::default()
+    });
+    let rx = Receiver::new(RxConfig::default());
+    let translator = HitchhikeTranslator::standard();
+    let rssi = budget.rssi_dbm(1.0, 5.0);
+    let mut ch_ref = Channel::new(-45.0, budget.noise_floor_dbm, Fading::None, 32);
+    let mut ch = Channel::new(rssi, budget.noise_floor_dbm, Fading::None, 33);
+
+    let psdu: Vec<u8> = (0..300).map(|_| rng.gen()).collect();
+    let wave = tx.transmit(&psdu).unwrap();
+    let original = rx_ref.receive(&ch_ref.propagate(&wave)).unwrap();
+    assert_eq!(original.psdu, psdu, "productive 802.11b link works");
+
+    let bits: Vec<u8> = (0..translator.capacity(wave.len()))
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
+    assert_eq!(bits.len(), 2400, "1 tag bit per PSDU symbol");
+    let (tagged, _) = translator.translate(&wave, &bits);
+    let pkt = rx.receive(&ch.propagate_padded(&tagged, 200)).unwrap();
+    let decoded = decode_hitchhike(&original.psdu_bits, &pkt.psdu_bits, 1, 0);
+    let errors = bits
+        .iter()
+        .zip(decoded.iter())
+        .filter(|(a, b)| a != b)
+        .count();
+    let ber = errors as f64 / bits.len() as f64;
+    assert!(ber < 5e-3, "{errors}/{} tag-bit errors", bits.len());
+}
+
+#[test]
+fn hitchhike_rate_advantage_is_an_order_of_magnitude() {
+    // The paper's §4.2.1 comparison, as an invariant: DSSS symbols are
+    // 1 µs and carry one tag bit; FreeRider's OFDM window is 4 × 4 µs.
+    let hh = HitchhikeTranslator::standard().bit_rate();
+    let fr = freerider::tag::translator::PhaseTranslator::wifi_binary().bit_rate(20e6);
+    assert!((hh / fr - 16.0).abs() < 0.01, "ratio {}", hh / fr);
+}
+
+#[test]
+fn baseline_experiments_run_via_the_harness() {
+    for name in ["baseline-hitchhike", "baseline-tone"] {
+        let out = freerider_bench::run(name, true).expect("known experiment");
+        assert!(out.contains("FreeRider"), "{name} output incomplete");
+    }
+}

@@ -1,0 +1,163 @@
+//! Failure injection across the stack: corrupted preambles, truncation,
+//! interference bursts, carrier offsets, and hostile control traffic.
+//! The receivers must fail *cleanly* (typed errors, no panics) and
+//! recover on the next good packet.
+
+use freerider::channel::interference::Interferer;
+use freerider::dsp::noise::NoiseSource;
+use freerider::dsp::Complex;
+use freerider::tag::plm::{PlmConfig, PlmReceiver};
+
+#[test]
+fn wifi_rx_survives_corrupted_preamble() {
+    use freerider::wifi::{Receiver, RxConfig, Transmitter, TxConfig};
+    let tx = Transmitter::new(TxConfig::default());
+    let mut psdu = vec![0x42u8; 100];
+    freerider::coding::crc::append_crc32(&mut psdu);
+    let mut wave = tx.transmit(&psdu).unwrap();
+    // Destroy the LTF region entirely.
+    for z in wave[160..320].iter_mut() {
+        *z = Complex::ZERO;
+    }
+    let rx = Receiver::new(RxConfig {
+        sensitivity_dbm: -200.0,
+        ..RxConfig::default()
+    });
+    assert!(rx.receive(&wave).is_err(), "must not sync on a dead LTF");
+
+    // A subsequent good packet in the same buffer is still found.
+    let mut buf = wave;
+    buf.extend(vec![Complex::ZERO; 100]);
+    buf.extend(tx.transmit(&psdu).unwrap());
+    let pkt = rx.receive(&buf).expect("second packet decodable");
+    assert!(pkt.fcs_valid);
+}
+
+#[test]
+fn wifi_rx_rejects_mid_packet_cut() {
+    use freerider::wifi::{Receiver, RxConfig, RxError, Transmitter, TxConfig};
+    let tx = Transmitter::new(TxConfig::default());
+    let wave = tx.transmit(&[0u8; 200]).unwrap();
+    let rx = Receiver::new(RxConfig {
+        sensitivity_dbm: -200.0,
+        ..RxConfig::default()
+    });
+    for cut in [400, 500, 800] {
+        assert_eq!(
+            rx.receive(&wave[..cut]).unwrap_err(),
+            RxError::Truncated,
+            "cut at {cut}"
+        );
+    }
+}
+
+#[test]
+fn zigbee_rx_ignores_pure_interference() {
+    use freerider::zigbee::{Receiver, RxConfig, RxError};
+    let mut buf = NoiseSource::new(3, 1e-9).take(8000);
+    let mut intf = Interferer::new(-60.0, 0.0, 0.8, 500, 4);
+    intf.add_to(&mut buf);
+    let rx = Receiver::new(RxConfig::default());
+    assert!(matches!(
+        rx.receive(&buf).unwrap_err(),
+        RxError::NoPreamble | RxError::NoSfd
+    ));
+}
+
+#[test]
+fn ble_rx_survives_burst_interference_mid_packet() {
+    use freerider::ble::{Receiver, RxConfig, Transmitter};
+    let tx = Transmitter::new();
+    let wave = tx.transmit(&[0x5A; 30]).unwrap();
+    // Scale to a healthy level and inject a strong burst into the payload.
+    let mut buf: Vec<Complex> = wave
+        .iter()
+        .map(|&z| z * freerider::dsp::db::field_scale(-80.0))
+        .collect();
+    let mut ns = NoiseSource::new(5, freerider::dsp::db::dbm_to_mw(-78.0));
+    for z in buf[1200..1600].iter_mut() {
+        *z += ns.sample();
+    }
+    let rx = Receiver::new(RxConfig::default());
+    match rx.receive(&buf) {
+        Ok(pkt) => {
+            // Sync (early in the packet) survived; the burst corrupts
+            // payload bits → CRC fails but the frame is still delimited.
+            assert!(!pkt.crc_valid || pkt.packet.payload == vec![0x5A; 30]);
+        }
+        Err(_) => {
+            // Also acceptable: the burst broke bit slicing entirely.
+        }
+    }
+}
+
+#[test]
+fn wifi_rx_tolerates_cfo_within_capture_range() {
+    use freerider::wifi::{Receiver, RxConfig, Transmitter, TxConfig};
+    let tx = Transmitter::new(TxConfig::default());
+    let mut psdu = vec![0x17u8; 150];
+    freerider::coding::crc::append_crc32(&mut psdu);
+    let wave = tx.transmit(&psdu).unwrap();
+    let rx = Receiver::new(RxConfig {
+        sensitivity_dbm: -200.0,
+        ..RxConfig::default()
+    });
+    // ±80 kHz: well inside the ±156 kHz fine-CFO capture range.
+    for cfo_hz in [-80e3, -20e3, 20e3, 80e3] {
+        let f = cfo_hz / 20e6;
+        let shifted: Vec<Complex> = wave
+            .iter()
+            .enumerate()
+            .map(|(n, &z)| z * Complex::cis(std::f64::consts::TAU * f * n as f64))
+            .collect();
+        let pkt = rx.receive(&shifted).unwrap_or_else(|e| panic!("cfo {cfo_hz}: {e}"));
+        assert!(pkt.fcs_valid, "cfo {cfo_hz}");
+        assert!((pkt.cfo - f).abs() < 2e-5);
+    }
+}
+
+#[test]
+fn plm_decoder_survives_hostile_pulse_trains() {
+    // A flood of adversarial pulse widths must never produce a spurious
+    // control message (the preamble + tolerance matching is the defence).
+    let cfg = PlmConfig::default();
+    let mut rx = PlmReceiver::new(cfg, 10);
+    let mut produced = 0;
+    for k in 0..10_000usize {
+        // Durations sweeping through every regime except exact L0/L1.
+        let d = 0.3e-3 + (k % 97) as f64 * 17e-6;
+        let near_l0 = (d - cfg.l0_s).abs() <= cfg.tolerance_s;
+        let near_l1 = (d - cfg.l1_s).abs() <= cfg.tolerance_s;
+        if near_l0 || near_l1 {
+            continue; // skip genuinely valid widths
+        }
+        if rx.push_pulse(d).is_some() {
+            produced += 1;
+        }
+    }
+    assert_eq!(produced, 0, "hostile pulses must not forge messages");
+}
+
+#[test]
+fn interferer_bursts_degrade_but_do_not_wedge_wifi_links() {
+    use freerider::channel::channel::{Channel, Fading};
+    use freerider::wifi::{Receiver, RxConfig, Transmitter, TxConfig};
+    let tx = Transmitter::new(TxConfig::default());
+    let rx = Receiver::new(RxConfig::default());
+    let mut psdu = vec![0x11u8; 120];
+    freerider::coding::crc::append_crc32(&mut psdu);
+    let mut decoded = 0;
+    for seed in 0..4u64 {
+        let wave = tx.transmit(&psdu).unwrap();
+        let mut ch = Channel::new(-70.0, -95.0, Fading::None, seed);
+        let mut buf = ch.propagate_padded(&wave, 200);
+        let mut intf = Interferer::new(-68.0, 0.0, 0.5, 2000, seed ^ 9);
+        intf.add_to(&mut buf);
+        if rx.receive(&buf).is_ok() {
+            decoded += 1;
+        }
+    }
+    // Co-channel-level bursts hit about half the packets; the link limps
+    // but the receiver never panics or loops.
+    assert!(decoded >= 1, "some packets should still make it");
+}

@@ -1,0 +1,78 @@
+//! Multi-tag system integration: real tags, real PLM control messages,
+//! the adaptive coordinator, and the Fig. 17 simulator.
+
+use freerider::core::network::{TagNetwork, TagNetworkConfig};
+use freerider::mac::{MacScheme, NetworkConfig, NetworkSim};
+
+#[test]
+fn twenty_tags_all_get_served() {
+    // The paper's headline: "our MAC scheme can communicate successfully
+    // with each of the twenty tags and ensure uplink fairness among them."
+    let mut net = TagNetwork::new(TagNetworkConfig {
+        n_tags: 20,
+        backlog_bits: 100_000,
+        seed: 21,
+        ..TagNetworkConfig::default()
+    });
+    let report = net.run(120);
+    assert!(report.per_tag_bits.iter().all(|&b| b > 0), "{report:?}");
+    assert!(report.fairness > 0.75, "fairness {}", report.fairness);
+}
+
+#[test]
+fn fig17_shape_holds() {
+    let run = |n: usize, scheme: MacScheme| {
+        let mut cfg = NetworkConfig::paper_fig17(n, scheme, 22);
+        cfg.rounds = 300;
+        NetworkSim::new(cfg).run()
+    };
+    let a4 = run(4, MacScheme::FramedAloha).aggregate_bps;
+    let a20 = run(20, MacScheme::FramedAloha).aggregate_bps;
+    let t20 = run(20, MacScheme::Tdm).aggregate_bps;
+    // Shape: rises with tag count; TDM dominates Aloha.
+    assert!(a20 > a4 * 1.5, "{a4} → {a20}");
+    assert!(t20 > a20 * 1.4, "TDM {t20} vs Aloha {a20}");
+}
+
+#[test]
+fn network_and_model_agree_qualitatively() {
+    // The integration network (real PLM + tags) and the calibrated model
+    // must both show near-perfect fairness with a healthy control channel.
+    let mut net = TagNetwork::new(TagNetworkConfig {
+        n_tags: 8,
+        pulse_error_prob: 0.0,
+        backlog_bits: 50_000,
+        seed: 23,
+        ..TagNetworkConfig::default()
+    });
+    let integration = net.run(100);
+    let model = NetworkSim::new(NetworkConfig::paper_fig17(8, MacScheme::FramedAloha, 23)).run();
+    assert!(integration.fairness > 0.85);
+    assert!(model.fairness > 0.85);
+}
+
+#[test]
+fn lossy_control_channel_starves_but_does_not_crash() {
+    let mut net = TagNetwork::new(TagNetworkConfig {
+        n_tags: 6,
+        pulse_error_prob: 0.4, // ~18 pulses per message → almost all lost
+        backlog_bits: 10_000,
+        seed: 24,
+        ..TagNetworkConfig::default()
+    });
+    let report = net.run(60);
+    let healthy = TagNetwork::new(TagNetworkConfig {
+        n_tags: 6,
+        pulse_error_prob: 0.0,
+        backlog_bits: 10_000,
+        seed: 24,
+        ..TagNetworkConfig::default()
+    })
+    .run(60);
+    let lossy_total: u64 = report.per_tag_bits.iter().sum();
+    let healthy_total: u64 = healthy.per_tag_bits.iter().sum();
+    assert!(
+        lossy_total < healthy_total / 4,
+        "lossy {lossy_total} vs healthy {healthy_total}"
+    );
+}

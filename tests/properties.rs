@@ -1,0 +1,157 @@
+//! Property-based tests (proptest) over the workspace's core invariants.
+
+use freerider::coding::convolutional::{encode, viterbi_decode, CodeRate};
+use freerider::coding::crc;
+use freerider::coding::interleaver::Interleaver;
+use freerider::coding::scrambler::Scrambler;
+use freerider::coding::whitening::Whitener;
+use freerider::dsp::{bits, fft, Complex};
+use freerider::tag::plm::{PlmConfig, PlmEncoder, PlmReceiver};
+use freerider::tag::translator::PhaseTranslator;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_ifft_round_trips(values in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 64)) {
+        let orig: Vec<Complex> = values.iter().map(|&(r, i)| Complex::new(r, i)).collect();
+        let mut v = orig.clone();
+        fft::fft(&mut v).unwrap();
+        fft::ifft(&mut v).unwrap();
+        for (a, b) in v.iter().zip(orig.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bytes_bits_round_trip(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(bits::bits_to_bytes_lsb(&bits::bytes_to_bits_lsb(&data)), data.clone());
+        prop_assert_eq!(bits::bits_to_bytes_msb(&bits::bytes_to_bits_msb(&data)), data);
+    }
+
+    #[test]
+    fn scrambler_is_involution(seed in 1u8..0x80, data in prop::collection::vec(0u8..2, 1..512)) {
+        let once = Scrambler::new(seed).scramble(&data);
+        let twice = Scrambler::new(seed).scramble(&once);
+        prop_assert_eq!(twice, data);
+    }
+
+    #[test]
+    fn whitening_is_involution(ch in 0u8..40, data in prop::collection::vec(0u8..2, 1..256)) {
+        let once = Whitener::for_channel(ch).whiten(&data);
+        let twice = Whitener::for_channel(ch).whiten(&once);
+        prop_assert_eq!(twice, data);
+    }
+
+    #[test]
+    fn viterbi_inverts_encoder(data in prop::collection::vec(0u8..2, 1..200)) {
+        let mut bits = data.clone();
+        bits.extend_from_slice(&[0; 6]);
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let decoded = viterbi_decode(&encode(&bits, rate), rate);
+            prop_assert_eq!(&decoded[..data.len()], &data[..]);
+        }
+    }
+
+    #[test]
+    fn interleaver_round_trips(sym in prop::collection::vec(0u8..2, 48..=48)) {
+        for (n_cbps, n_bpsc) in [(48usize, 1usize), (96, 2), (192, 4), (288, 6)] {
+            let il = Interleaver::new(n_cbps, n_bpsc);
+            let block: Vec<u8> = sym.iter().cycle().take(n_cbps).copied().collect();
+            prop_assert_eq!(il.deinterleave_symbol(&il.interleave_symbol(&block)), block);
+        }
+    }
+
+    #[test]
+    fn crc32_rejects_any_corruption(
+        data in prop::collection::vec(any::<u8>(), 4..128),
+        byte in 0usize..128,
+        bit in 0u8..8,
+    ) {
+        let mut frame = data;
+        crc::append_crc32(&mut frame);
+        prop_assert!(crc::check_crc32(&frame));
+        let idx = byte % frame.len();
+        frame[idx] ^= 1 << bit;
+        prop_assert!(!crc::check_crc32(&frame));
+    }
+
+    #[test]
+    fn phase_translation_preserves_power_and_is_invertible(
+        nbits in 1usize..20,
+        data_start in 0usize..64,
+    ) {
+        let t = PhaseTranslator {
+            delta_theta: std::f64::consts::PI,
+            levels: 2,
+            symbols_per_step: 2,
+            symbol_len: 8,
+            data_start,
+        };
+        let excitation: Vec<Complex> =
+            (0..400).map(|i| Complex::cis(i as f64 * 0.37)).collect();
+        let tag_bits: Vec<u8> = (0..nbits).map(|i| (i % 2) as u8).collect();
+        let (out, consumed) = t.translate(&excitation, &tag_bits);
+        prop_assert!(consumed <= nbits);
+        prop_assert_eq!(out.len(), excitation.len());
+        // Phase translation never changes sample magnitudes.
+        for (a, b) in out.iter().zip(excitation.iter()) {
+            prop_assert!((a.abs() - b.abs()).abs() < 1e-12);
+        }
+        // Applying the same translation again undoes it (π is an involution).
+        let (back, _) = t.translate(&out, &tag_bits);
+        for (a, b) in back.iter().zip(excitation.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn xor_decode_recovers_any_tag_pattern(pattern in prop::collection::vec(0u8..2, 1..40)) {
+        // Clean-channel model of the full decode path: flips over windows.
+        let n_dbps = 24usize;
+        let window = 4usize;
+        let orig = vec![0u8; n_dbps * (1 + pattern.len() * window)];
+        let mut back = orig.clone();
+        for (k, &bit) in pattern.iter().enumerate() {
+            if bit == 1 {
+                let lo = n_dbps * (1 + k * window);
+                let hi = lo + n_dbps * window;
+                for b in back[lo..hi].iter_mut() {
+                    *b ^= 1;
+                }
+            }
+        }
+        let decoded = freerider::core::decoder::decode_wifi_binary(&orig, &back, n_dbps, window, 1);
+        prop_assert_eq!(decoded, pattern);
+    }
+
+    #[test]
+    fn plm_messages_survive_arbitrary_ambient_interleaving(
+        msg in prop::collection::vec(0u8..2, 8..=8),
+        ambient in prop::collection::vec(0.04e-3f64..2.7e-3, 0..40),
+    ) {
+        let cfg = PlmConfig::default();
+        let enc = PlmEncoder::new(cfg);
+        let mut rx = PlmReceiver::new(cfg, 8);
+        // Hostile prelude of ambient durations (skip any that alias).
+        for &d in &ambient {
+            if (d - cfg.l0_s).abs() > cfg.tolerance_s && (d - cfg.l1_s).abs() > cfg.tolerance_s {
+                prop_assert!(rx.push_pulse(d).is_none());
+            }
+        }
+        let mut got = None;
+        for d in enc.encode(&msg) {
+            got = got.or(rx.push_pulse(d));
+        }
+        prop_assert_eq!(got, Some(msg));
+    }
+
+    #[test]
+    fn jain_index_is_bounded(alloc in prop::collection::vec(0.0f64..1e6, 1..50)) {
+        let j = freerider::mac::fairness::jain_index(&alloc);
+        let n = alloc.len() as f64;
+        prop_assert!(j <= 1.0 + 1e-9);
+        prop_assert!(j >= 1.0 / n - 1e-9);
+    }
+}
