@@ -1,53 +1,36 @@
-//! Per-figure benchmarks: each group times the generator that regenerates
-//! one table/figure of the paper (at the harness's quick size), so
-//! `cargo bench` exercises every experiment end-to-end.
+//! Per-figure benchmarks: times the generator that regenerates each
+//! table/figure of the paper (at the harness's quick size), so
+//! `cargo bench` exercises every experiment end-to-end. Plain `main`
+//! timed with `freerider_bench::micro`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use freerider_bench::micro::bench;
+use std::time::Duration;
 
-fn bench_figures(c: &mut Criterion) {
-    // Fast experiments get normal sampling.
-    for name in [
-        "table1",
-        "fig3",
-        "fig4",
-        "fig14",
-        "fig15",
-        "fig17",
-        "power",
-        "baseline-tone",
-        "extension-harvest",
-    ] {
-        let mut g = c.benchmark_group(format!("repro/{name}"));
-        g.sample_size(10);
-        g.bench_function("quick", |b| {
-            b.iter(|| black_box(freerider_bench::run(name, true).unwrap()))
+fn main() {
+    // Fast experiments get a larger iteration budget; IQ-heavy ones are
+    // effectively one-shot (min 3 samples).
+    let fast = Duration::from_millis(300);
+    let heavy = Duration::from_millis(50);
+    for name in freerider_bench::EXPERIMENTS {
+        let iq_heavy = matches!(
+            *name,
+            "fig10"
+                | "fig11"
+                | "fig12"
+                | "fig13"
+                | "fig16"
+                | "ablation-window"
+                | "ablation-pilots"
+                | "ablation-shifter"
+                | "ablation-zigbee-n"
+                | "ablation-mac"
+                | "ablation-quaternary"
+                | "ablation-amplitude"
+                | "baseline-hitchhike"
+        );
+        let budget = if iq_heavy { heavy } else { fast };
+        bench(&format!("repro/{name}/quick"), budget, 50, || {
+            freerider_bench::run(name, true).unwrap()
         });
-        g.finish();
-    }
-    // IQ-heavy experiments: one-shot measurement style.
-    for name in [
-        "fig10",
-        "fig11",
-        "fig12",
-        "fig13",
-        "fig16",
-        "ablation-window",
-        "ablation-pilots",
-        "ablation-shifter",
-        "ablation-zigbee-n",
-        "ablation-mac",
-        "ablation-quaternary",
-        "ablation-amplitude",
-        "baseline-hitchhike",
-    ] {
-        let mut g = c.benchmark_group(format!("repro/{name}"));
-        g.sample_size(10);
-        g.bench_function("quick", |b| {
-            b.iter(|| black_box(freerider_bench::run(name, true).unwrap()))
-        });
-        g.finish();
     }
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

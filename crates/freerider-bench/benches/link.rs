@@ -1,10 +1,15 @@
 //! End-to-end link benchmarks: one full excitation→tag→receiver→decode
-//! round per technology — the kernel behind Figs. 10–13.
+//! round per technology — the kernel behind Figs. 10–13. Plain `main`
+//! timed with `freerider_bench::micro`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use freerider_bench::micro::bench;
 use freerider_channel::channel::Fading;
 use freerider_channel::BackscatterBudget;
 use freerider_core::link::{BleLink, LinkConfig, WifiLink, ZigbeeLink};
+use std::time::Duration;
+
+const BUDGET: Duration = Duration::from_millis(400);
+const MAX_ITERS: u32 = 200;
 
 fn one_packet(budget: BackscatterBudget, d: f64, payload: usize) -> LinkConfig {
     LinkConfig {
@@ -15,35 +20,20 @@ fn one_packet(budget: BackscatterBudget, d: f64, payload: usize) -> LinkConfig {
     }
 }
 
-fn bench_links(c: &mut Criterion) {
-    let mut g = c.benchmark_group("link");
-    g.sample_size(10);
+fn main() {
     let wifi = WifiLink::new(one_packet(BackscatterBudget::wifi_los(), 5.0, 1000));
-    g.bench_function("wifi_1000B_packet", |b| b.iter(|| black_box(wifi.run())));
+    bench("link/wifi_1000B_packet", BUDGET, MAX_ITERS, || wifi.run());
     let zig = ZigbeeLink::new(one_packet(BackscatterBudget::zigbee_los(), 5.0, 100));
-    g.bench_function("zigbee_100B_packet", |b| b.iter(|| black_box(zig.run())));
+    bench("link/zigbee_100B_packet", BUDGET, MAX_ITERS, || zig.run());
     let ble = BleLink::new(one_packet(BackscatterBudget::ble_los(), 3.0, 37));
-    g.bench_function("ble_37B_packet", |b| b.iter(|| black_box(ble.run())));
-    g.finish();
-}
+    bench("link/ble_37B_packet", BUDGET, MAX_ITERS, || ble.run());
 
-fn bench_decoders(c: &mut Criterion) {
-    let mut g = c.benchmark_group("decoder");
     let orig: Vec<u8> = (0..12_000).map(|i| ((i * 11) % 5 < 2) as u8).collect();
     let back: Vec<u8> = orig.iter().map(|b| b ^ 1).collect();
-    g.bench_function("xor_majority_500_tag_bits", |b| {
-        b.iter(|| {
-            black_box(freerider_core::decoder::decode_wifi_binary(
-                black_box(&orig),
-                black_box(&back),
-                24,
-                4,
-                1,
-            ))
-        })
-    });
-    g.finish();
+    bench(
+        "decoder/xor_majority_500_tag_bits",
+        BUDGET,
+        MAX_ITERS,
+        || freerider_core::decoder::decode_wifi_binary(&orig, &back, 24, 4, 1),
+    );
 }
-
-criterion_group!(benches, bench_links, bench_decoders);
-criterion_main!(benches);

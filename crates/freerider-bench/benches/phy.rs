@@ -1,153 +1,110 @@
-//! Component-level criterion benchmarks: the PHY and tag kernels every
-//! experiment is built from.
+//! Component-level micro-benchmarks: the PHY and tag kernels every
+//! experiment is built from. Plain `main` timed with
+//! `freerider_bench::micro` (no external bench harness).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use freerider_bench::micro::bench;
 use freerider_coding::convolutional::{encode, viterbi_decode, CodeRate};
+use freerider_dot11b::barker::{despread_symbol, spread_symbol};
 use freerider_dsp::{fft, Complex};
 use freerider_tag::envelope::{EnvelopeConfig, EnvelopeDetector};
 use freerider_tag::translator::{FskTranslator, PhaseTranslator};
 use freerider_wifi::{Receiver, RxConfig, Transmitter, TxConfig};
-use freerider_dot11b::barker::{despread_symbol, spread_symbol};
 use freerider_zigbee::chips::{bipolar_table, correlate};
+use std::time::Duration;
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dsp");
+const BUDGET: Duration = Duration::from_millis(300);
+const MAX_ITERS: u32 = 2_000;
+
+fn main() {
+    // dsp
     let data: Vec<Complex> = (0..64).map(|i| Complex::cis(i as f64 * 0.3)).collect();
-    g.throughput(Throughput::Elements(64));
-    g.bench_function("fft64", |b| {
-        b.iter(|| {
-            let mut v = data.clone();
-            fft::fft(&mut v).unwrap();
-            black_box(v)
-        })
+    bench("dsp/fft64", BUDGET, MAX_ITERS, || {
+        let mut v = data.clone();
+        fft::fft(&mut v).unwrap();
+        v
     });
-    g.finish();
-}
 
-fn bench_viterbi(c: &mut Criterion) {
-    let mut g = c.benchmark_group("coding");
+    // coding
     let bits: Vec<u8> = (0..1000).map(|i| ((i * 7) % 3 == 0) as u8).collect();
     let coded = encode(&bits, CodeRate::Half);
-    g.throughput(Throughput::Elements(bits.len() as u64));
-    g.bench_function("viterbi_1000bits", |b| {
-        b.iter(|| black_box(viterbi_decode(black_box(&coded), CodeRate::Half)))
+    bench("coding/viterbi_1000bits", BUDGET, MAX_ITERS, || {
+        viterbi_decode(&coded, CodeRate::Half)
     });
-    g.finish();
-}
 
-fn bench_wifi_phy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wifi");
-    g.sample_size(20);
+    // wifi
     let tx = Transmitter::new(TxConfig::default());
     let mut psdu = vec![0xA5u8; 1000];
     freerider_coding::crc::append_crc32(&mut psdu);
     let wave = tx.transmit(&psdu).unwrap();
-    g.throughput(Throughput::Bytes(psdu.len() as u64));
-    g.bench_function("tx_1000B", |b| {
-        b.iter(|| black_box(tx.transmit(black_box(&psdu)).unwrap()))
+    bench("wifi/tx_1000B", BUDGET, MAX_ITERS, || {
+        tx.transmit(&psdu).unwrap()
     });
     let rx = Receiver::new(RxConfig {
         sensitivity_dbm: -200.0,
         ..RxConfig::default()
     });
-    g.bench_function("rx_1000B", |b| {
-        b.iter(|| black_box(rx.receive(black_box(&wave)).unwrap()))
+    bench("wifi/rx_1000B", BUDGET, MAX_ITERS, || {
+        rx.receive(&wave).unwrap()
     });
-    g.finish();
-}
 
-fn bench_zigbee_despread(c: &mut Criterion) {
-    let mut g = c.benchmark_group("zigbee");
+    // zigbee
     let table = bipolar_table();
-    g.bench_function("chip_correlate_16codes", |b| {
-        b.iter(|| black_box(correlate(black_box(&table[7]))))
+    bench("zigbee/chip_correlate_16codes", BUDGET, MAX_ITERS, || {
+        correlate(&table[7])
     });
-    g.finish();
-}
 
-fn bench_dot11b(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dot11b");
+    // dot11b
     let chips = spread_symbol(Complex::ONE);
-    g.bench_function("barker_despread", |b| {
-        b.iter(|| black_box(despread_symbol(black_box(&chips))))
+    bench("dot11b/barker_despread", BUDGET, MAX_ITERS, || {
+        despread_symbol(&chips)
     });
-    let tx = freerider_dot11b::Transmitter::new();
-    let psdu = vec![0x5Au8; 500];
-    let wave = tx.transmit(&psdu).unwrap();
-    g.throughput(Throughput::Bytes(500));
-    g.bench_function("tx_500B", |b| {
-        b.iter(|| black_box(tx.transmit(black_box(&psdu)).unwrap()))
+    let btx = freerider_dot11b::Transmitter::new();
+    let bpsdu = vec![0x5Au8; 500];
+    let bwave = btx.transmit(&bpsdu).unwrap();
+    bench("dot11b/tx_500B", BUDGET, MAX_ITERS, || {
+        btx.transmit(&bpsdu).unwrap()
     });
-    let rx = freerider_dot11b::Receiver::new(freerider_dot11b::RxConfig {
+    let brx = freerider_dot11b::Receiver::new(freerider_dot11b::RxConfig {
         sensitivity_dbm: -200.0,
         ..freerider_dot11b::RxConfig::default()
     });
-    g.sample_size(10);
-    g.bench_function("rx_500B", |b| {
-        b.iter(|| black_box(rx.receive(black_box(&wave)).unwrap()))
+    bench("dot11b/rx_500B", BUDGET, MAX_ITERS, || {
+        brx.receive(&bwave).unwrap()
     });
-    g.finish();
-}
 
-fn bench_net(c: &mut Criterion) {
-    use freerider_channel::geometry::Point;
-    use freerider_net::coverage::coverage_map;
-    use freerider_net::{Deployment, LinkModel};
-    let mut g = c.benchmark_group("net");
-    let d = Deployment::open_plan()
-        .with_receiver(4.0, 0.0)
-        .with_receiver(-4.0, 0.0);
-    let m = LinkModel::default();
-    g.bench_function("coverage_map_30x30", |b| {
-        b.iter(|| {
-            black_box(coverage_map(
-                black_box(&d),
-                &m,
-                Point::new(-15.0, -15.0),
-                1.0,
-                30,
-                30,
-            ))
-        })
-    });
-    g.finish();
-}
+    // net
+    {
+        use freerider_channel::geometry::Point;
+        use freerider_net::coverage::coverage_map;
+        use freerider_net::{Deployment, LinkModel};
+        let d = Deployment::open_plan()
+            .with_receiver(4.0, 0.0)
+            .with_receiver(-4.0, 0.0);
+        let m = LinkModel::default();
+        bench("net/coverage_map_30x30", BUDGET, MAX_ITERS, || {
+            coverage_map(&d, &m, Point::new(-15.0, -15.0), 1.0, 30, 30)
+        });
+    }
 
-fn bench_tag(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tag");
-    g.sample_size(30);
+    // tag
     let excitation: Vec<Complex> = (0..41_280).map(|i| Complex::cis(i as f64 * 0.01)).collect();
-    let bits: Vec<u8> = (0..127).map(|i| (i % 2) as u8).collect();
+    let tag_bits: Vec<u8> = (0..127).map(|i| (i % 2) as u8).collect();
     let phase = PhaseTranslator::wifi_binary();
-    g.throughput(Throughput::Elements(excitation.len() as u64));
-    g.bench_function("phase_translate_wifi_packet", |b| {
-        b.iter(|| black_box(phase.translate(black_box(&excitation), &bits)))
+    bench("tag/phase_translate_wifi_packet", BUDGET, MAX_ITERS, || {
+        phase.translate(&excitation, &tag_bits)
     });
     let fsk = FskTranslator::ble();
     let ble_ex: Vec<Complex> = (0..3008).map(|i| Complex::cis(i as f64 * 0.2)).collect();
     let ble_bits = vec![1u8; 20];
-    g.bench_function("fsk_translate_ble_packet", |b| {
-        b.iter(|| black_box(fsk.translate(black_box(&ble_ex), &ble_bits)))
+    bench("tag/fsk_translate_ble_packet", BUDGET, MAX_ITERS, || {
+        fsk.translate(&ble_ex, &ble_bits)
     });
     let mut det = EnvelopeDetector::new(EnvelopeConfig {
         threshold_mw: 0.25,
         ..EnvelopeConfig::default()
     });
     let burst: Vec<Complex> = (0..20_000).map(|_| Complex::ONE).collect();
-    g.bench_function("envelope_detect_1ms", |b| {
-        b.iter(|| black_box(det.detect(black_box(&burst))))
+    bench("tag/envelope_detect_1ms", BUDGET, MAX_ITERS, || {
+        det.detect(&burst)
     });
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_fft,
-    bench_viterbi,
-    bench_wifi_phy,
-    bench_zigbee_despread,
-    bench_dot11b,
-    bench_net,
-    bench_tag
-);
-criterion_main!(benches);

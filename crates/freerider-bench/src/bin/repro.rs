@@ -5,9 +5,17 @@
 //! cargo run --release -p freerider-bench --bin repro -- fig10 fig17
 //! cargo run --release -p freerider-bench --bin repro -- --quick all
 //! cargo run --release -p freerider-bench --bin repro -- --list
+//! FREERIDER_THREADS=4 cargo run --release -p freerider-bench --bin repro -- fig10
 //! ```
+//!
+//! Monte-Carlo experiments fan out over `freerider_rt::Executor`:
+//! `FREERIDER_THREADS` pins the worker count (default: all cores), and the
+//! output is bit-identical for any setting.
 
+use freerider_bench::micro::format_duration;
+use freerider_rt::Executor;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,12 +45,23 @@ fn main() -> ExitCode {
         targets
     };
 
+    let threads = Executor::from_env().threads();
+    eprintln!(
+        "repro: {} worker thread{} (set {} to override)",
+        threads,
+        if threads == 1 { "" } else { "s" },
+        freerider_rt::executor::THREADS_ENV
+    );
+
+    let t_all = Instant::now();
     let mut failed = false;
     for name in names {
+        let t0 = Instant::now();
         match freerider_bench::run(name, quick) {
             Some(out) => {
                 println!("{}", "=".repeat(78));
                 println!("{out}");
+                eprintln!("repro: {name} took {}", format_duration(t0.elapsed()));
             }
             None => {
                 eprintln!("unknown experiment `{name}` (try --list)");
@@ -50,6 +69,7 @@ fn main() -> ExitCode {
             }
         }
     }
+    eprintln!("repro: total {}", format_duration(t_all.elapsed()));
     if failed {
         ExitCode::FAILURE
     } else {

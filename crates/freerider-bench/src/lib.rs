@@ -6,7 +6,7 @@
 //!
 //! The `repro` binary prints them (`repro fig10`, `repro all`, …);
 //! EXPERIMENTS.md records the outputs against the paper's numbers; the
-//! criterion benches in `benches/` time the underlying kernels.
+//! std-only micro-benchmarks in `benches/` time the underlying kernels.
 //!
 //! Every generator takes a `quick` flag: `true` shrinks the workload for
 //! CI/tests, `false` runs the full experiment sizes.
@@ -27,12 +27,32 @@ use freerider_mac::{MacScheme, NetworkConfig, NetworkSim};
 use freerider_tag::power::{PowerModel, TranslatorKind};
 use std::fmt::Write as _;
 
+pub mod micro;
+
 /// All experiment identifiers the harness can regenerate.
 pub const EXPERIMENTS: &[&str] = &[
-    "table1", "fig3", "fig4", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "fig17", "power", "ablation-window", "ablation-pilots", "ablation-shifter",
-    "ablation-zigbee-n", "ablation-mac", "ablation-quaternary", "ablation-amplitude",
-    "baseline-hitchhike", "baseline-tone", "extension-harvest",
+    "table1",
+    "fig3",
+    "fig4",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "power",
+    "ablation-window",
+    "ablation-pilots",
+    "ablation-shifter",
+    "ablation-zigbee-n",
+    "ablation-mac",
+    "ablation-quaternary",
+    "ablation-amplitude",
+    "baseline-hitchhike",
+    "baseline-tone",
+    "extension-harvest",
 ];
 
 /// Runs one experiment by name; `None` if the name is unknown.
@@ -141,7 +161,13 @@ pub fn fig4(quick: bool) -> String {
     let mut out = String::from("Fig. 4 — PLM scheduling-message accuracy vs distance (15 dBm)\n");
     writeln!(out, "  dist(m)   accuracy(%)").unwrap();
     for p in pts {
-        writeln!(out, "  {:>7.0}   {:>10.1}", p.distance_m, p.accuracy * 100.0).unwrap();
+        writeln!(
+            out,
+            "  {:>7.0}   {:>10.1}",
+            p.distance_m,
+            p.accuracy * 100.0
+        )
+        .unwrap();
     }
     out.push_str("(paper: >70 % below 4 m, ≈50 % at 50 m)\n");
     out
@@ -153,7 +179,9 @@ pub fn fig10(quick: bool) -> String {
     let distances: Vec<f64> = if quick {
         vec![2.0, 18.0, 34.0, 42.0]
     } else {
-        vec![2.0, 6.0, 10.0, 14.0, 18.0, 22.0, 26.0, 30.0, 34.0, 38.0, 42.0, 44.0]
+        vec![
+            2.0, 6.0, 10.0, 14.0, 18.0, 22.0, 26.0, 30.0, 34.0, 38.0, 42.0, 44.0,
+        ]
     };
     let pts = distance_sweep(
         Technology::Wifi,
@@ -298,7 +326,8 @@ pub fn fig15(quick: bool) -> String {
 /// Fig. 16: backscatter throughput CDFs with WiFi present/absent.
 pub fn fig16(quick: bool) -> String {
     let (windows, per) = if quick { (6, 2) } else { (40, 3) };
-    let mut out = String::from("Fig. 16 — backscatter throughput with WiFi traffic present/absent\n");
+    let mut out =
+        String::from("Fig. 16 — backscatter throughput with WiFi traffic present/absent\n");
     for (tech, label) in [
         (CoexistTech::Wifi, "(a) 802.11g/n signals"),
         (CoexistTech::Zigbee, "(b) ZigBee signals"),
@@ -351,7 +380,11 @@ pub fn fig17(quick: bool) -> String {
          (fairness over 15-round measurement windows, as a deployment would observe)\n\
          tags   aloha(kbps)   tdm(kbps)   fairness\n",
     );
-    for n in [4usize, 8, 12, 16, 20] {
+    // Every (tag count × scheme) simulation is independently seeded, so
+    // the whole grid fans out over the executor; rows are assembled in
+    // order and the report is identical for any worker count.
+    let tag_counts = [4usize, 8, 12, 16, 20];
+    let rows = freerider_rt::Executor::from_env().map(&tag_counts, |_, &n| {
         let mut cfg = NetworkConfig::paper_fig17(n, MacScheme::FramedAloha, 170);
         cfg.rounds = rounds;
         let aloha = NetworkSim::new(cfg).run();
@@ -364,12 +397,15 @@ pub fn fig17(quick: bool) -> String {
         let mut wcfg = NetworkConfig::paper_fig17(n, MacScheme::FramedAloha, 174 + n as u64);
         wcfg.rounds = 15;
         let windowed = NetworkSim::new(wcfg).run();
+        (aloha.aggregate_bps, tdm.aggregate_bps, windowed.fairness)
+    });
+    for (&n, (aloha_bps, tdm_bps, fairness)) in tag_counts.iter().zip(rows) {
         writeln!(
             out,
             "  {n:>4}   {:>11.1}   {:>9.1}   {:>8.3}",
-            aloha.aggregate_bps / 1e3,
-            tdm.aggregate_bps / 1e3,
-            windowed.fairness
+            aloha_bps / 1e3,
+            tdm_bps / 1e3,
+            fairness
         )
         .unwrap();
     }
@@ -394,9 +430,20 @@ pub fn fig17(quick: bool) -> String {
 /// §3.3: the tag power budget.
 pub fn power() -> String {
     let m = PowerModel::default();
-    let mut out = String::from("§3.3 — FreeRider tag power budget (TSMC 65 nm behavioural model)\n");
-    writeln!(out, "  ring oscillator @20 MHz : {:>5.1} µW", m.ring_osc_uw(20e6)).unwrap();
-    writeln!(out, "  RF switch               : {:>5.1} µW", m.rf_switch_uw).unwrap();
+    let mut out =
+        String::from("§3.3 — FreeRider tag power budget (TSMC 65 nm behavioural model)\n");
+    writeln!(
+        out,
+        "  ring oscillator @20 MHz : {:>5.1} µW",
+        m.ring_osc_uw(20e6)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  RF switch               : {:>5.1} µW",
+        m.rf_switch_uw
+    )
+    .unwrap();
     writeln!(out, "  envelope detector       : {:>5.1} µW", m.envelope_uw).unwrap();
     for (kind, label) in [
         (TranslatorKind::WifiPhase, "WiFi phase translator   "),
@@ -454,10 +501,14 @@ pub fn ablation_window(quick: bool) -> String {
 /// Ablation: pilot phase tracking on the backscatter receiver.
 pub fn ablation_pilots(quick: bool) -> String {
     let packets = if quick { 4 } else { 20 };
-    let mut out = String::from("Ablation — pilot-based common-phase correction at the receiver (5 m)\n");
+    let mut out =
+        String::from("Ablation — pilot-based common-phase correction at the receiver (5 m)\n");
     use freerider_wifi::rx::PhaseTracking;
     for (tracking, label) in [
-        (PhaseTracking::DecisionDirected, "decision-directed (BCM43xx-like)"),
+        (
+            PhaseTracking::DecisionDirected,
+            "decision-directed (BCM43xx-like)",
+        ),
         (PhaseTracking::FullPilot, "full pilot correction"),
     ] {
         let mut link = WifiLink::new(LinkConfig {
@@ -487,7 +538,10 @@ pub fn ablation_shifter(quick: bool) -> String {
     let mut out = String::from(
         "Ablation — receiver channel filter vs the square-wave mirror sideband (BLE, 4 m)\n",
     );
-    for (filter, label) in [(true, "channel filter on (Eq. 10 satisfied)"), (false, "channel filter off")] {
+    for (filter, label) in [
+        (true, "channel filter on (Eq. 10 satisfied)"),
+        (false, "channel filter off"),
+    ] {
         let mut link = BleLink::new(LinkConfig {
             payload_len: 37,
             packets,
@@ -561,7 +615,9 @@ pub fn ablation_mac(quick: bool) -> String {
             .unwrap();
         }
     }
-    out.push_str("(rounds can be arbitrarily delayed so backscatter doesn't hog the channel — §2.4.1)\n");
+    out.push_str(
+        "(rounds can be arbitrarily delayed so backscatter doesn't hog the channel — §2.4.1)\n",
+    );
     out
 }
 
@@ -597,20 +653,21 @@ pub fn ablation_quaternary(quick: bool) -> String {
         )
         .unwrap();
     }
-    out.push_str("(Eq. 5 doubles the rate; the finer phase decision costs BER at range — §2.3.1)\n");
+    out.push_str(
+        "(Eq. 5 doubles the rate; the finer phase decision costs BER at range — §2.3.1)\n",
+    );
     out
 }
 
 /// Ablation: amplitude translation on OFDM — the Fig. 2 failure mode.
 pub fn ablation_amplitude(quick: bool) -> String {
     use freerider_channel::channel::{Channel, Fading};
+    use freerider_rt::Rng64;
     use freerider_tag::translator::AmplitudeTranslator;
     use freerider_wifi::{Mpdu, Receiver, RxConfig, Transmitter, TxConfig};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     let packets = if quick { 4 } else { 20 };
-    let mut rng = StdRng::seed_from_u64(49);
+    let mut rng = Rng64::new(49);
     // Amplitude scaling leaves BPSK/QPSK signs intact — the Fig. 2 failure
     // needs a constellation where amplitude carries bits, so the ablation
     // excites at 24 Mbps (16-QAM).
@@ -629,7 +686,7 @@ pub fn ablation_amplitude(quick: bool) -> String {
     let mut xor_ones = 0usize;
     let mut xor_total = 0usize;
     for _ in 0..packets {
-        let payload: Vec<u8> = (0..600).map(|_| rng.gen()).collect();
+        let payload: Vec<u8> = (0..600).map(|_| rng.byte()).collect();
         let frame = Mpdu::build(
             freerider_wifi::frame::MacAddr::local(1),
             freerider_wifi::frame::MacAddr::local(2),
@@ -638,7 +695,7 @@ pub fn ablation_amplitude(quick: bool) -> String {
         );
         let wave = tx.transmit(frame.as_bytes()).expect("fits");
         let original = rx.receive(&ref_ch.propagate(&wave)).expect("strong link");
-        let bits: Vec<u8> = (0..40).map(|_| rng.gen_range(0..2u8)).collect();
+        let bits: Vec<u8> = (0..40).map(|_| rng.bit()).collect();
         let (tagged, _) = translator.translate(&wave, &bits);
         if let Ok(pkt) = rx.receive(&ch.propagate(&tagged)) {
             // Amplitude scaling creates *invalid* OFDM codewords (Fig. 2):
@@ -671,9 +728,10 @@ pub fn ablation_amplitude(quick: bool) -> String {
 pub fn baseline_hitchhike(quick: bool) -> String {
     use freerider_channel::channel::{Channel, Fading};
     use freerider_dot11b::hitchhike::{decode_hitchhike, HitchhikeTranslator};
-    use freerider_dot11b::{Receiver as BReceiver, RxConfig as BRxConfig, Transmitter as BTransmitter};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use freerider_dot11b::{
+        Receiver as BReceiver, RxConfig as BRxConfig, Transmitter as BTransmitter,
+    };
+    use freerider_rt::Rng64;
 
     let packets = if quick { 3 } else { 15 };
     let mut out = String::from(
@@ -687,7 +745,7 @@ pub fn baseline_hitchhike(quick: bool) -> String {
         ..BackscatterBudget::wifi_los()
     };
     for d in [2.0f64, 20.0] {
-        let mut rng = StdRng::seed_from_u64(60 + d as u64);
+        let mut rng = Rng64::new(60 + d as u64);
         let tx = BTransmitter::new();
         let rx_ref = BReceiver::new(BRxConfig {
             sensitivity_dbm: -200.0,
@@ -701,7 +759,7 @@ pub fn baseline_hitchhike(quick: bool) -> String {
 
         let (mut sent, mut correct, mut decoded, mut airtime) = (0u64, 0u64, 0usize, 0.0f64);
         for _ in 0..packets {
-            let psdu: Vec<u8> = (0..500).map(|_| rng.gen()).collect();
+            let psdu: Vec<u8> = (0..500).map(|_| rng.byte()).collect();
             let wave = tx.transmit(&psdu).expect("fits");
             airtime += wave.len() as f64 / freerider_dot11b::SAMPLE_RATE;
             let original = match rx_ref.receive(&ch_ref.propagate(&wave)) {
@@ -709,7 +767,7 @@ pub fn baseline_hitchhike(quick: bool) -> String {
                 Err(_) => continue,
             };
             let bits: Vec<u8> = (0..translator.capacity(wave.len()))
-                .map(|_| rng.gen_range(0..2u8))
+                .map(|_| rng.bit())
                 .collect();
             sent += bits.len() as u64;
             let (tagged, _) = translator.translate(&wave, &bits);

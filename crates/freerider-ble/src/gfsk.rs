@@ -110,7 +110,9 @@ mod tests {
         // Tone at +250 kHz (codeword) passes…
         let tone = |freq_hz: f64| -> f64 {
             let w: Vec<Complex> = (0..4000)
-                .map(|n| Complex::cis(2.0 * std::f64::consts::PI * freq_hz / SAMPLE_RATE * n as f64))
+                .map(|n| {
+                    Complex::cis(2.0 * std::f64::consts::PI * freq_hz / SAMPLE_RATE * n as f64)
+                })
                 .collect();
             let y = f.filter(&w);
             db::mean_power(&y[1000..3000])

@@ -123,12 +123,7 @@ impl Receiver {
         if freq.len() < span + 16 * SAMPLES_PER_BIT {
             return Err(RxError::NoSync);
         }
-        let t_norm: f64 = self
-            .sync_template
-            .iter()
-            .map(|t| t * t)
-            .sum::<f64>()
-            .sqrt();
+        let t_norm: f64 = self.sync_template.iter().map(|t| t * t).sum::<f64>().sqrt();
         let mut best = (0usize, f64::NEG_INFINITY);
         for off in 0..freq.len() - span {
             let mut acc = 0.0;
@@ -294,4 +289,3 @@ mod tests {
         assert_eq!(same, 18 + clean.pdu_bits.len() - 62);
     }
 }
-

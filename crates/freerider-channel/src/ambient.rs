@@ -12,13 +12,12 @@
 //! durations from that documented mixture so the PLM false-positive
 //! analysis (and Fig. 3's regeneration) can run.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use freerider_rt::Rng64;
 
 /// Generator of ambient packet durations (seconds).
 #[derive(Debug)]
 pub struct AmbientTraffic {
-    rng: StdRng,
+    rng: Rng64,
 }
 
 /// Fraction of ambient packets in the short mode (< 500 µs).
@@ -30,29 +29,29 @@ impl AmbientTraffic {
     /// Creates a generator.
     pub fn new(seed: u64) -> Self {
         AmbientTraffic {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::new(seed),
         }
     }
 
     /// Draws one packet duration in seconds.
     pub fn sample_duration(&mut self) -> f64 {
-        let u: f64 = self.rng.gen();
+        let u = self.rng.f64();
         if u < SHORT_FRACTION {
             // Short mode: exponential-ish mass below 500 µs, floor 40 µs
             // (shortest ACK-class frames).
-            let x: f64 = self.rng.gen();
+            let x = self.rng.f64();
             40e-6 + 460e-6 * x * x
         } else if u < SHORT_FRACTION + LONG_FRACTION {
             // Long mode: uniform over 1.5–2.7 ms (A-MPDU bursts).
-            self.rng.gen_range(1.5e-3..2.7e-3)
+            self.rng.f64_range(1.5e-3, 2.7e-3)
         } else {
             // Middle mass: mostly just past the short mode; the region
             // around the PLM pulse lengths (≈0.9–1.5 ms) is nearly empty —
             // the sparsity that gives the paper its ≈0.03 % confusion rate.
-            if self.rng.gen_bool(0.92) {
-                self.rng.gen_range(0.5e-3..0.9e-3)
+            if self.rng.bernoulli(0.92) {
+                self.rng.f64_range(0.5e-3, 0.9e-3)
             } else {
-                self.rng.gen_range(0.9e-3..1.5e-3)
+                self.rng.f64_range(0.9e-3, 1.5e-3)
             }
         }
     }
@@ -85,9 +84,7 @@ impl AmbientTraffic {
             let b = ((d / bin_width_s) as usize).min(nbins - 1);
             counts[b] += 1;
         }
-        let centers = (0..nbins)
-            .map(|b| (b as f64 + 0.5) * bin_width_s)
-            .collect();
+        let centers = (0..nbins).map(|b| (b as f64 + 0.5) * bin_width_s).collect();
         let pdf = counts.iter().map(|&c| c as f64 / n as f64).collect();
         (centers, pdf)
     }

@@ -9,8 +9,7 @@
 use freerider_dsp::db;
 use freerider_dsp::noise::NoiseSource;
 use freerider_dsp::Complex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use freerider_rt::{stream, Rng64};
 
 /// Block-fading configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,7 +79,7 @@ pub struct Channel {
     /// experiments).
     pub phase_noise: f64,
     noise: NoiseSource,
-    fade_rng: StdRng,
+    fade_rng: Rng64,
 }
 
 impl Channel {
@@ -93,8 +92,11 @@ impl Channel {
             fading,
             multipath: None,
             phase_noise: 0.0,
-            noise: NoiseSource::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1), db::dbm_to_mw(noise_floor_dbm)),
-            fade_rng: StdRng::seed_from_u64(seed),
+            noise: NoiseSource::new(
+                freerider_rt::derive_seed(seed, stream::NOISE),
+                db::dbm_to_mw(noise_floor_dbm),
+            ),
+            fade_rng: Rng64::derive(seed, stream::FADING),
         }
     }
 
@@ -168,17 +170,13 @@ impl Channel {
         match self.fading {
             Fading::None => Complex::ONE,
             Fading::Rayleigh => {
-                
-                Complex::new(
-                    self.gauss() / 2f64.sqrt(),
-                    self.gauss() / 2f64.sqrt(),
-                )
+                Complex::new(self.gauss() / 2f64.sqrt(), self.gauss() / 2f64.sqrt())
             }
             Fading::Rician { k_db } => {
                 let k = db::db_to_ratio(k_db);
                 let los = (k / (k + 1.0)).sqrt();
                 let s = (1.0 / (k + 1.0)).sqrt();
-                let phase: f64 = self.fade_rng.gen_range(0.0..std::f64::consts::TAU);
+                let phase = self.fade_rng.f64_range(0.0, std::f64::consts::TAU);
                 Complex::from_polar(los, phase)
                     + Complex::new(
                         s * self.gauss() / 2f64.sqrt(),
@@ -189,11 +187,9 @@ impl Channel {
     }
 
     fn gauss(&mut self) -> f64 {
-        // Box–Muller on the fading RNG (kept separate from the noise RNG so
+        // Drawn from the fading RNG (kept separate from the noise RNG so
         // fading draws don't perturb the noise sequence).
-        let u1: f64 = self.fade_rng.gen_range(1e-12..1.0);
-        let u2: f64 = self.fade_rng.gen();
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        self.fade_rng.gauss()
     }
 
     /// Propagates a unit-power transmit waveform: multipath, fading gain,
@@ -311,8 +307,8 @@ mod multipath_tests {
 
     #[test]
     fn multipath_preserves_mean_power() {
-        let mut ch = Channel::new(0.0, -300.0, Fading::None, 6)
-            .with_multipath(Multipath::hallway_20msps());
+        let mut ch =
+            Channel::new(0.0, -300.0, Fading::None, 6).with_multipath(Multipath::hallway_20msps());
         let tx = vec![Complex::ONE; 2000];
         let mut acc = 0.0;
         let n = 500;
@@ -373,8 +369,8 @@ mod multipath_tests {
 
     #[test]
     fn multipath_tap_zero_dominates() {
-        let mut ch = Channel::new(0.0, -300.0, Fading::None, 10)
-            .with_multipath(Multipath::hallway_20msps());
+        let mut ch =
+            Channel::new(0.0, -300.0, Fading::None, 10).with_multipath(Multipath::hallway_20msps());
         for _ in 0..50 {
             let taps = ch.draw_taps();
             let p0 = taps[0].norm_sqr();

@@ -10,8 +10,7 @@
 use freerider_dsp::db;
 use freerider_dsp::noise::NoiseSource;
 use freerider_dsp::Complex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use freerider_rt::{stream, Rng64};
 
 /// A duty-cycled interferer leaking noise-like energy into the observed
 /// band.
@@ -23,7 +22,7 @@ pub struct Interferer {
     pub duty_cycle: f64,
     /// Mean burst length in samples.
     pub burst_len: usize,
-    rng: StdRng,
+    rng: Rng64,
     source: NoiseSource,
 }
 
@@ -53,8 +52,11 @@ impl Interferer {
             leak_dbm,
             duty_cycle,
             burst_len,
-            rng: StdRng::seed_from_u64(seed),
-            source: NoiseSource::new(seed ^ 0xABCD_EF01, db::dbm_to_mw(leak_dbm)),
+            rng: Rng64::derive(seed, stream::INTERFERER),
+            source: NoiseSource::new(
+                freerider_rt::derive_seed(seed, stream::NOISE),
+                db::dbm_to_mw(leak_dbm),
+            ),
         }
     }
 
@@ -65,11 +67,9 @@ impl Interferer {
         let mut i = 0usize;
         while i < buf.len() {
             // Geometric-ish burst/idle alternation honouring the duty cycle.
-            let burst_on: bool = self.rng.gen_bool(self.duty_cycle);
-            let len = self
-                .rng
-                .gen_range(self.burst_len / 2..=self.burst_len * 3 / 2)
-                .min(buf.len() - i);
+            let burst_on = self.rng.bernoulli(self.duty_cycle);
+            let span = self.burst_len / 2 + self.rng.index(self.burst_len + 1);
+            let len = span.max(1).min(buf.len() - i);
             if burst_on {
                 for z in buf[i..i + len].iter_mut() {
                     *z += self.source.sample();

@@ -300,12 +300,11 @@ pub fn viterbi_decode_hard(coded: &[u8], rate: CodeRate) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use freerider_rt::Rng64;
 
     fn random_bits(n: usize, seed: u64) -> Vec<u8> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| rng.gen_range(0..2u8)).collect()
+        let mut rng = Rng64::new(seed);
+        (0..n).map(|_| rng.bit()).collect()
     }
 
     #[test]
@@ -437,12 +436,11 @@ mod tests {
 #[cfg(test)]
 mod soft_tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use freerider_rt::Rng64;
 
     fn random_bits(n: usize, seed: u64) -> Vec<u8> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| rng.gen_range(0..2u8)).collect()
+        let mut rng = Rng64::new(seed);
+        (0..n).map(|_| rng.bit()).collect()
     }
 
     #[test]

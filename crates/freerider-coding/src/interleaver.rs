@@ -30,8 +30,14 @@ impl Interleaver {
     /// # Panics
     /// Panics if `n_cbps` is not a multiple of 16 or `n_bpsc` doesn't divide it.
     pub fn new(n_cbps: usize, n_bpsc: usize) -> Self {
-        assert!(n_cbps >= 16 && n_cbps.is_multiple_of(16), "invalid N_CBPS {n_cbps}");
-        assert!(n_bpsc >= 1 && n_cbps.is_multiple_of(n_bpsc), "invalid N_BPSC {n_bpsc}");
+        assert!(
+            n_cbps >= 16 && n_cbps.is_multiple_of(16),
+            "invalid N_CBPS {n_cbps}"
+        );
+        assert!(
+            n_bpsc >= 1 && n_cbps.is_multiple_of(n_bpsc),
+            "invalid N_BPSC {n_bpsc}"
+        );
         let s = (n_bpsc / 2).max(1);
         let mut fwd = vec![0usize; n_cbps];
         #[allow(clippy::needless_range_loop)] // k is the standard's bit index
@@ -210,7 +216,10 @@ mod soft_tests {
     fn soft_matches_hard_permutation() {
         let il = Interleaver::new(96, 2);
         let bits: Vec<u8> = (0..96).map(|i| (i % 3 == 0) as u8).collect();
-        let soft: Vec<f64> = bits.iter().map(|&b| if b == 1 { 1.0 } else { -1.0 }).collect();
+        let soft: Vec<f64> = bits
+            .iter()
+            .map(|&b| if b == 1 { 1.0 } else { -1.0 })
+            .collect();
         let hard_out = il.deinterleave_symbol(&bits);
         let soft_out = il.deinterleave_symbol_soft(&soft);
         for (h, s) in hard_out.iter().zip(soft_out.iter()) {

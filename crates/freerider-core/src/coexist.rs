@@ -21,9 +21,8 @@ use crate::metrics::Cdf;
 use freerider_channel::channel::{Channel, Fading};
 use freerider_channel::interference::Interferer;
 use freerider_channel::BackscatterBudget;
+use freerider_rt::{derive_seed, stream, Executor, Rng64};
 use freerider_tag::translator::{FskTranslator, PhaseTranslator};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// SNR→rate table for 802.11g with ~70 % MAC efficiency: `(snr_db, mbps)`.
 const RATE_TABLE: [(f64, f64); 8] = [
@@ -47,12 +46,12 @@ const MAC_EFFICIENCY: f64 = 0.7;
 /// * `tag_leak_dbm` — `None` = no backscatter; `Some(p)` = the tag's
 ///   leakage power into channel 6 at the WiFi receiver.
 pub fn wifi_throughput_cdf(tag_leak_dbm: Option<f64>, windows: usize, seed: u64) -> Cdf {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut cdf = Cdf::new();
     // A healthy office link: mean SNR 26 dB with per-window variation.
     let noise_dbm = -95.0f64;
     for _ in 0..windows {
-        let snr_sig = 26.0 + 3.0 * gauss(&mut rng);
+        let snr_sig = 26.0 + 3.0 * rng.gauss();
         // Interference adds to the noise floor.
         let noise_mw = freerider_dsp::db::dbm_to_mw(noise_dbm)
             + tag_leak_dbm.map_or(0.0, freerider_dsp::db::dbm_to_mw);
@@ -63,7 +62,7 @@ pub fn wifi_throughput_cdf(tag_leak_dbm: Option<f64>, windows: usize, seed: u64)
             .find(|(thr, _)| sinr >= *thr)
             .map_or(0.0, |(_, r)| *r);
         // Small per-window contention jitter.
-        let goodput = rate * MAC_EFFICIENCY * (1.0 + 0.03 * gauss(&mut rng));
+        let goodput = rate * MAC_EFFICIENCY * (1.0 + 0.03 * rng.gauss());
         cdf.push(goodput.max(0.0));
     }
     cdf
@@ -120,18 +119,44 @@ pub fn backscatter_coexistence(
     packets_per_window: usize,
     seed: u64,
 ) -> BackscatterCoexistResult {
+    backscatter_coexistence_on(
+        Executor::from_env(),
+        tech,
+        windows,
+        packets_per_window,
+        seed,
+    )
+}
+
+/// [`backscatter_coexistence`] on an explicit executor: windows fan out in
+/// parallel, each on its own derived stream, and both CDFs are assembled
+/// in window order (bit-identical for any worker count).
+pub fn backscatter_coexistence_on(
+    executor: Executor,
+    tech: CoexistTech,
+    windows: usize,
+    packets_per_window: usize,
+    seed: u64,
+) -> BackscatterCoexistResult {
+    let window_ids: Vec<u64> = (0..windows as u64).collect();
+    let pairs = executor.map(&window_ids, |_, &w| {
+        let s = derive_seed(seed, w);
+        (
+            coexist_window(tech, packets_per_window, None, s, false),
+            coexist_window(
+                tech,
+                packets_per_window,
+                Some(tech.interferer_leak_dbm()),
+                s,
+                false,
+            ),
+        )
+    });
     let mut absent = Cdf::new();
     let mut present = Cdf::new();
-    for w in 0..windows {
-        let s = seed.wrapping_add(w as u64 * 104729);
-        absent.push(coexist_window(tech, packets_per_window, None, s, false));
-        present.push(coexist_window(
-            tech,
-            packets_per_window,
-            Some(tech.interferer_leak_dbm()),
-            s,
-            false,
-        ));
+    for (a, p) in pairs {
+        absent.push(a);
+        present.push(p);
     }
     BackscatterCoexistResult { absent, present }
 }
@@ -152,11 +177,31 @@ pub fn backscatter_with_rts_cts(
     packets_per_window: usize,
     seed: u64,
 ) -> Cdf {
+    backscatter_with_rts_cts_on(
+        Executor::from_env(),
+        tech,
+        windows,
+        packets_per_window,
+        seed,
+    )
+}
+
+/// [`backscatter_with_rts_cts`] on an explicit executor.
+pub fn backscatter_with_rts_cts_on(
+    executor: Executor,
+    tech: CoexistTech,
+    windows: usize,
+    packets_per_window: usize,
+    seed: u64,
+) -> Cdf {
+    let window_ids: Vec<u64> = (0..windows as u64).collect();
+    // Reservation means the interferer never overlaps our packets.
+    let samples = executor.map(&window_ids, |_, &w| {
+        coexist_window(tech, packets_per_window, None, derive_seed(seed, w), true)
+    });
     let mut cdf = Cdf::new();
-    for w in 0..windows {
-        let s = seed.wrapping_add(w as u64 * 104729);
-        // Reservation means the interferer never overlaps our packets.
-        cdf.push(coexist_window(tech, packets_per_window, None, s, true));
+    for t in samples {
+        cdf.push(t);
     }
     cdf
 }
@@ -170,12 +215,19 @@ fn coexist_window(
     seed: u64,
     rts_cts: bool,
 ) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::derive(seed, stream::PAYLOAD);
     // File-transfer traffic is bursty: most measurement windows see
     // little of it, some are hammered — which is exactly how Fig. 16(a)
     // keeps its median while growing a 10 % tail.
-    let mut interferer =
-        interferer_leak_dbm.map(|leak| Interferer::new(leak, 0.0, 0.18, 12_000, seed ^ 0x77));
+    let mut interferer = interferer_leak_dbm.map(|leak| {
+        Interferer::new(
+            leak,
+            0.0,
+            0.18,
+            12_000,
+            derive_seed(seed, stream::INTERFERER),
+        )
+    });
 
     let mut correct = 0u64;
     let mut airtime = 0.0f64;
@@ -191,10 +243,20 @@ fn coexist_window(
             let rx = Receiver::new(RxConfig::default());
             let translator = PhaseTranslator::wifi_binary();
             let rssi = budget.rssi_dbm(1.0, 2.0);
-            let mut ch_ref = Channel::new(-45.0, budget.noise_floor_dbm, Fading::None, seed ^ 1);
-            let mut ch = Channel::new(rssi, budget.noise_floor_dbm, Fading::None, seed ^ 2);
+            let mut ch_ref = Channel::new(
+                -45.0,
+                budget.noise_floor_dbm,
+                Fading::None,
+                derive_seed(seed, stream::REF_CHANNEL),
+            );
+            let mut ch = Channel::new(
+                rssi,
+                budget.noise_floor_dbm,
+                Fading::None,
+                derive_seed(seed, stream::BACK_CHANNEL),
+            );
             for _ in 0..packets {
-                let payload: Vec<u8> = (0..1000).map(|_| rng.gen()).collect();
+                let payload: Vec<u8> = (0..1000).map(|_| rng.byte()).collect();
                 let frame = Mpdu::build(
                     freerider_wifi::frame::MacAddr::local(1),
                     freerider_wifi::frame::MacAddr::local(2),
@@ -208,7 +270,7 @@ fn coexist_window(
                     Err(_) => continue,
                 };
                 let bits: Vec<u8> = (0..translator.capacity(wave.len()))
-                    .map(|_| rng.gen_range(0..2u8))
+                    .map(|_| rng.bit())
                     .collect();
                 let (tagged, _) = translator.translate(&wave, &bits);
                 let mut rx_wave = ch.propagate_padded(&tagged, 200);
@@ -238,10 +300,20 @@ fn coexist_window(
             let rx = Receiver::new(RxConfig::default());
             let translator = PhaseTranslator::zigbee_binary();
             let rssi = budget.rssi_dbm(1.0, 2.0);
-            let mut ch_ref = Channel::new(-45.0, budget.noise_floor_dbm, Fading::None, seed ^ 3);
-            let mut ch = Channel::new(rssi, budget.noise_floor_dbm, Fading::None, seed ^ 4);
+            let mut ch_ref = Channel::new(
+                -45.0,
+                budget.noise_floor_dbm,
+                Fading::None,
+                derive_seed(seed, stream::REF_CHANNEL),
+            );
+            let mut ch = Channel::new(
+                rssi,
+                budget.noise_floor_dbm,
+                Fading::None,
+                derive_seed(seed, stream::BACK_CHANNEL),
+            );
             for _ in 0..packets {
-                let payload: Vec<u8> = (0..100).map(|_| rng.gen()).collect();
+                let payload: Vec<u8> = (0..100).map(|_| rng.byte()).collect();
                 let wave = tx.transmit(&payload).expect("fits");
                 airtime += wave.len() as f64 / freerider_zigbee::SAMPLE_RATE;
                 let original = match rx_ref.receive(&ch_ref.propagate(&wave)) {
@@ -249,7 +321,7 @@ fn coexist_window(
                     Err(_) => continue,
                 };
                 let bits: Vec<u8> = (0..translator.capacity(wave.len()))
-                    .map(|_| rng.gen_range(0..2u8))
+                    .map(|_| rng.bit())
                     .collect();
                 let (tagged, _) = translator.translate(&wave, &bits);
                 let mut rx_wave = ch.propagate_padded(&tagged, 150);
@@ -277,10 +349,20 @@ fn coexist_window(
             let rx = Receiver::new(RxConfig::default());
             let translator = FskTranslator::ble();
             let rssi = budget.rssi_dbm(1.0, 2.0);
-            let mut ch_ref = Channel::new(-45.0, budget.noise_floor_dbm, Fading::None, seed ^ 5);
-            let mut ch = Channel::new(rssi, budget.noise_floor_dbm, Fading::None, seed ^ 6);
+            let mut ch_ref = Channel::new(
+                -45.0,
+                budget.noise_floor_dbm,
+                Fading::None,
+                derive_seed(seed, stream::REF_CHANNEL),
+            );
+            let mut ch = Channel::new(
+                rssi,
+                budget.noise_floor_dbm,
+                Fading::None,
+                derive_seed(seed, stream::BACK_CHANNEL),
+            );
             for _ in 0..packets {
-                let payload: Vec<u8> = (0..37).map(|_| rng.gen()).collect();
+                let payload: Vec<u8> = (0..37).map(|_| rng.byte()).collect();
                 let wave = tx.transmit(&payload).expect("fits");
                 airtime += wave.len() as f64 / freerider_ble::SAMPLE_RATE;
                 let original = match rx_ref.receive(&ch_ref.propagate(&wave)) {
@@ -288,7 +370,7 @@ fn coexist_window(
                     Err(_) => continue,
                 };
                 let bits: Vec<u8> = (0..translator.capacity(wave.len()))
-                    .map(|_| rng.gen_range(0..2u8))
+                    .map(|_| rng.bit())
                     .collect();
                 let (tagged, _) = translator.translate(&wave, &bits);
                 let mut rx_wave = ch.propagate_padded(&tagged, 200);
@@ -322,12 +404,6 @@ fn count_correct(sent: &[u8], decoded: &[u8]) -> u64 {
         .zip(decoded.iter())
         .filter(|(a, b)| (**a & 1) == (**b & 1))
         .count() as u64
-}
-
-fn gauss<R: Rng>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen_range(1e-12..1.0);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 #[cfg(test)]

@@ -187,8 +187,14 @@ mod tests {
         for b in back[2..4].iter_mut() {
             *b ^= 1; // symbol 1 flipped
         }
-        assert_eq!(decode_wifi_binary(&orig, &back, 2, 1, 1), vec![1, 0, 0, 0, 0]);
-        assert_eq!(decode_wifi_binary(&orig, &back, 2, 1, 0), vec![0, 1, 0, 0, 0, 0]);
+        assert_eq!(
+            decode_wifi_binary(&orig, &back, 2, 1, 1),
+            vec![1, 0, 0, 0, 0]
+        );
+        assert_eq!(
+            decode_wifi_binary(&orig, &back, 2, 1, 0),
+            vec![0, 1, 0, 0, 0, 0]
+        );
     }
 
     #[test]
@@ -261,13 +267,8 @@ mod tests {
             backscattered[1][k] = original[1][k] * r + Complex::new(0.05, -0.03);
             backscattered[2][k] = original[2][k] * r + Complex::new(-0.04, 0.02);
         }
-        let bits = decode_wifi_quaternary(
-            &original,
-            &backscattered,
-            2,
-            1,
-            std::f64::consts::FRAC_PI_2,
-        );
+        let bits =
+            decode_wifi_quaternary(&original, &backscattered, 2, 1, std::f64::consts::FRAC_PI_2);
         assert_eq!(bits, vec![0, 1]);
     }
 

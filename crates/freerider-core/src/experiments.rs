@@ -7,8 +7,7 @@ use crate::metrics::LinkStats;
 use freerider_channel::ambient::AmbientTraffic;
 use freerider_channel::channel::Multipath;
 use freerider_channel::BackscatterBudget;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use freerider_rt::{derive_seed, Executor, Sweep};
 
 /// The three excitation technologies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,7 +86,8 @@ impl DistancePoint {
     }
 }
 
-/// Runs a throughput/BER/RSSI distance sweep (Figs. 10–13).
+/// Runs a throughput/BER/RSSI distance sweep (Figs. 10–13) on the
+/// environment-configured executor (`FREERIDER_THREADS` / all cores).
 ///
 /// `packets` excitation packets of `payload_len` bytes are run at each
 /// distance through the full IQ pipeline.
@@ -99,10 +99,34 @@ pub fn distance_sweep(
     payload_len: usize,
     seed: u64,
 ) -> Vec<DistancePoint> {
-    distances
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| {
+    distance_sweep_on(
+        Executor::from_env(),
+        tech,
+        budget,
+        distances,
+        packets,
+        payload_len,
+        seed,
+    )
+}
+
+/// [`distance_sweep`] on an explicit executor. Every distance runs on its
+/// own derived RNG stream, so the result is bit-identical for any worker
+/// count — the parallel-equivalence test pins this.
+pub fn distance_sweep_on(
+    executor: Executor,
+    tech: Technology,
+    budget: BackscatterBudget,
+    distances: &[f64],
+    packets: usize,
+    payload_len: usize,
+    seed: u64,
+) -> Vec<DistancePoint> {
+    Sweep::over(distances.to_vec())
+        .seed(seed)
+        .executor(executor)
+        .run(|point| {
+            let d = *point.value;
             // Through-wall deployments see heavier, longer multipath and a
             // weaker specular component than the open hallway.
             let nlos = budget.floor_plan != freerider_channel::FloorPlan::line_of_sight();
@@ -125,7 +149,7 @@ pub fn distance_sweep(
                 multipath: Some(multipath),
                 phase_noise: 2e-4,
                 fading,
-                ..LinkConfig::new(budget.clone(), d, seed.wrapping_add(i as u64 * 7919))
+                ..LinkConfig::new(budget.clone(), d, point.seed)
             };
             let stats = match tech {
                 Technology::Wifi => WifiLink::new(cfg).run(),
@@ -134,7 +158,6 @@ pub fn distance_sweep(
             };
             DistancePoint::from_stats(d, &stats)
         })
-        .collect()
 }
 
 /// One row of the Fig. 14 operational-regime map.
@@ -152,35 +175,47 @@ pub struct RangePoint {
 /// receiver sensitivity. Determined by the same header-detection budget
 /// that gates the full simulation (§4.2.1), so it can be computed directly
 /// from the budget with a bisection.
-pub fn range_map(tech: Technology, budget: &BackscatterBudget, d_tx_tag: &[f64]) -> Vec<RangePoint> {
+pub fn range_map(
+    tech: Technology,
+    budget: &BackscatterBudget,
+    d_tx_tag: &[f64],
+) -> Vec<RangePoint> {
+    range_map_on(Executor::from_env(), tech, budget, d_tx_tag)
+}
+
+/// [`range_map`] on an explicit executor (the map is deterministic, so
+/// parallelism only changes wall-clock, never values).
+pub fn range_map_on(
+    executor: Executor,
+    tech: Technology,
+    budget: &BackscatterBudget,
+    d_tx_tag: &[f64],
+) -> Vec<RangePoint> {
     let sens = tech.sensitivity_dbm();
-    d_tx_tag
-        .iter()
-        .map(|&d1| {
-            let ok = |d2: f64| budget.rssi_dbm(d1, d2) >= sens;
-            let max = if !budget.tag_operational(d1) || !ok(0.5) {
-                0.0
-            } else {
-                let (mut lo, mut hi) = (0.5f64, 0.5f64);
-                while ok(hi) && hi < 200.0 {
-                    hi *= 2.0;
-                }
-                for _ in 0..40 {
-                    let mid = (lo + hi) / 2.0;
-                    if ok(mid) {
-                        lo = mid;
-                    } else {
-                        hi = mid;
-                    }
-                }
-                lo
-            };
-            RangePoint {
-                d_tx_tag_m: d1,
-                max_d_tag_rx_m: max,
+    executor.map(d_tx_tag, |_, &d1| {
+        let ok = |d2: f64| budget.rssi_dbm(d1, d2) >= sens;
+        let max = if !budget.tag_operational(d1) || !ok(0.5) {
+            0.0
+        } else {
+            let (mut lo, mut hi) = (0.5f64, 0.5f64);
+            while ok(hi) && hi < 200.0 {
+                hi *= 2.0;
             }
-        })
-        .collect()
+            for _ in 0..40 {
+                let mid = (lo + hi) / 2.0;
+                if ok(mid) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+        RangePoint {
+            d_tx_tag_m: d1,
+            max_d_tag_rx_m: max,
+        }
+    })
 }
 
 /// One point of the Fig. 4 PLM-accuracy curve.
@@ -238,17 +273,30 @@ pub fn plm_accuracy(
     distances: &[f64],
     seed: u64,
 ) -> Vec<PlmAccuracyPoint> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    distances
-        .iter()
-        .map(|&d| {
+    plm_accuracy_on(Executor::from_env(), cfg, distances, seed)
+}
+
+/// [`plm_accuracy`] on an explicit executor; each distance point draws
+/// from its own derived stream.
+pub fn plm_accuracy_on(
+    executor: Executor,
+    cfg: &PlmAccuracyConfig,
+    distances: &[f64],
+    seed: u64,
+) -> Vec<PlmAccuracyPoint> {
+    Sweep::over(distances.to_vec())
+        .seed(seed)
+        .executor(executor)
+        .run(|point| {
+            let d = *point.value;
+            let mut rng = point.rng();
             let p_rx = cfg.tx_power_dbm - (cfg.pl0_db + 10.0 * cfg.exponent * d.max(0.1).log10());
             let mut ok = 0usize;
             for _ in 0..cfg.trials {
                 let mut success = true;
                 for _ in 0..cfg.message_bits {
-                    let shadow = gauss(&mut rng) * cfg.shadow_sigma_db;
-                    if p_rx + shadow < cfg.threshold_dbm || rng.gen_bool(cfg.ambient_corruption) {
+                    let shadow = rng.gauss() * cfg.shadow_sigma_db;
+                    if p_rx + shadow < cfg.threshold_dbm || rng.bernoulli(cfg.ambient_corruption) {
                         success = false;
                         break;
                     }
@@ -262,13 +310,6 @@ pub fn plm_accuracy(
                 accuracy: ok as f64 / cfg.trials as f64,
             }
         })
-        .collect()
-}
-
-fn gauss<R: Rng>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen_range(1e-12..1.0);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 /// The Fig. 3 analysis: ambient packet-duration PDF and the PLM confusion
@@ -287,11 +328,17 @@ pub struct AmbientAnalysis {
 /// Runs the Fig. 3 analysis over `n` synthetic ambient packets.
 pub fn ambient_analysis(n: usize, seed: u64) -> AmbientAnalysis {
     let plm = freerider_tag::plm::PlmConfig::default();
-    let (bin_centers, pdf) = AmbientTraffic::new(seed).histogram(n, 0.1e-3, 3e-3);
-    let confusion_l0 =
-        AmbientTraffic::new(seed ^ 1).confusion_probability(plm.l0_s, plm.tolerance_s, n);
-    let confusion_l1 =
-        AmbientTraffic::new(seed ^ 2).confusion_probability(plm.l1_s, plm.tolerance_s, n);
+    let (bin_centers, pdf) = AmbientTraffic::new(derive_seed(seed, 0)).histogram(n, 0.1e-3, 3e-3);
+    let confusion_l0 = AmbientTraffic::new(derive_seed(seed, 1)).confusion_probability(
+        plm.l0_s,
+        plm.tolerance_s,
+        n,
+    );
+    let confusion_l1 = AmbientTraffic::new(derive_seed(seed, 2)).confusion_probability(
+        plm.l1_s,
+        plm.tolerance_s,
+        n,
+    );
     AmbientAnalysis {
         bin_centers,
         pdf,

@@ -156,9 +156,8 @@ impl Cdf {
             return f64::NAN;
         }
         self.ensure_sorted();
-        let idx = ((q * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len())
-            - 1;
+        let idx =
+            ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len()) - 1;
         self.samples[idx]
     }
 

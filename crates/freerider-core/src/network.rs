@@ -14,11 +14,10 @@ use freerider_mac::aloha::{run_round, summarize, SlotOutcome};
 use freerider_mac::fairness::jain_index;
 use freerider_mac::messages::{ControlMessage, MESSAGE_BITS};
 use freerider_mac::Coordinator;
+use freerider_rt::Rng64;
 use freerider_tag::plm::{PlmConfig, PlmEncoder};
 use freerider_tag::translator::PhaseTranslator;
 use freerider_tag::{Tag, TagConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Network configuration.
 #[derive(Debug, Clone)]
@@ -73,14 +72,14 @@ pub struct TagNetwork {
     translator: PhaseTranslator,
     coordinator: Coordinator,
     encoder: PlmEncoder,
-    rng: StdRng,
+    rng: Rng64,
 }
 
 impl TagNetwork {
     /// Builds the network with every tag pre-loaded with
     /// `backlog_bits` of queue.
     pub fn new(config: TagNetworkConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Rng64::new(config.seed);
         let translator = PhaseTranslator {
             // A compact slot translator: 1 symbol per step keeps slots small.
             delta_theta: std::f64::consts::PI,
@@ -96,9 +95,7 @@ impl TagNetwork {
                     translator: freerider_tag::tag::Translator::Phase(translator),
                     ..TagConfig::wifi()
                 });
-                let bits: Vec<u8> = (0..config.backlog_bits)
-                    .map(|_| rng.gen_range(0..2u8))
-                    .collect();
+                let bits: Vec<u8> = (0..config.backlog_bits).map(|_| rng.bit()).collect();
                 t.push_data(&bits);
                 t
             })
@@ -130,7 +127,7 @@ impl TagNetwork {
             for (i, tag) in self.tags.iter_mut().enumerate() {
                 let mut decoded = None;
                 for &d in &durations {
-                    let measured = if self.rng.gen_bool(self.config.pulse_error_prob) {
+                    let measured = if self.rng.bernoulli(self.config.pulse_error_prob) {
                         d + 80e-6 // far outside the ±25 µs bound
                     } else {
                         d
@@ -138,9 +135,7 @@ impl TagNetwork {
                     decoded = decoded.or(tag.observe_pulse(measured));
                 }
                 match decoded.as_deref().map(ControlMessage::decode) {
-                    Some(Ok(ControlMessage::RoundStart { n_slots: n }))
-                        if n == n_slots =>
-                    {
+                    Some(Ok(ControlMessage::RoundStart { n_slots: n })) if n == n_slots => {
                         announcements_heard += 1;
                         participants.push(i);
                     }

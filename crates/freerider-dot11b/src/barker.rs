@@ -4,9 +4,7 @@ use crate::{CHIPS_PER_SYMBOL, SAMPLES_PER_CHIP};
 use freerider_dsp::Complex;
 
 /// The 802.11b Barker sequence (+1 −1 +1 +1 −1 +1 +1 +1 −1 −1 −1).
-pub const BARKER: [f64; 11] = [
-    1.0, -1.0, 1.0, 1.0, -1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0,
-];
+pub const BARKER: [f64; 11] = [1.0, -1.0, 1.0, 1.0, -1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0];
 
 /// Spreads one DBPSK symbol of phase `phase` (±1 on the I axis times the
 /// carrier phase) into `SAMPLES_PER_SYMBOL` chips-worth of samples.

@@ -135,24 +135,23 @@ mod tests {
     use crate::rx::{Receiver, RxConfig};
     use crate::tx::Transmitter;
     use freerider_dsp::noise::NoiseSource;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use freerider_rt::Rng64;
 
     fn run_link(noise_power: f64, seed: u64) -> (Vec<u8>, Vec<u8>) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let tx = Transmitter::new();
         let rx = Receiver::new(RxConfig {
             sensitivity_dbm: -200.0,
             ..RxConfig::default()
         });
         let translator = HitchhikeTranslator::standard();
-        let psdu: Vec<u8> = (0..200).map(|_| rng.gen()).collect();
+        let psdu: Vec<u8> = (0..200).map(|_| rng.byte()).collect();
         let wave = tx.transmit(&psdu).unwrap();
         let original = rx.receive(&wave).unwrap();
         assert_eq!(original.psdu, psdu);
 
         let bits: Vec<u8> = (0..translator.capacity(wave.len()))
-            .map(|_| rng.gen_range(0..2u8))
+            .map(|_| rng.bit())
             .collect();
         let (tagged, consumed) = translator.translate(&wave, &bits);
         assert_eq!(consumed, bits.len());
@@ -216,13 +215,13 @@ mod tests {
     fn productive_link_unharmed() {
         // The excitation receiver still decodes the original PSDU bytes
         // while the tag rides — HitchHike shares FreeRider's headline.
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::new(5);
         let tx = Transmitter::new();
         let rx = Receiver::new(RxConfig {
             sensitivity_dbm: -200.0,
             ..RxConfig::default()
         });
-        let psdu: Vec<u8> = (0..100).map(|_| rng.gen()).collect();
+        let psdu: Vec<u8> = (0..100).map(|_| rng.byte()).collect();
         let wave = tx.transmit(&psdu).unwrap();
         let pkt = rx.receive(&wave).unwrap();
         assert_eq!(pkt.psdu, psdu);

@@ -160,8 +160,14 @@ mod tests {
 
     #[test]
     fn lsb_ordering_is_correct() {
-        assert_eq!(bytes_to_bits_lsb(&[0b0000_0001]), vec![1, 0, 0, 0, 0, 0, 0, 0]);
-        assert_eq!(bytes_to_bits_msb(&[0b0000_0001]), vec![0, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(
+            bytes_to_bits_lsb(&[0b0000_0001]),
+            vec![1, 0, 0, 0, 0, 0, 0, 0]
+        );
+        assert_eq!(
+            bytes_to_bits_msb(&[0b0000_0001]),
+            vec![0, 0, 0, 0, 0, 0, 0, 1]
+        );
     }
 
     #[test]

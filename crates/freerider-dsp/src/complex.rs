@@ -1,7 +1,7 @@
 //! A minimal complex number type.
 //!
-//! The workspace keeps its dependency footprint restricted to the vetted set
-//! (`rand`, `proptest`, `criterion`), so instead of pulling `num-complex` we
+//! The workspace has no external dependencies (randomness comes from the
+//! in-tree `freerider-rt` crate), so instead of pulling `num-complex` we
 //! carry this ~150-line implementation. Only the operations the PHYs actually
 //! use are provided.
 

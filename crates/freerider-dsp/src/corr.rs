@@ -50,7 +50,11 @@ pub fn normalized_correlation(signal: &[Complex], reference: &[Complex]) -> Vec<
             acc += signal[n + k] * r.conj();
         }
         let denom = (win_energy * r_energy).sqrt();
-        out.push(if denom > 1e-30 { acc.abs() / denom } else { 0.0 });
+        out.push(if denom > 1e-30 {
+            acc.abs() / denom
+        } else {
+            0.0
+        });
         if n + 1 < n_out {
             win_energy += signal[n + reference.len()].norm_sqr() - signal[n].norm_sqr();
             if win_energy < 0.0 {
@@ -93,7 +97,11 @@ pub fn delay_correlate(signal: &[Complex], lag: usize, window: usize) -> Vec<f64
             acc += signal[n + k] * signal[n + k + lag].conj();
             energy += signal[n + k + lag].norm_sqr();
         }
-        out.push(if energy > 1e-30 { acc.abs() / energy } else { 0.0 });
+        out.push(if energy > 1e-30 {
+            acc.abs() / energy
+        } else {
+            0.0
+        });
     }
     out
 }

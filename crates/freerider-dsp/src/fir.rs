@@ -51,8 +51,7 @@ impl Fir {
                 } else {
                     (2.0 * std::f64::consts::PI * cutoff * x).sin() / (std::f64::consts::PI * x)
                 };
-                let w = 0.54
-                    - 0.46 * (2.0 * std::f64::consts::PI * n as f64 / m).cos();
+                let w = 0.54 - 0.46 * (2.0 * std::f64::consts::PI * n as f64 / m).cos();
                 sinc * w
             })
             .collect();

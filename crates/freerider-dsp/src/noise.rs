@@ -5,8 +5,7 @@
 //! figure in EXPERIMENTS.md is reproducible.
 
 use crate::complex::Complex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use freerider_rt::Rng64;
 
 /// Seeded complex Gaussian noise source.
 ///
@@ -14,7 +13,7 @@ use rand::{Rng, SeedableRng};
 /// parts are independent `N(0, σ²/2)` so the *total* sample power is σ².
 #[derive(Debug, Clone)]
 pub struct NoiseSource {
-    rng: StdRng,
+    rng: Rng64,
     sigma_per_dim: f64,
     spare: Option<f64>,
 }
@@ -25,7 +24,7 @@ impl NoiseSource {
     pub fn new(seed: u64, power: f64) -> Self {
         assert!(power >= 0.0, "noise power must be non-negative");
         NoiseSource {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::new(seed),
             sigma_per_dim: (power / 2.0).sqrt(),
             spare: None,
         }
@@ -36,23 +35,15 @@ impl NoiseSource {
         2.0 * self.sigma_per_dim * self.sigma_per_dim
     }
 
-    /// One standard Gaussian variate via Box–Muller (with caching).
+    /// One standard Gaussian variate (Box–Muller via `freerider-rt`, with
+    /// the sine-branch spare cached so no draw is wasted).
     fn std_normal(&mut self) -> f64 {
         if let Some(v) = self.spare.take() {
             return v;
         }
-        // Box–Muller transform.
-        let u1: f64 = loop {
-            let u: f64 = self.rng.gen();
-            if u > 1e-300 {
-                break u;
-            }
-        };
-        let u2: f64 = self.rng.gen();
-        let r = (-2.0 * u1.ln()).sqrt();
-        let theta = 2.0 * std::f64::consts::PI * u2;
-        self.spare = Some(r * theta.sin());
-        r * theta.cos()
+        let (a, b) = self.rng.gauss_pair();
+        self.spare = Some(b);
+        a
     }
 
     /// Draws one complex noise sample.

@@ -156,7 +156,9 @@ mod tests {
     use super::*;
 
     fn chirp(n: usize) -> Vec<Complex> {
-        (0..n).map(|i| Complex::cis(0.001 * (i * i) as f64)).collect()
+        (0..n)
+            .map(|i| Complex::cis(0.001 * (i * i) as f64))
+            .collect()
     }
 
     #[test]

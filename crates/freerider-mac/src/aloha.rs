@@ -1,6 +1,6 @@
 //! One round of Framed Slotted Aloha.
 
-use rand::Rng;
+use freerider_rt::Rng64;
 
 /// Outcome of a single slot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,16 +41,16 @@ impl RoundOutcome {
 /// `capture_prob` (the strongest tag wins).
 ///
 /// Returns the per-slot outcomes.
-pub fn run_round<R: Rng>(
+pub fn run_round(
     participants: &[usize],
     n_slots: u16,
     capture_prob: f64,
-    rng: &mut R,
+    rng: &mut Rng64,
 ) -> Vec<SlotOutcome> {
     assert!(n_slots >= 1);
     let mut slots: Vec<Vec<usize>> = vec![Vec::new(); n_slots as usize];
     for &tag in participants {
-        let s = rng.gen_range(0..n_slots as usize);
+        let s = rng.index(n_slots as usize);
         slots[s].push(tag);
     }
     slots
@@ -59,10 +59,10 @@ pub fn run_round<R: Rng>(
             0 => SlotOutcome::Empty,
             1 => SlotOutcome::Success(tags[0]),
             _ => {
-                if rng.gen_bool(capture_prob) {
+                if rng.bernoulli(capture_prob) {
                     // The "strongest" tag is the winner; with i.i.d.
                     // placement any of them is equally likely.
-                    let w = tags[rng.gen_range(0..tags.len())];
+                    let w = tags[rng.index(tags.len())];
                     SlotOutcome::Capture(w)
                 } else {
                     SlotOutcome::Collision(tags)
@@ -89,12 +89,10 @@ pub fn summarize(outcomes: &[SlotOutcome]) -> RoundOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn one_tag_always_succeeds() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         for _ in 0..100 {
             let out = run_round(&[7], 8, 0.0, &mut rng);
             let s = summarize(&out);
@@ -106,7 +104,7 @@ mod tests {
 
     #[test]
     fn counts_are_consistent() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng64::new(2);
         let tags: Vec<usize> = (0..20).collect();
         let out = run_round(&tags, 24, 0.3, &mut rng);
         assert_eq!(out.len(), 24);
@@ -132,7 +130,7 @@ mod tests {
 
     #[test]
     fn success_rate_near_1_over_e_when_slots_equal_tags() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::new(3);
         let n = 32usize;
         let tags: Vec<usize> = (0..n).collect();
         let mut delivered = 0usize;
@@ -148,7 +146,7 @@ mod tests {
 
     #[test]
     fn capture_salvages_collisions() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng64::new(4);
         let tags: Vec<usize> = (0..32).collect();
         let mut without = 0usize;
         let mut with = 0usize;
@@ -161,7 +159,7 @@ mod tests {
 
     #[test]
     fn empty_participants_yield_all_empty() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::new(5);
         let s = summarize(&run_round(&[], 10, 0.5, &mut rng));
         assert_eq!(s.empty, 10);
         assert_eq!(s.delivered(), 0);

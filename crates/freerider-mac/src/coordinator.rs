@@ -102,9 +102,8 @@ mod tests {
         // Closed loop against the Aloha model: with n tags the frame size
         // should settle near n (± the 1.1 headroom).
         use crate::aloha::{run_round, summarize};
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(9);
+        use freerider_rt::Rng64;
+        let mut rng = Rng64::new(9);
         let tags: Vec<usize> = (0..20).collect();
         let mut c = Coordinator::with_defaults();
         let mut sizes = Vec::new();

@@ -32,7 +32,9 @@ pub enum MessageError {
 impl std::fmt::Display for MessageError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MessageError::BadLength(n) => write!(f, "control message of {n} bits (need {MESSAGE_BITS})"),
+            MessageError::BadLength(n) => {
+                write!(f, "control message of {n} bits (need {MESSAGE_BITS})")
+            }
             MessageError::BadParity => write!(f, "control message parity mismatch"),
             MessageError::BadType(t) => write!(f, "unknown control message type {t}"),
         }
@@ -114,7 +116,11 @@ mod tests {
         for i in 0..8 {
             let mut b = bits.clone();
             b[i] ^= 1;
-            assert_eq!(ControlMessage::decode(&b), Err(MessageError::BadParity), "bit {i}");
+            assert_eq!(
+                ControlMessage::decode(&b),
+                Err(MessageError::BadParity),
+                "bit {i}"
+            );
         }
     }
 

@@ -20,8 +20,7 @@ use crate::aloha::{run_round, summarize, SlotOutcome};
 use crate::coordinator::Coordinator;
 use crate::fairness::jain_index;
 use crate::messages::{ControlMessage, MESSAGE_BITS};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use freerider_rt::Rng64;
 
 /// Which media-access scheme the round uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,13 +124,13 @@ pub struct SimReport {
 #[derive(Debug)]
 pub struct NetworkSim {
     config: NetworkConfig,
-    rng: StdRng,
+    rng: Rng64,
 }
 
 impl NetworkSim {
     /// Creates a simulator.
     pub fn new(config: NetworkConfig) -> Self {
-        let rng = StdRng::seed_from_u64(config.seed);
+        let rng = Rng64::new(config.seed);
         NetworkSim { config, rng }
     }
 
@@ -158,7 +157,7 @@ impl NetworkSim {
             debug_assert!(ControlMessage::decode(&announce.encode()).is_ok());
 
             let participants: Vec<usize> = (0..cfg.n_tags)
-                .filter(|_| !self.rng.gen_bool(cfg.ctrl_loss_prob))
+                .filter(|_| !self.rng.bernoulli(cfg.ctrl_loss_prob))
                 .collect();
 
             let (outcome, delivered_tags): (_, Vec<usize>) = match cfg.scheme {
@@ -319,6 +318,9 @@ mod tests {
         let r = NetworkSim::new(cfg).run();
         let avg_participants: f64 =
             r.rounds.iter().map(|s| s.participants as f64).sum::<f64>() / r.rounds.len() as f64;
-        assert!((avg_participants - 5.0).abs() < 1.0, "avg {avg_participants}");
+        assert!(
+            (avg_participants - 5.0).abs() < 1.0,
+            "avg {avg_participants}"
+        );
     }
 }

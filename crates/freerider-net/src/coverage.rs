@@ -59,7 +59,11 @@ impl CoverageMap {
         if n == 0 {
             return 0.0;
         }
-        self.rate_bps.iter().filter(|&&r| r >= threshold_bps).count() as f64 / n as f64
+        self.rate_bps
+            .iter()
+            .filter(|&&r| r >= threshold_bps)
+            .count() as f64
+            / n as f64
     }
 
     /// Renders the map as ASCII art: ' ' dead, '.' marginal, then
@@ -76,15 +80,15 @@ impl CoverageMap {
         for r in 0..self.rows {
             for c in 0..self.cols {
                 let x = self.origin.x + c as f64 * self.cell_m + self.cell_m / 2.0;
-                let y = self.origin.y + (self.rows - 1 - r) as f64 * self.cell_m + self.cell_m / 2.0;
+                let y =
+                    self.origin.y + (self.rows - 1 - r) as f64 * self.cell_m + self.cell_m / 2.0;
                 let p = Point::new(x, y);
                 // Mark infrastructure.
                 if p.distance(&d.exciter.position) < self.cell_m * 0.75 {
                     out.push('T');
                     continue;
                 }
-                if d
-                    .receivers
+                if d.receivers
                     .iter()
                     .any(|rx| p.distance(&rx.position) < self.cell_m * 0.75)
                 {

@@ -121,11 +121,10 @@ mod tests {
         let mut d = Deployment::open_plan().with_receiver(10.0, 0.0);
         let tag = Point::new(2.0, 0.0);
         let open = d.backscatter_rssi(tag, d.receivers[0].position);
-        d.site = d.site.clone().with_wall(Wall::new(
-            Point::new(5.0, -5.0),
-            Point::new(5.0, 5.0),
-            8.0,
-        ));
+        d.site =
+            d.site
+                .clone()
+                .with_wall(Wall::new(Point::new(5.0, -5.0), Point::new(5.0, 5.0), 8.0));
         let walled = d.backscatter_rssi(tag, d.receivers[0].position);
         assert!((open - walled - 8.0).abs() < 1e-9);
         // The excitation path (0→2 m) doesn't cross the wall.

@@ -6,8 +6,7 @@ use crate::link::LinkModel;
 use freerider_mac::aloha::{run_round, summarize, SlotOutcome};
 use freerider_mac::messages::MESSAGE_BITS;
 use freerider_mac::Coordinator;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use freerider_rt::Rng64;
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -102,7 +101,7 @@ impl DeploymentSim {
     pub fn run(&self) -> DeploymentReport {
         let cfg = &self.config;
         let d = &self.deployment;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = Rng64::new(cfg.seed);
         let n = d.tags.len();
 
         // Precompute per-tag service parameters.
@@ -141,7 +140,7 @@ impl DeploymentSim {
                 if !servable[i] {
                     continue;
                 }
-                if rng.gen_bool(plm[i]) {
+                if rng.bernoulli(plm[i]) {
                     plm_heard[i] += 1;
                     if pending[i].1 <= time {
                         participants.push(i);
@@ -154,15 +153,14 @@ impl DeploymentSim {
                 if let SlotOutcome::Success(i) | SlotOutcome::Capture(i) = s {
                     let i = *i;
                     // The slot delivers if the best receiver decodes it.
-                    if rng.gen_bool(prr[i]) {
+                    if rng.bernoulli(prr[i]) {
                         delivered[i] += cfg.bits_per_slot as u64;
                         let (remaining, born) = &mut pending[i];
                         if *remaining <= cfg.bits_per_slot {
                             reports_done[i] += 1;
                             latency_acc[i] += (time + round_dur) - *born;
                             // Next report is generated on schedule.
-                            let next_born =
-                                *born + cfg.report_interval_s.max(1e-9);
+                            let next_born = *born + cfg.report_interval_s.max(1e-9);
                             *remaining = cfg.report_bits;
                             *born = next_born.max(time);
                         } else {
@@ -262,17 +260,18 @@ mod tests {
 
     #[test]
     fn walls_cut_service() {
-        let mut d = Deployment::open_plan().with_receiver(6.0, 0.0).with_tag(2.0, 0.0);
+        let mut d = Deployment::open_plan()
+            .with_receiver(6.0, 0.0)
+            .with_tag(2.0, 0.0);
         let open_rate = {
             let sim = DeploymentSim::new(d.clone(), LinkModel::default(), SimConfig::default());
             sim.run().tags[0].delivered_bits
         };
         // A heavy wall between tag and the only receiver.
-        d.site = d.site.clone().with_wall(Wall::new(
-            Point::new(4.0, -5.0),
-            Point::new(4.0, 5.0),
-            30.0,
-        ));
+        d.site =
+            d.site
+                .clone()
+                .with_wall(Wall::new(Point::new(4.0, -5.0), Point::new(4.0, 5.0), 30.0));
         let sim = DeploymentSim::new(d, LinkModel::default(), SimConfig::default());
         let walled = sim.run().tags[0].delivered_bits;
         assert!(walled < open_rate / 10, "{walled} vs {open_rate}");
@@ -292,10 +291,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = DeploymentSim::new(small_office(), LinkModel::default(), SimConfig::default())
-            .run();
-        let b = DeploymentSim::new(small_office(), LinkModel::default(), SimConfig::default())
-            .run();
+        let a =
+            DeploymentSim::new(small_office(), LinkModel::default(), SimConfig::default()).run();
+        let b =
+            DeploymentSim::new(small_office(), LinkModel::default(), SimConfig::default()).run();
         assert_eq!(a.tags.len(), b.tags.len());
         for (x, y) in a.tags.iter().zip(b.tags.iter()) {
             assert_eq!(x.delivered_bits, y.delivered_bits);

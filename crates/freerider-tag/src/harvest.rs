@@ -174,10 +174,17 @@ mod tests {
         // Long-run duty from burst timing equals the closed form.
         let d_burst = on_s / (on_s + recharge_s);
         let d_formula = h.sustainable_duty_cycle(&m, TranslatorKind::WifiPhase, 20e6, -15.0);
-        assert!((d_burst - d_formula).abs() < 0.01, "{d_burst} vs {d_formula}");
+        assert!(
+            (d_burst - d_formula).abs() < 0.01,
+            "{d_burst} vs {d_formula}"
+        );
         // Continuous or dead regimes yield no burst timing.
-        assert!(h.burst_timing(&m, TranslatorKind::WifiPhase, 20e6, -5.0).is_none());
-        assert!(h.burst_timing(&m, TranslatorKind::WifiPhase, 20e6, -40.0).is_none());
+        assert!(h
+            .burst_timing(&m, TranslatorKind::WifiPhase, 20e6, -5.0)
+            .is_none());
+        assert!(h
+            .burst_timing(&m, TranslatorKind::WifiPhase, 20e6, -40.0)
+            .is_none());
     }
 
     #[test]

@@ -76,7 +76,9 @@ impl ImpedanceBank {
 
     /// All |Γ| magnitudes, in state order.
     pub fn amplitudes(&self) -> Vec<f64> {
-        (0..self.states.len()).map(|i| self.gamma(i).abs()).collect()
+        (0..self.states.len())
+            .map(|i| self.gamma(i).abs())
+            .collect()
     }
 }
 

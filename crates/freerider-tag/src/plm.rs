@@ -171,8 +171,7 @@ impl PlmReceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use freerider_rt::Rng64;
 
     #[test]
     fn encode_decode_round_trip() {
@@ -196,14 +195,14 @@ mod tests {
         let durations = enc.encode(&msg);
         // Interleave ambient packets (durations far from L0/L1) between
         // every PLM pulse — the paper's robustness claim.
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         let mut out = None;
         for d in durations {
-            for _ in 0..rng.gen_range(0..4) {
-                let ambient = if rng.gen_bool(0.8) {
-                    rng.gen_range(40e-6..460e-6)
+            for _ in 0..rng.index(4) {
+                let ambient = if rng.bernoulli(0.8) {
+                    rng.f64_range(40e-6, 460e-6)
                 } else {
-                    rng.gen_range(1.5e-3..2.7e-3)
+                    rng.f64_range(1.5e-3, 2.7e-3)
                 };
                 assert!(rx.push_pulse(ambient).is_none());
             }
@@ -252,7 +251,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(got, vec![vec![1, 1, 1, 1], vec![0, 0, 0, 0], vec![1, 0, 1, 0]]);
+        assert_eq!(
+            got,
+            vec![vec![1, 1, 1, 1], vec![0, 0, 0, 0], vec![1, 0, 1, 0]]
+        );
     }
 
     #[test]

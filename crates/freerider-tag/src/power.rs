@@ -69,7 +69,12 @@ impl PowerModel {
     }
 
     /// Energy per tag bit in picojoules at a given tag bit rate.
-    pub fn energy_per_bit_pj(&self, kind: TranslatorKind, shift_freq_hz: f64, bit_rate: f64) -> f64 {
+    pub fn energy_per_bit_pj(
+        &self,
+        kind: TranslatorKind,
+        shift_freq_hz: f64,
+        bit_rate: f64,
+    ) -> f64 {
         assert!(bit_rate > 0.0);
         self.total_uw(kind, shift_freq_hz) * 1e-6 / bit_rate * 1e12
     }
@@ -100,7 +105,9 @@ mod tests {
     #[test]
     fn power_scales_with_shift_frequency() {
         let m = PowerModel::default();
-        assert!(m.total_uw(TranslatorKind::BleFsk, 500e3) < m.total_uw(TranslatorKind::BleFsk, 20e6));
+        assert!(
+            m.total_uw(TranslatorKind::BleFsk, 500e3) < m.total_uw(TranslatorKind::BleFsk, 20e6)
+        );
         // A 500 kHz BLE toggle costs well under a µW of oscillator power.
         assert!(m.ring_osc_uw(500e3) < 0.5);
     }

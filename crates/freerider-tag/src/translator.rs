@@ -101,8 +101,7 @@ impl PhaseTranslator {
 
     /// Tag data rate in bits/second given the PHY sample rate.
     pub fn bit_rate(&self, sample_rate: f64) -> f64 {
-        self.bits_per_step() as f64 * sample_rate
-            / (self.symbols_per_step * self.symbol_len) as f64
+        self.bits_per_step() as f64 * sample_rate / (self.symbols_per_step * self.symbol_len) as f64
     }
 
     /// Number of tag bits that fit on one excitation waveform of `len`
@@ -362,7 +361,10 @@ mod tests {
         let tag_bits = ((pdu_bits - 16) / t.bits_per_tag_bit) as f64;
         let airtime_s = (40 + pdu_bits) as f64 / 1e6;
         let delivered = tag_bits / airtime_s;
-        assert!((delivered - 55_000.0).abs() < 3_000.0, "delivered {delivered}");
+        assert!(
+            (delivered - 55_000.0).abs() < 3_000.0,
+            "delivered {delivered}"
+        );
     }
 
     #[test]
@@ -382,9 +384,13 @@ mod tests {
         // Step 0 (bit 1): rotated by π.
         assert!(out[8..16].iter().all(|&z| (z + Complex::ONE).abs() < 1e-12));
         // Step 1 (bit 0): untouched.
-        assert!(out[16..24].iter().all(|&z| (z - Complex::ONE).abs() < 1e-12));
+        assert!(out[16..24]
+            .iter()
+            .all(|&z| (z - Complex::ONE).abs() < 1e-12));
         // Step 2 (bit 1): rotated.
-        assert!(out[24..32].iter().all(|&z| (z + Complex::ONE).abs() < 1e-12));
+        assert!(out[24..32]
+            .iter()
+            .all(|&z| (z + Complex::ONE).abs() < 1e-12));
         // Tail (not a whole step): untouched.
         assert!(out[32..].iter().all(|&z| (z - Complex::ONE).abs() < 1e-12));
     }
@@ -404,7 +410,10 @@ mod tests {
         let phases: Vec<f64> = [0, 4, 8, 12].iter().map(|&i| out[i].arg()).collect();
         assert!((phases[0] - 0.0).abs() < 1e-12);
         assert!((phases[1] - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
-        assert!((phases[2] - std::f64::consts::PI).abs() < 1e-9 || (phases[2] + std::f64::consts::PI).abs() < 1e-9);
+        assert!(
+            (phases[2] - std::f64::consts::PI).abs() < 1e-9
+                || (phases[2] + std::f64::consts::PI).abs() < 1e-9
+        );
         assert!((phases[3] + std::f64::consts::FRAC_PI_2).abs() < 1e-12);
     }
 
@@ -421,10 +430,7 @@ mod tests {
     fn eq10_constraint_is_enforced() {
         // Δf = 200 kHz < (1−0.5)·1 MHz/2 = 250 kHz → rejected.
         let r = FskTranslator::new(200e3, 8e6, 250e3, 1e6, 18, 8, 0);
-        assert!(matches!(
-            r,
-            Err(FskTranslatorError::SidebandInBand { .. })
-        ));
+        assert!(matches!(r, Err(FskTranslatorError::SidebandInBand { .. })));
         // The paper's 500 kHz passes.
         assert!(FskTranslator::new(500e3, 8e6, 250e3, 1e6, 18, 8, 0).is_ok());
     }

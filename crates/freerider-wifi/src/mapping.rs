@@ -118,8 +118,7 @@ pub fn demap_symbols(symbols: &[Complex], modulation: Modulation) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use freerider_rt::Rng64;
 
     const ALL: [Modulation; 4] = [
         Modulation::Bpsk,
@@ -130,10 +129,10 @@ mod tests {
 
     #[test]
     fn round_trip_all_modulations() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         for m in ALL {
             let n = m.bits_per_subcarrier() * 64;
-            let bits: Vec<u8> = (0..n).map(|_| rng.gen_range(0..2u8)).collect();
+            let bits: Vec<u8> = (0..n).map(|_| rng.bit()).collect();
             let syms = map_bits(&bits, m);
             assert_eq!(demap_symbols(&syms, m), bits, "{m:?}");
         }
@@ -141,10 +140,10 @@ mod tests {
 
     #[test]
     fn unit_average_power() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng64::new(2);
         for m in ALL {
             let n = m.bits_per_subcarrier() * 6000;
-            let bits: Vec<u8> = (0..n).map(|_| rng.gen_range(0..2u8)).collect();
+            let bits: Vec<u8> = (0..n).map(|_| rng.bit()).collect();
             let syms = map_bits(&bits, m);
             let p: f64 = syms.iter().map(|z| z.norm_sqr()).sum::<f64>() / syms.len() as f64;
             assert!((p - 1.0).abs() < 0.05, "{m:?} power {p}");
@@ -197,8 +196,8 @@ mod tests {
 
     #[test]
     fn demap_is_nearest_neighbour_under_noise() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let bits: Vec<u8> = (0..6 * 300).map(|_| rng.gen_range(0..2u8)).collect();
+        let mut rng = Rng64::new(3);
+        let bits: Vec<u8> = (0..6 * 300).map(|_| rng.bit()).collect();
         let syms = map_bits(&bits, Modulation::Qam64);
         // Tiny perturbation must not change decisions.
         let noisy: Vec<Complex> = syms
@@ -215,11 +214,7 @@ mod tests {
 /// Convention: positive = bit 1. The weighting makes bits on faded
 /// subcarriers low-confidence so the soft Viterbi decoder discounts them —
 /// essential on frequency-selective channels.
-pub fn soft_demap_symbols(
-    symbols: &[Complex],
-    gains: &[f64],
-    modulation: Modulation,
-) -> Vec<f64> {
+pub fn soft_demap_symbols(symbols: &[Complex], gains: &[f64], modulation: Modulation) -> Vec<f64> {
     assert_eq!(symbols.len(), gains.len(), "one gain per subcarrier");
     let mut llrs = Vec::with_capacity(symbols.len() * modulation.bits_per_subcarrier());
     for (&s, &g) in symbols.iter().zip(gains.iter()) {
@@ -258,12 +253,11 @@ pub fn soft_demap_symbols(
 #[cfg(test)]
 mod soft_tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use freerider_rt::Rng64;
 
     #[test]
     fn soft_signs_match_hard_decisions() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::new(7);
         for m in [
             Modulation::Bpsk,
             Modulation::Qpsk,
@@ -271,7 +265,7 @@ mod soft_tests {
             Modulation::Qam64,
         ] {
             let bits: Vec<u8> = (0..m.bits_per_subcarrier() * 200)
-                .map(|_| rng.gen_range(0..2u8))
+                .map(|_| rng.bit())
                 .collect();
             let syms = map_bits(&bits, m);
             let gains = vec![1.0; syms.len()];

@@ -10,9 +10,9 @@ use freerider_dsp::{fft, Complex};
 /// Logical subcarrier indices (−26..=26 excluding 0, ±7, ±21) of the 48
 /// data carriers, in modulation order per the standard.
 pub const DATA_CARRIERS: [i32; N_DATA_CARRIERS] = [
-    -26, -25, -24, -23, -22, -20, -19, -18, -17, -16, -15, -14, -13, -12, -11, -10, -9, -8, -6,
-    -5, -4, -3, -2, -1, 1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 22,
-    23, 24, 25, 26,
+    -26, -25, -24, -23, -22, -20, -19, -18, -17, -16, -15, -14, -13, -12, -11, -10, -9, -8, -6, -5,
+    -4, -3, -2, -1, 1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 22, 23, 24,
+    25, 26,
 ];
 
 /// Pilot subcarrier indices.
@@ -88,7 +88,11 @@ pub struct SymbolCarriers {
 /// # Panics
 /// Panics if `samples.len() != 80`.
 pub fn demodulate_symbol(samples: &[Complex]) -> SymbolCarriers {
-    assert_eq!(samples.len(), FFT_SIZE + CP_LEN, "need one 80-sample symbol");
+    assert_eq!(
+        samples.len(),
+        FFT_SIZE + CP_LEN,
+        "need one 80-sample symbol"
+    );
     let mut freq: Vec<Complex> = samples[CP_LEN..].to_vec();
     fft::fft(&mut freq).expect("64 is a power of two");
     let mut data = [Complex::ZERO; N_DATA_CARRIERS];
@@ -150,9 +154,7 @@ mod tests {
     fn mean_sample_power_is_unity() {
         // With unit-power constellation points the time-domain symbol should
         // have ~unit mean sample power (by Parseval and our scaling).
-        let data: Vec<Complex> = (0..48)
-            .map(|i| Complex::cis(1.3 * i as f64))
-            .collect();
+        let data: Vec<Complex> = (0..48).map(|i| Complex::cis(1.3 * i as f64)).collect();
         let sym = modulate_symbol(&data, 1.0);
         // Measure over the 64 useful samples: the CP repeats an arbitrary
         // slice of the symbol, so including it biases the estimate.

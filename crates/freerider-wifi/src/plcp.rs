@@ -56,7 +56,7 @@ impl Signal {
         }
         let parity: u8 = bits[..17].iter().sum::<u8>() & 1;
         bits[17] = parity; // even parity
-        // bits[18..24] tail = 0
+                           // bits[18..24] tail = 0
         bits
     }
 
@@ -102,10 +102,7 @@ mod tests {
         };
         let mut bits = s.encode();
         bits[7] ^= 1;
-        assert!(matches!(
-            Signal::decode(&bits),
-            Err(SignalError::BadParity)
-        ));
+        assert!(matches!(Signal::decode(&bits), Err(SignalError::BadParity)));
     }
 
     #[test]

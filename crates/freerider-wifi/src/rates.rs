@@ -121,9 +121,7 @@ impl Mcs {
 
     /// Inverse of [`Mcs::signal_rate_bits`].
     pub fn from_signal_rate_bits(bits: [u8; 4]) -> Option<Mcs> {
-        Mcs::ALL
-            .into_iter()
-            .find(|m| m.signal_rate_bits() == bits)
+        Mcs::ALL.into_iter().find(|m| m.signal_rate_bits() == bits)
     }
 
     /// Number of DATA OFDM symbols needed for a PSDU of `len` bytes
@@ -174,7 +172,10 @@ mod tests {
     #[test]
     fn signal_bits_round_trip() {
         for mcs in Mcs::ALL {
-            assert_eq!(Mcs::from_signal_rate_bits(mcs.signal_rate_bits()), Some(mcs));
+            assert_eq!(
+                Mcs::from_signal_rate_bits(mcs.signal_rate_bits()),
+                Some(mcs)
+            );
         }
         assert_eq!(Mcs::from_signal_rate_bits([0, 0, 0, 0]), None);
     }

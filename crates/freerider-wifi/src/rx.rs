@@ -19,7 +19,9 @@
 //!    packets.
 
 use crate::mapping::soft_demap_symbols;
-use crate::ofdm::{carrier_to_bin, demodulate_symbol, pilot_polarity, DATA_CARRIERS, PILOT_CARRIERS, PILOT_VALUES};
+use crate::ofdm::{
+    carrier_to_bin, demodulate_symbol, pilot_polarity, DATA_CARRIERS, PILOT_CARRIERS, PILOT_VALUES,
+};
 use crate::plcp::{Signal, SignalError};
 use crate::preamble::{long_symbol, ltf_carrier};
 use crate::rates::Modulation;
@@ -313,8 +315,7 @@ impl Receiver {
         // --- Channel estimation from the two long symbols. ---
         let mut h = [Complex::ZERO; FFT_SIZE];
         for rep in 0..2 {
-            let mut f: Vec<Complex> =
-                corrected[rep * FFT_SIZE..(rep + 1) * FFT_SIZE].to_vec();
+            let mut f: Vec<Complex> = corrected[rep * FFT_SIZE..(rep + 1) * FFT_SIZE].to_vec();
             freerider_dsp::fft::fft(&mut f).expect("power of two");
             for c in -26..=26i32 {
                 let l = ltf_carrier(c);
@@ -384,9 +385,8 @@ impl Receiver {
                 .sum();
             (-acc).arg() / 4.0
         };
-        let wrap_half_pi = |x: f64| {
-            x - std::f64::consts::FRAC_PI_2 * (x / std::f64::consts::FRAC_PI_2).round()
-        };
+        let wrap_half_pi =
+            |x: f64| x - std::f64::consts::FRAC_PI_2 * (x / std::f64::consts::FRAC_PI_2).round();
 
         let il_signal = Interleaver::new(48, 1);
         let (sig_points_raw, _) = self.equalize_symbol(&data_region[..SYMBOL_LEN], &h, 0);
@@ -544,7 +544,12 @@ mod tests {
     use crate::Mcs;
     use freerider_dsp::noise::NoiseSource;
 
-    fn loopback(rate: Mcs, payload: &[u8], noise_power: f64, seed: u64) -> Result<RxPacket, RxError> {
+    fn loopback(
+        rate: Mcs,
+        payload: &[u8],
+        noise_power: f64,
+        seed: u64,
+    ) -> Result<RxPacket, RxError> {
         let tx = Transmitter::new(TxConfig {
             rate,
             ..TxConfig::default()
@@ -583,7 +588,10 @@ mod tests {
         // 20 dB SNR: every rate should survive a short frame.
         let mut framed = vec![0xC3u8; 80];
         freerider_coding::crc::append_crc32(&mut framed);
-        for (i, rate) in [Mcs::Bpsk12, Mcs::Qpsk12, Mcs::Qam16Half].iter().enumerate() {
+        for (i, rate) in [Mcs::Bpsk12, Mcs::Qpsk12, Mcs::Qam16Half]
+            .iter()
+            .enumerate()
+        {
             let pkt = loopback(*rate, &framed, 0.01, i as u64).unwrap();
             assert_eq!(pkt.psdu, framed, "{rate:?}");
             assert!(pkt.fcs_valid);
@@ -705,7 +713,10 @@ mod tests {
         // Symbol 0 decodes identically (Viterbi traceback from the flip
         // boundary can disturb the last ~half constraint-lengths of the
         // previous symbol, so leave a 16-bit margin)…
-        assert_eq!(&tagged.data_bits[..n_dbps - 16], &clean.data_bits[..n_dbps - 16]);
+        assert_eq!(
+            &tagged.data_bits[..n_dbps - 16],
+            &clean.data_bits[..n_dbps - 16]
+        );
         // …and the interior of the flipped region is the exact complement.
         let lo = n_dbps + 8;
         let hi = clean.data_bits.len() - 8;

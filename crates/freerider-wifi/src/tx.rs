@@ -109,7 +109,10 @@ impl Transmitter {
         }
 
         let coded = encode(&scrambled, rate.code_rate());
-        let il = Interleaver::new(rate.coded_bits_per_symbol(), rate.modulation().bits_per_subcarrier());
+        let il = Interleaver::new(
+            rate.coded_bits_per_symbol(),
+            rate.modulation().bits_per_subcarrier(),
+        );
         debug_assert_eq!(coded.len(), n_sym * rate.coded_bits_per_symbol());
         for (n, chunk) in coded.chunks(rate.coded_bits_per_symbol()).enumerate() {
             let inter = il.interleave_symbol(chunk);
@@ -172,7 +175,11 @@ mod tests {
             assert!((a[k] - b[k]).abs() < 1e-12);
         }
         // …data differs.
-        let diff: f64 = a[400..].iter().zip(&b[400..]).map(|(x, y)| (*x - *y).abs()).sum();
+        let diff: f64 = a[400..]
+            .iter()
+            .zip(&b[400..])
+            .map(|(x, y)| (*x - *y).abs())
+            .sum();
         assert!(diff > 1.0);
     }
 }

@@ -8,8 +8,7 @@ use crate::CHIPS_PER_SYMBOL;
 
 /// Base chip sequence for data symbol 0 (c₀ … c₃₁).
 pub const BASE: [u8; 32] = [
-    1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1,
-    1, 0,
+    1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0,
 ];
 
 /// Returns the 32-chip sequence for data symbol `symbol` (0–15).

@@ -24,7 +24,10 @@ fn pulse(k: usize) -> f64 {
 /// # Panics
 /// Panics if `chips.len()` is odd.
 pub fn modulate_chips(chips: &[u8]) -> Vec<Complex> {
-    assert!(chips.len().is_multiple_of(2), "need an even number of chips");
+    assert!(
+        chips.len().is_multiple_of(2),
+        "need an even number of chips"
+    );
     let n_pairs = chips.len() / 2;
     let pulse_len = 2 * SAMPLES_PER_CHIP;
     let out_len = n_pairs * pulse_len + SAMPLES_PER_CHIP;
@@ -119,11 +122,7 @@ mod tests {
             .skip(SAMPLES_PER_CHIP)
             .take(wave.len() - 2 * SAMPLES_PER_CHIP)
         {
-            assert!(
-                (z.abs() - 1.0).abs() < 0.01,
-                "envelope at {k}: {}",
-                z.abs()
-            );
+            assert!((z.abs() - 1.0).abs() < 0.01, "envelope at {k}: {}", z.abs());
         }
     }
 

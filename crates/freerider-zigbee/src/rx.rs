@@ -285,9 +285,8 @@ mod tests {
         let flip_from = 12 + 6;
         let flip_to = 12 + 10;
         let mut tagged_wave = wave.clone();
-        for z in tagged_wave
-            [flip_from * SAMPLES_PER_SYMBOL..flip_to * SAMPLES_PER_SYMBOL]
-            .iter_mut()
+        for z in
+            tagged_wave[flip_from * SAMPLES_PER_SYMBOL..flip_to * SAMPLES_PER_SYMBOL].iter_mut()
         {
             *z = -*z;
         }
@@ -325,8 +324,7 @@ impl RxPacket {
         if self.symbol_scores.is_empty() {
             return 0;
         }
-        let mean: f64 =
-            self.symbol_scores.iter().sum::<f64>() / self.symbol_scores.len() as f64;
+        let mean: f64 = self.symbol_scores.iter().sum::<f64>() / self.symbol_scores.len() as f64;
         ((mean / 32.0).clamp(0.0, 1.0) * 255.0).round() as u8
     }
 }

@@ -1,14 +1,19 @@
-//! Property: any payload survives the full 802.15.4 chain; any whole-symbol
-//! phase flip translates deterministically per the complement table.
+//! Seeded-randomized properties: any payload survives the full 802.15.4
+//! chain; any whole-symbol phase flip translates deterministically per the
+//! complement table.
 
+use freerider_rt::Rng64;
 use freerider_zigbee::{Receiver, RxConfig, Transmitter};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
+const SUITE_SEED: u64 = 0x2154_0001;
 
-    #[test]
-    fn any_payload_round_trips(payload in prop::collection::vec(any::<u8>(), 0..120)) {
+#[test]
+fn any_payload_round_trips() {
+    for case in 0..CASES {
+        let mut rng = Rng64::derive(SUITE_SEED, case);
+        let n = rng.index(120);
+        let payload = rng.bytes(n);
         let tx = Transmitter::new();
         let wave = tx.transmit(&payload).unwrap();
         let rx = Receiver::new(RxConfig {
@@ -16,15 +21,19 @@ proptest! {
             ..RxConfig::default()
         });
         let pkt = rx.receive(&wave).unwrap();
-        prop_assert!(pkt.fcs_valid);
-        prop_assert_eq!(pkt.ppdu.payload(), &payload[..]);
+        assert!(pkt.fcs_valid, "case {case}");
+        assert_eq!(pkt.ppdu.payload(), &payload[..], "case {case}");
     }
+}
 
-    #[test]
-    fn flipped_symbols_follow_the_complement_table(
-        payload in prop::collection::vec(any::<u8>(), 10..60),
-        flip_sym in 2usize..12,
-    ) {
+#[test]
+fn flipped_symbols_follow_the_complement_table() {
+    for case in 0..CASES {
+        let mut rng = Rng64::derive(SUITE_SEED ^ 1, case);
+        let n = 10 + rng.index(50);
+        let payload = rng.bytes(n);
+        let flip_sym = 2 + rng.index(10);
+
         let tx = Transmitter::new();
         let wave = tx.transmit(&payload).unwrap();
         let rx = Receiver::new(RxConfig {
@@ -46,10 +55,16 @@ proptest! {
         // second one's last chip straddles the flip boundary, so only the
         // first is checked against the complement table.
         let orig = clean.psdu_symbols[flip_sym];
-        prop_assert_eq!(t.psdu_symbols[flip_sym], table[orig as usize]);
+        assert_eq!(
+            t.psdu_symbols[flip_sym], table[orig as usize],
+            "case {case}"
+        );
         // Symbols well away from the flip are untouched.
         for k in 0..flip_sym.saturating_sub(1) {
-            prop_assert_eq!(t.psdu_symbols[k], clean.psdu_symbols[k]);
+            assert_eq!(
+                t.psdu_symbols[k], clean.psdu_symbols[k],
+                "case {case} sym {k}"
+            );
         }
     }
 }

@@ -14,11 +14,10 @@
 use freerider::channel::channel::{Channel, Fading};
 use freerider::channel::BackscatterBudget;
 use freerider::core::decoder::decode_wifi_binary;
+use freerider::rt::Rng64;
 use freerider::tag::translator::PhaseTranslator;
 use freerider::tag::{Tag, TagConfig};
 use freerider::wifi::{Mpdu, Receiver, RxConfig, Transmitter, TxConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const SENSOR_PREAMBLE: [u8; 8] = [1, 0, 1, 1, 0, 1, 0, 0];
 
@@ -67,7 +66,7 @@ fn parse_frames(stream: &[u8]) -> Vec<(u8, u16)> {
 
 fn main() {
     println!("FreeRider IoT sensor demo — structured readings over WiFi backscatter\n");
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Rng64::new(99);
 
     // The sensor tag queues five readings.
     let translator = PhaseTranslator::wifi_binary();
@@ -76,11 +75,14 @@ fn main() {
         ..TagConfig::wifi()
     });
     let readings: Vec<(u8, u16)> = (0..5)
-        .map(|s| (s as u8, 2000 + rng.gen_range(0..600)))
+        .map(|s| (s as u8, 2000 + rng.below(600) as u16))
         .collect();
     for &(seq, temp) in &readings {
         tag.push_data(&sensor_frame(seq, temp));
-        println!("sensor queued reading #{seq}: {:.2} °C", temp as f64 / 100.0);
+        println!(
+            "sensor queued reading #{seq}: {:.2} °C",
+            temp as f64 / 100.0
+        );
     }
     println!("tag queue: {} bits\n", tag.pending());
 
@@ -104,7 +106,7 @@ fn main() {
     let mut packets = 0;
     while tag.pending() > 0 && packets < 20 {
         packets += 1;
-        let payload: Vec<u8> = (0..600).map(|_| rng.gen()).collect();
+        let payload = rng.bytes(600);
         let frame = Mpdu::build(
             freerider::wifi::frame::MacAddr::BROADCAST,
             freerider::wifi::frame::MacAddr::local(1),
@@ -126,7 +128,9 @@ fn main() {
                 decoded_stream.len()
             );
         } else {
-            println!("packet {packets}: backscatter lost (deep fade) — bits stay queued? no: re-send");
+            println!(
+                "packet {packets}: backscatter lost (deep fade) — bits stay queued? no: re-send"
+            );
             // A real deployment would retransmit; this demo pushes the
             // frame again so the reading is not lost.
         }

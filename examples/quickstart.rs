@@ -25,7 +25,10 @@ fn main() {
         "excitation: 11 dBm 802.11g @ 6 Mbps, tag at {} m, receiver at {} m",
         cfg.d_tx_tag_m, cfg.d_tag_rx_m
     );
-    println!("link budget RSSI: {:.1} dBm\n", cfg.budget.rssi_dbm(1.0, 2.0));
+    println!(
+        "link budget RSSI: {:.1} dBm\n",
+        cfg.budget.rssi_dbm(1.0, 2.0)
+    );
 
     let stats = WifiLink::new(cfg).run();
 

@@ -39,7 +39,10 @@ fn main() {
         .collect();
     let (tagged, consumed) = translator.translate(&excitation, &bits);
     let t2 = IqTrace::new(freerider::wifi::SAMPLE_RATE, tagged.clone());
-    println!("[2] after the tag ({consumed} tag bits embedded):\n{}\n", t2.summary());
+    println!(
+        "[2] after the tag ({consumed} tag bits embedded):\n{}\n",
+        t2.summary()
+    );
 
     // Stage 3: through the hallway to the backscatter receiver.
     let mut ch = Channel::new(
@@ -51,7 +54,10 @@ fn main() {
     .with_multipath(Multipath::hallway_20msps());
     let rx_wave = ch.propagate_padded(&tagged, 300);
     let t3 = IqTrace::new(freerider::wifi::SAMPLE_RATE, rx_wave.clone());
-    println!("[3] at the receiver (10 m, multipath + noise):\n{}\n", t3.summary());
+    println!(
+        "[3] at the receiver (10 m, multipath + noise):\n{}\n",
+        t3.summary()
+    );
 
     // Dump all three for offline analysis.
     let dir = std::env::temp_dir();
@@ -72,5 +78,8 @@ fn main() {
         pkt.rssi_dbm
     );
     let reload = IqTrace::load(&dir.join("freerider_received.friq")).expect("round-trip");
-    println!("trace round-trip: {} samples reloaded", reload.samples.len());
+    println!(
+        "trace round-trip: {} samples reloaded",
+        reload.samples.len()
+    );
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Hermetic verification: everything must pass offline, with no network and
+# no registry — the workspace has zero external dependencies.
+#
+#   sh scripts/verify.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --workspace -q --offline"
+cargo test --workspace -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

@@ -100,9 +100,18 @@ mod args {
         #[test]
         fn parses_flags_and_positionals() {
             let a = Args::parse(
-                ["link", "wifi", "--distance", "10", "--rx", "1,2", "--rx", "3,4"]
-                    .iter()
-                    .map(|s| s.to_string()),
+                [
+                    "link",
+                    "wifi",
+                    "--distance",
+                    "10",
+                    "--rx",
+                    "1,2",
+                    "--rx",
+                    "3,4",
+                ]
+                .iter()
+                .map(|s| s.to_string()),
             )
             .unwrap();
             assert_eq!(a.positional, vec!["link", "wifi"]);
@@ -133,7 +142,9 @@ fn technology(name: &str) -> Result<(Technology, BackscatterBudget), String> {
         "wifi-nlos" => Ok((Technology::Wifi, BackscatterBudget::wifi_nlos())),
         "zigbee" => Ok((Technology::Zigbee, BackscatterBudget::zigbee_los())),
         "ble" | "bluetooth" => Ok((Technology::Ble, BackscatterBudget::ble_los())),
-        other => Err(format!("unknown technology `{other}` (wifi|wifi-nlos|zigbee|ble)")),
+        other => Err(format!(
+            "unknown technology `{other}` (wifi|wifi-nlos|zigbee|ble)"
+        )),
     }
 }
 
@@ -155,9 +166,15 @@ fn cmd_link(a: &args::Args) -> Result<(), String> {
         Technology::Ble => BleLink::new(cfg).run(),
     };
     println!("{tech_name} backscatter link, tag at 1 m, receiver at {distance} m:");
-    println!("  packets            {} sent, {} decoded", stats.packets_sent, stats.packets_decoded);
+    println!(
+        "  packets            {} sent, {} decoded",
+        stats.packets_sent, stats.packets_decoded
+    );
     println!("  productive frames  {}", stats.productive_ok);
-    println!("  tag throughput     {:.1} kbps", stats.throughput_bps() / 1e3);
+    println!(
+        "  tag throughput     {:.1} kbps",
+        stats.throughput_bps() / 1e3
+    );
     println!("  tag BER            {:.2e}", stats.ber());
     println!("  budget RSSI        {:.1} dBm", stats.budget_rssi_dbm);
     Ok(())
@@ -215,10 +232,7 @@ fn cmd_coverage(a: &args::Args) -> Result<(), String> {
         .and_then(|(c, r)| Some((c.parse().ok()?, r.parse().ok()?)))
         .ok_or_else(|| format!("bad --grid `{grid}` (expected COLSxROWS)"))?;
     let cell: f64 = a.get("cell", 1.0)?;
-    let origin = Point::new(
-        ex - cols as f64 * cell / 2.0,
-        ey - rows as f64 * cell / 2.0,
-    );
+    let origin = Point::new(ex - cols as f64 * cell / 2.0, ey - rows as f64 * cell / 2.0);
     let model = LinkModel::default();
     let map = coverage_map(&d, &model, origin, cell, cols, rows);
     println!("{}", map.render(&d));

@@ -52,6 +52,7 @@ pub use freerider_dot11b as dot11b;
 pub use freerider_dsp as dsp;
 pub use freerider_mac as mac;
 pub use freerider_net as net;
+pub use freerider_rt as rt;
 pub use freerider_tag as tag;
 pub use freerider_wifi as wifi;
 pub use freerider_zigbee as zigbee;

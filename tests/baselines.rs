@@ -5,12 +5,11 @@ use freerider::channel::channel::{Channel, Fading};
 use freerider::channel::BackscatterBudget;
 use freerider::dot11b::hitchhike::{decode_hitchhike, HitchhikeTranslator};
 use freerider::dot11b::{Receiver, RxConfig, Transmitter};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use freerider::rt::Rng64;
 
 #[test]
 fn hitchhike_link_end_to_end_through_the_channel() {
-    let mut rng = StdRng::seed_from_u64(31);
+    let mut rng = Rng64::new(31);
     let budget = BackscatterBudget {
         noise_floor_dbm: freerider::dsp::db::thermal_noise_dbm(22e6, 6.0),
         ..BackscatterBudget::wifi_los()
@@ -26,14 +25,12 @@ fn hitchhike_link_end_to_end_through_the_channel() {
     let mut ch_ref = Channel::new(-45.0, budget.noise_floor_dbm, Fading::None, 32);
     let mut ch = Channel::new(rssi, budget.noise_floor_dbm, Fading::None, 33);
 
-    let psdu: Vec<u8> = (0..300).map(|_| rng.gen()).collect();
+    let psdu = rng.bytes(300);
     let wave = tx.transmit(&psdu).unwrap();
     let original = rx_ref.receive(&ch_ref.propagate(&wave)).unwrap();
     assert_eq!(original.psdu, psdu, "productive 802.11b link works");
 
-    let bits: Vec<u8> = (0..translator.capacity(wave.len()))
-        .map(|_| rng.gen_range(0..2u8))
-        .collect();
+    let bits = rng.bits(translator.capacity(wave.len()));
     assert_eq!(bits.len(), 2400, "1 tag bit per PSDU symbol");
     let (tagged, _) = translator.translate(&wave, &bits);
     let pkt = rx.receive(&ch.propagate_padded(&tagged, 200)).unwrap();

@@ -5,9 +5,8 @@
 use freerider::channel::channel::{Channel, Fading};
 use freerider::channel::BackscatterBudget;
 use freerider::core::link::{BleLink, LinkConfig, WifiLink, ZigbeeLink};
+use freerider::rt::Rng64;
 use freerider::tag::translator::PhaseTranslator;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 #[test]
 fn one_tag_design_rides_all_three_radios() {
@@ -37,7 +36,7 @@ fn one_tag_design_rides_all_three_radios() {
 #[test]
 fn receive_all_separates_tagged_back_to_back_packets() {
     use freerider::wifi::{Mpdu, Receiver, RxConfig, Transmitter, TxConfig};
-    let mut rng = StdRng::seed_from_u64(55);
+    let mut rng = Rng64::new(55);
     let tx = Transmitter::new(TxConfig::default());
     let translator = PhaseTranslator::wifi_binary();
     let rx = Receiver::new(RxConfig {
@@ -57,9 +56,7 @@ fn receive_all_separates_tagged_back_to_back_packets() {
             &vec![i; 150],
         );
         let wave = tx.transmit(frame.as_bytes()).unwrap();
-        let bits: Vec<u8> = (0..translator.capacity(wave.len()))
-            .map(|_| rng.gen_range(0..2u8))
-            .collect();
+        let bits = rng.bits(translator.capacity(wave.len()));
         let (tagged, _) = translator.translate(&wave, &bits);
         all_bits.push(bits);
         buf.extend(ch.propagate_padded(&tagged, 250));

@@ -6,7 +6,13 @@ use freerider::channel::channel::Fading;
 use freerider::channel::BackscatterBudget;
 use freerider::core::link::{BleLink, LinkConfig, WifiLink, WifiTagScheme, ZigbeeLink};
 
-fn quick(budget: BackscatterBudget, d: f64, payload: usize, packets: usize, seed: u64) -> LinkConfig {
+fn quick(
+    budget: BackscatterBudget,
+    d: f64,
+    payload: usize,
+    packets: usize,
+    seed: u64,
+) -> LinkConfig {
     LinkConfig {
         payload_len: payload,
         packets,
@@ -39,7 +45,10 @@ fn zigbee_link_end_to_end() {
     assert_eq!(stats.packets_decoded, 3);
     assert!(stats.ber() < 0.05, "BER {}", stats.ber());
     let t = stats.throughput_bps();
-    assert!((11e3..17e3).contains(&t), "throughput {t} vs paper ~15 kbps");
+    assert!(
+        (11e3..17e3).contains(&t),
+        "throughput {t} vs paper ~15 kbps"
+    );
 }
 
 #[test]
@@ -49,7 +58,10 @@ fn ble_link_end_to_end() {
     assert_eq!(stats.packets_decoded, 4);
     assert!(stats.ber() < 0.1, "BER {}", stats.ber());
     let t = stats.throughput_bps();
-    assert!((45e3..60e3).contains(&t), "throughput {t} vs paper ~55 kbps");
+    assert!(
+        (45e3..60e3).contains(&t),
+        "throughput {t} vs paper ~55 kbps"
+    );
 }
 
 #[test]

@@ -110,7 +110,9 @@ fn wifi_rx_tolerates_cfo_within_capture_range() {
             .enumerate()
             .map(|(n, &z)| z * Complex::cis(std::f64::consts::TAU * f * n as f64))
             .collect();
-        let pkt = rx.receive(&shifted).unwrap_or_else(|e| panic!("cfo {cfo_hz}: {e}"));
+        let pkt = rx
+            .receive(&shifted)
+            .unwrap_or_else(|e| panic!("cfo {cfo_hz}: {e}"));
         assert!(pkt.fcs_valid, "cfo {cfo_hz}");
         assert!((pkt.cfo - f).abs() < 2e-5);
     }

@@ -1,4 +1,9 @@
-//! Property-based tests (proptest) over the workspace's core invariants.
+//! Seeded-randomized tests over the workspace's core invariants.
+//!
+//! Each property draws `CASES` independent inputs from hierarchically
+//! derived `Rng64` streams (one stream per case), so any failure report's
+//! case index pins the exact inputs forever — the hermetic replacement for
+//! the proptest suite this file used to be.
 
 use freerider::coding::convolutional::{encode, viterbi_decode, CodeRate};
 use freerider::coding::crc;
@@ -6,82 +11,131 @@ use freerider::coding::interleaver::Interleaver;
 use freerider::coding::scrambler::Scrambler;
 use freerider::coding::whitening::Whitener;
 use freerider::dsp::{bits, fft, Complex};
+use freerider::rt::Rng64;
 use freerider::tag::plm::{PlmConfig, PlmEncoder, PlmReceiver};
 use freerider::tag::translator::PhaseTranslator;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
+const SUITE_SEED: u64 = 0xF4EE_41DE;
 
-    #[test]
-    fn fft_ifft_round_trips(values in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 64)) {
-        let orig: Vec<Complex> = values.iter().map(|&(r, i)| Complex::new(r, i)).collect();
+/// One derived stream per (property, case) pair.
+fn case_rng(property: u64, case: u64) -> Rng64 {
+    Rng64::derive(SUITE_SEED, (property << 32) | case)
+}
+
+#[test]
+fn fft_ifft_round_trips() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let orig: Vec<Complex> = (0..64)
+            .map(|_| Complex::new(rng.f64_range(-1.0, 1.0), rng.f64_range(-1.0, 1.0)))
+            .collect();
         let mut v = orig.clone();
         fft::fft(&mut v).unwrap();
         fft::ifft(&mut v).unwrap();
         for (a, b) in v.iter().zip(orig.iter()) {
-            prop_assert!((*a - *b).abs() < 1e-9);
+            assert!((*a - *b).abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn bytes_bits_round_trip(data in prop::collection::vec(any::<u8>(), 0..256)) {
-        prop_assert_eq!(bits::bits_to_bytes_lsb(&bits::bytes_to_bits_lsb(&data)), data.clone());
-        prop_assert_eq!(bits::bits_to_bytes_msb(&bits::bytes_to_bits_msb(&data)), data);
+#[test]
+fn bytes_bits_round_trip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let n = rng.index(256);
+        let data = rng.bytes(n);
+        assert_eq!(
+            bits::bits_to_bytes_lsb(&bits::bytes_to_bits_lsb(&data)),
+            data,
+            "case {case}"
+        );
+        assert_eq!(
+            bits::bits_to_bytes_msb(&bits::bytes_to_bits_msb(&data)),
+            data,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn scrambler_is_involution(seed in 1u8..0x80, data in prop::collection::vec(0u8..2, 1..512)) {
+#[test]
+fn scrambler_is_involution() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let seed = 1 + rng.index(0x7F) as u8;
+        let n = 1 + rng.index(511);
+        let data = rng.bits(n);
         let once = Scrambler::new(seed).scramble(&data);
         let twice = Scrambler::new(seed).scramble(&once);
-        prop_assert_eq!(twice, data);
+        assert_eq!(twice, data, "case {case}");
     }
+}
 
-    #[test]
-    fn whitening_is_involution(ch in 0u8..40, data in prop::collection::vec(0u8..2, 1..256)) {
+#[test]
+fn whitening_is_involution() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let ch = rng.index(40) as u8;
+        let n = 1 + rng.index(255);
+        let data = rng.bits(n);
         let once = Whitener::for_channel(ch).whiten(&data);
         let twice = Whitener::for_channel(ch).whiten(&once);
-        prop_assert_eq!(twice, data);
+        assert_eq!(twice, data, "case {case}");
     }
+}
 
-    #[test]
-    fn viterbi_inverts_encoder(data in prop::collection::vec(0u8..2, 1..200)) {
-        let mut bits = data.clone();
-        bits.extend_from_slice(&[0; 6]);
+#[test]
+fn viterbi_inverts_encoder() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let n = 1 + rng.index(199);
+        let data = rng.bits(n);
+        let mut padded = data.clone();
+        padded.extend_from_slice(&[0; 6]);
         for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
-            let decoded = viterbi_decode(&encode(&bits, rate), rate);
-            prop_assert_eq!(&decoded[..data.len()], &data[..]);
+            let decoded = viterbi_decode(&encode(&padded, rate), rate);
+            assert_eq!(&decoded[..data.len()], &data[..], "case {case} {rate:?}");
         }
     }
+}
 
-    #[test]
-    fn interleaver_round_trips(sym in prop::collection::vec(0u8..2, 48..=48)) {
+#[test]
+fn interleaver_round_trips() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let sym = rng.bits(48);
         for (n_cbps, n_bpsc) in [(48usize, 1usize), (96, 2), (192, 4), (288, 6)] {
             let il = Interleaver::new(n_cbps, n_bpsc);
             let block: Vec<u8> = sym.iter().cycle().take(n_cbps).copied().collect();
-            prop_assert_eq!(il.deinterleave_symbol(&il.interleave_symbol(&block)), block);
+            assert_eq!(
+                il.deinterleave_symbol(&il.interleave_symbol(&block)),
+                block,
+                "case {case} n_cbps {n_cbps}"
+            );
         }
     }
+}
 
-    #[test]
-    fn crc32_rejects_any_corruption(
-        data in prop::collection::vec(any::<u8>(), 4..128),
-        byte in 0usize..128,
-        bit in 0u8..8,
-    ) {
-        let mut frame = data;
+#[test]
+fn crc32_rejects_any_corruption() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let n = 4 + rng.index(124);
+        let mut frame = rng.bytes(n);
         crc::append_crc32(&mut frame);
-        prop_assert!(crc::check_crc32(&frame));
-        let idx = byte % frame.len();
-        frame[idx] ^= 1 << bit;
-        prop_assert!(!crc::check_crc32(&frame));
+        assert!(crc::check_crc32(&frame), "case {case}");
+        let idx = rng.index(frame.len());
+        frame[idx] ^= 1 << rng.index(8);
+        assert!(!crc::check_crc32(&frame), "case {case}");
     }
+}
 
-    #[test]
-    fn phase_translation_preserves_power_and_is_invertible(
-        nbits in 1usize..20,
-        data_start in 0usize..64,
-    ) {
+#[test]
+fn phase_translation_preserves_power_and_is_invertible() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
+        let nbits = 1 + rng.index(19);
+        let data_start = rng.index(64);
         let t = PhaseTranslator {
             delta_theta: std::f64::consts::PI,
             levels: 2,
@@ -89,25 +143,29 @@ proptest! {
             symbol_len: 8,
             data_start,
         };
-        let excitation: Vec<Complex> =
-            (0..400).map(|i| Complex::cis(i as f64 * 0.37)).collect();
+        let excitation: Vec<Complex> = (0..400).map(|i| Complex::cis(i as f64 * 0.37)).collect();
         let tag_bits: Vec<u8> = (0..nbits).map(|i| (i % 2) as u8).collect();
         let (out, consumed) = t.translate(&excitation, &tag_bits);
-        prop_assert!(consumed <= nbits);
-        prop_assert_eq!(out.len(), excitation.len());
+        assert!(consumed <= nbits, "case {case}");
+        assert_eq!(out.len(), excitation.len(), "case {case}");
         // Phase translation never changes sample magnitudes.
         for (a, b) in out.iter().zip(excitation.iter()) {
-            prop_assert!((a.abs() - b.abs()).abs() < 1e-12);
+            assert!((a.abs() - b.abs()).abs() < 1e-12, "case {case}");
         }
         // Applying the same translation again undoes it (π is an involution).
         let (back, _) = t.translate(&out, &tag_bits);
         for (a, b) in back.iter().zip(excitation.iter()) {
-            prop_assert!((*a - *b).abs() < 1e-9);
+            assert!((*a - *b).abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn xor_decode_recovers_any_tag_pattern(pattern in prop::collection::vec(0u8..2, 1..40)) {
+#[test]
+fn xor_decode_recovers_any_tag_pattern() {
+    for case in 0..CASES {
+        let mut rng = case_rng(9, case);
+        let n = 1 + rng.index(39);
+        let pattern = rng.bits(n);
         // Clean-channel model of the full decode path: flips over windows.
         let n_dbps = 24usize;
         let window = 4usize;
@@ -123,35 +181,44 @@ proptest! {
             }
         }
         let decoded = freerider::core::decoder::decode_wifi_binary(&orig, &back, n_dbps, window, 1);
-        prop_assert_eq!(decoded, pattern);
+        assert_eq!(decoded, pattern, "case {case}");
     }
+}
 
-    #[test]
-    fn plm_messages_survive_arbitrary_ambient_interleaving(
-        msg in prop::collection::vec(0u8..2, 8..=8),
-        ambient in prop::collection::vec(0.04e-3f64..2.7e-3, 0..40),
-    ) {
+#[test]
+fn plm_messages_survive_arbitrary_ambient_interleaving() {
+    for case in 0..CASES {
+        let mut rng = case_rng(10, case);
+        let msg = rng.bits(8);
+        let n_ambient = rng.index(40);
+        let ambient: Vec<f64> = (0..n_ambient)
+            .map(|_| rng.f64_range(0.04e-3, 2.7e-3))
+            .collect();
         let cfg = PlmConfig::default();
         let enc = PlmEncoder::new(cfg);
         let mut rx = PlmReceiver::new(cfg, 8);
         // Hostile prelude of ambient durations (skip any that alias).
         for &d in &ambient {
             if (d - cfg.l0_s).abs() > cfg.tolerance_s && (d - cfg.l1_s).abs() > cfg.tolerance_s {
-                prop_assert!(rx.push_pulse(d).is_none());
+                assert!(rx.push_pulse(d).is_none(), "case {case}");
             }
         }
         let mut got = None;
         for d in enc.encode(&msg) {
             got = got.or(rx.push_pulse(d));
         }
-        prop_assert_eq!(got, Some(msg));
+        assert_eq!(got, Some(msg), "case {case}");
     }
+}
 
-    #[test]
-    fn jain_index_is_bounded(alloc in prop::collection::vec(0.0f64..1e6, 1..50)) {
+#[test]
+fn jain_index_is_bounded() {
+    for case in 0..CASES {
+        let mut rng = case_rng(11, case);
+        let n = 1 + rng.index(49);
+        let alloc: Vec<f64> = (0..n).map(|_| rng.f64_range(0.0, 1e6)).collect();
         let j = freerider::mac::fairness::jain_index(&alloc);
-        let n = alloc.len() as f64;
-        prop_assert!(j <= 1.0 + 1e-9);
-        prop_assert!(j >= 1.0 / n - 1e-9);
+        assert!(j <= 1.0 + 1e-9, "case {case}");
+        assert!(j >= 1.0 / n as f64 - 1e-9, "case {case}");
     }
 }

@@ -1,0 +1,72 @@
+//! Parallel-vs-serial equivalence: the ISSUE's core runtime guarantee.
+//!
+//! Every experiment that fans out over `freerider_rt::Executor` derives one
+//! RNG stream per work item, so the results must be *bit-identical* no
+//! matter how many workers run them — `FREERIDER_THREADS=1` and
+//! `FREERIDER_THREADS=8` produce the same figures. These tests pin that on
+//! real experiment entry points (not just the executor unit tests).
+
+use freerider::channel::BackscatterBudget;
+use freerider::core::coexist::{backscatter_coexistence_on, CoexistTech};
+use freerider::core::experiments::{
+    distance_sweep_on, plm_accuracy_on, PlmAccuracyConfig, Technology,
+};
+use freerider::rt::Executor;
+
+#[test]
+fn distance_sweep_is_bit_identical_across_worker_counts() {
+    let distances = [1.0, 3.0, 6.0];
+    let run = |ex: Executor| {
+        distance_sweep_on(
+            ex,
+            Technology::Zigbee,
+            BackscatterBudget::zigbee_los(),
+            &distances,
+            1,
+            40,
+            0xD15_7A9CE,
+        )
+    };
+    let serial = run(Executor::serial());
+    let parallel = run(Executor::new(4));
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(s.distance_m.to_bits(), p.distance_m.to_bits());
+        assert_eq!(s.throughput_bps.to_bits(), p.throughput_bps.to_bits());
+        assert_eq!(s.ber.to_bits(), p.ber.to_bits());
+        assert_eq!(s.prr.to_bits(), p.prr.to_bits());
+        assert_eq!(s.rssi_dbm.to_bits(), p.rssi_dbm.to_bits());
+    }
+}
+
+#[test]
+fn plm_accuracy_is_bit_identical_across_worker_counts() {
+    let cfg = PlmAccuracyConfig::default();
+    let distances = [0.5, 1.0, 2.0, 4.0, 8.0];
+    let serial = plm_accuracy_on(Executor::serial(), &cfg, &distances, 7);
+    let parallel = plm_accuracy_on(Executor::new(4), &cfg, &distances, 7);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(s.distance_m.to_bits(), p.distance_m.to_bits());
+        assert_eq!(s.accuracy.to_bits(), p.accuracy.to_bits());
+    }
+}
+
+#[test]
+fn coexistence_cdfs_are_bit_identical_across_worker_counts() {
+    let run = |ex: Executor| backscatter_coexistence_on(ex, CoexistTech::Zigbee, 3, 1, 21);
+    let mut serial = run(Executor::serial());
+    let mut parallel = run(Executor::new(4));
+    for q in [0.1, 0.5, 0.9] {
+        assert_eq!(
+            serial.absent.quantile(q).to_bits(),
+            parallel.absent.quantile(q).to_bits(),
+            "absent q={q}"
+        );
+        assert_eq!(
+            serial.present.quantile(q).to_bits(),
+            parallel.present.quantile(q).to_bits(),
+            "present q={q}"
+        );
+    }
+}
