@@ -11,9 +11,10 @@ fn main() {
     // effectively one-shot (min 3 samples).
     let fast = Duration::from_millis(300);
     let heavy = Duration::from_millis(50);
-    for name in freerider_bench::EXPERIMENTS {
+    for e in freerider_bench::EXPERIMENTS {
+        let name = e.name;
         let iq_heavy = matches!(
-            *name,
+            name,
             "fig10"
                 | "fig11"
                 | "fig12"

@@ -5,45 +5,128 @@
 //! cargo run --release -p freerider-bench --bin repro -- fig10 fig17
 //! cargo run --release -p freerider-bench --bin repro -- --quick all
 //! cargo run --release -p freerider-bench --bin repro -- --list
+//! cargo run --release -p freerider-bench --bin repro -- --metrics fig10
+//! cargo run --release -p freerider-bench --bin repro -- --json out.json all
 //! FREERIDER_THREADS=4 cargo run --release -p freerider-bench --bin repro -- fig10
 //! ```
 //!
 //! Monte-Carlo experiments fan out over `freerider_rt::Executor`:
 //! `FREERIDER_THREADS` pins the worker count (default: all cores), and the
 //! output is bit-identical for any setting.
+//!
+//! `--metrics` prints each experiment's per-stage telemetry breakdown;
+//! `--json <path>` writes a machine-readable results file (schema
+//! `freerider-repro/1`). In the JSON, the per-experiment `metrics` section
+//! (counters + histograms) is deterministic — byte-identical across worker
+//! counts — while `timing` carries wall-clock values that vary run to run.
 
 use freerider_bench::micro::format_duration;
 use freerider_rt::Executor;
+use freerider_telemetry::{JsonWriter, Snapshot};
 use std::process::ExitCode;
 use std::time::Instant;
+
+struct ExperimentResult {
+    name: &'static str,
+    description: &'static str,
+    output: String,
+    metrics: Snapshot,
+    wall_s: f64,
+}
+
+fn write_json(
+    path: &str,
+    results: &[ExperimentResult],
+    quick: bool,
+    workers: usize,
+    total_wall_s: f64,
+) -> std::io::Result<()> {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema").string("freerider-repro/1");
+    w.key("quick").bool(quick);
+    // Worker count lives here, outside each experiment's `metrics`
+    // section, so those sections stay byte-identical across thread counts.
+    w.key("workers").u64(workers as u64);
+    w.key("experiments").begin_array();
+    for r in results {
+        w.begin_object();
+        w.key("name").string(r.name);
+        w.key("description").string(r.description);
+        w.key("output").string(&r.output);
+        w.key("metrics");
+        r.metrics.write_metrics(&mut w);
+        w.key("timing").begin_object();
+        w.key("wall_s").f64(r.wall_s);
+        w.key("timers");
+        r.metrics.write_timers(&mut w);
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("total").begin_object();
+    w.key("experiments").u64(results.len() as u64);
+    w.key("wall_s").f64(total_wall_s);
+    w.end_object();
+    w.end_object();
+    std::fs::write(path, w.finish())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let list = args.iter().any(|a| a == "--list" || a == "-l");
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .map(String::as_str)
-        .collect();
+    let metrics = args.iter().any(|a| a == "--metrics" || a == "-m");
+    let mut json_path: Option<String> = None;
+    let mut targets: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => {
+                    eprintln!("--json requires a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if !a.starts_with('-') {
+            targets.push(a.as_str());
+        }
+    }
 
     if list {
         println!("available experiments:");
+        let width = freerider_bench::EXPERIMENTS
+            .iter()
+            .map(|e| e.name.len())
+            .max()
+            .unwrap_or(0);
         for e in freerider_bench::EXPERIMENTS {
-            println!("  {e}");
+            println!("  {:<width$}  {}", e.name, e.description);
         }
         return ExitCode::SUCCESS;
     }
     if targets.is_empty() {
-        eprintln!("usage: repro [--quick] <experiment>... | all | --list");
+        eprintln!(
+            "usage: repro [--quick] [--metrics] [--json <path>] <experiment>... | all | --list"
+        );
         return ExitCode::FAILURE;
     }
 
-    let names: Vec<&str> = if targets.contains(&"all") {
-        freerider_bench::EXPERIMENTS.to_vec()
-    } else {
-        targets
-    };
+    // Expand `all` and drop duplicates (`repro all fig10` must not run
+    // fig10 twice), keeping first-occurrence order.
+    let mut names: Vec<&str> = Vec::new();
+    for t in targets {
+        if t == "all" {
+            for e in freerider_bench::EXPERIMENTS {
+                if !names.contains(&e.name) {
+                    names.push(e.name);
+                }
+            }
+        } else if !names.contains(&t) {
+            names.push(t);
+        }
+    }
 
     let threads = Executor::from_env().threads();
     eprintln!(
@@ -55,21 +138,53 @@ fn main() -> ExitCode {
 
     let t_all = Instant::now();
     let mut failed = false;
+    let mut results: Vec<ExperimentResult> = Vec::new();
     for name in names {
-        let t0 = Instant::now();
-        match freerider_bench::run(name, quick) {
-            Some(out) => {
-                println!("{}", "=".repeat(78));
-                println!("{out}");
-                eprintln!("repro: {name} took {}", format_duration(t0.elapsed()));
-            }
+        let entry = match freerider_bench::find_experiment(name) {
+            Some(e) => e,
             None => {
                 eprintln!("unknown experiment `{name}` (try --list)");
+                failed = true;
+                continue;
+            }
+        };
+        freerider_telemetry::reset();
+        let t0 = Instant::now();
+        let out = freerider_bench::run(name, quick).expect("registry names all run");
+        let wall_s = t0.elapsed().as_secs_f64();
+        let snap = freerider_telemetry::snapshot();
+        println!("{}", "=".repeat(78));
+        println!("{out}");
+        if metrics && !snap.is_empty() {
+            println!("--- telemetry: {name} ---");
+            print!("{}", snap.table());
+        }
+        eprintln!("repro: {name} took {}", format_duration(t0.elapsed()));
+        results.push(ExperimentResult {
+            name: entry.name,
+            description: entry.description,
+            output: out,
+            metrics: snap,
+            wall_s,
+        });
+    }
+    eprintln!("repro: total {}", format_duration(t_all.elapsed()));
+
+    if let Some(path) = json_path {
+        match write_json(
+            &path,
+            &results,
+            quick,
+            threads,
+            t_all.elapsed().as_secs_f64(),
+        ) {
+            Ok(()) => eprintln!("repro: wrote {path}"),
+            Err(e) => {
+                eprintln!("repro: failed to write {path}: {e}");
                 failed = true;
             }
         }
     }
-    eprintln!("repro: total {}", format_duration(t_all.elapsed()));
     if failed {
         ExitCode::FAILURE
     } else {

@@ -29,31 +29,111 @@ use std::fmt::Write as _;
 
 pub mod micro;
 
-/// All experiment identifiers the harness can regenerate.
-pub const EXPERIMENTS: &[&str] = &[
-    "table1",
-    "fig3",
-    "fig4",
-    "fig10",
-    "fig11",
-    "fig12",
-    "fig13",
-    "fig14",
-    "fig15",
-    "fig16",
-    "fig17",
-    "power",
-    "ablation-window",
-    "ablation-pilots",
-    "ablation-shifter",
-    "ablation-zigbee-n",
-    "ablation-mac",
-    "ablation-quaternary",
-    "ablation-amplitude",
-    "baseline-hitchhike",
-    "baseline-tone",
-    "extension-harvest",
+/// One reproducible table/figure of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Experiment {
+    /// The identifier `repro` accepts (e.g. `fig10`).
+    pub name: &'static str,
+    /// One-line summary of what the experiment regenerates.
+    pub description: &'static str,
+}
+
+/// All experiments the harness can regenerate.
+pub const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        name: "table1",
+        description: "codeword-translation XOR logic (Table 1)",
+    },
+    Experiment {
+        name: "fig3",
+        description: "ambient packet-duration PDF + PLM confusion probability",
+    },
+    Experiment {
+        name: "fig4",
+        description: "PLM scheduling-message accuracy vs distance",
+    },
+    Experiment {
+        name: "fig10",
+        description: "WiFi LOS throughput/BER/RSSI vs distance",
+    },
+    Experiment {
+        name: "fig11",
+        description: "WiFi NLOS throughput/BER/RSSI vs distance",
+    },
+    Experiment {
+        name: "fig12",
+        description: "ZigBee LOS throughput/BER/RSSI vs distance",
+    },
+    Experiment {
+        name: "fig13",
+        description: "Bluetooth LOS throughput/BER/RSSI vs distance",
+    },
+    Experiment {
+        name: "fig14",
+        description: "operational-regime map: max RX range vs TX-to-tag distance",
+    },
+    Experiment {
+        name: "fig15",
+        description: "WiFi throughput CDF with backscatter present/absent",
+    },
+    Experiment {
+        name: "fig16",
+        description: "backscatter throughput CDFs with WiFi present/absent",
+    },
+    Experiment {
+        name: "fig17",
+        description: "multi-tag MAC aggregate throughput and Jain fairness",
+    },
+    Experiment {
+        name: "power",
+        description: "tag power budget (TSMC 65 nm behavioural model, §3.3)",
+    },
+    Experiment {
+        name: "ablation-window",
+        description: "WiFi redundancy window (OFDM symbols per tag bit)",
+    },
+    Experiment {
+        name: "ablation-pilots",
+        description: "pilot phase correction at the receiver vs tag survival",
+    },
+    Experiment {
+        name: "ablation-shifter",
+        description: "BLE channel filter vs the tag's mirror sideband",
+    },
+    Experiment {
+        name: "ablation-zigbee-n",
+        description: "ZigBee redundancy window N (symbols per tag bit)",
+    },
+    Experiment {
+        name: "ablation-mac",
+        description: "Aloha vs TDM across the inter-round idle-delay knob",
+    },
+    Experiment {
+        name: "ablation-quaternary",
+        description: "binary vs quaternary phase translation (Eq. 4 vs Eq. 5)",
+    },
+    Experiment {
+        name: "ablation-amplitude",
+        description: "amplitude modification on 16-QAM (Fig. 2 failure mode)",
+    },
+    Experiment {
+        name: "baseline-hitchhike",
+        description: "HitchHike 802.11b DSSS baseline vs FreeRider OFDM",
+    },
+    Experiment {
+        name: "baseline-tone",
+        description: "tone-excitation (Passive WiFi class) channel-cost baseline",
+    },
+    Experiment {
+        name: "extension-harvest",
+        description: "battery-free operating envelope via RF harvesting",
+    },
 ];
+
+/// Looks up an experiment's registry entry by name.
+pub fn find_experiment(name: &str) -> Option<&'static Experiment> {
+    EXPERIMENTS.iter().find(|e| e.name == name)
+}
 
 /// Runs one experiment by name; `None` if the name is unknown.
 pub fn run(name: &str, quick: bool) -> Option<String> {
@@ -919,15 +999,18 @@ mod tests {
 
     #[test]
     fn every_experiment_runs_quick() {
-        for name in EXPERIMENTS {
-            let out = run(name, true).unwrap_or_else(|| panic!("unknown {name}"));
-            assert!(!out.is_empty(), "{name} produced no output");
+        for e in EXPERIMENTS {
+            let out = run(e.name, true).unwrap_or_else(|| panic!("unknown {}", e.name));
+            assert!(!out.is_empty(), "{} produced no output", e.name);
+            assert!(!e.description.is_empty(), "{} has no description", e.name);
         }
     }
 
     #[test]
     fn unknown_experiment_is_none() {
         assert!(run("fig99", true).is_none());
+        assert!(find_experiment("fig99").is_none());
+        assert_eq!(find_experiment("fig10").unwrap().name, "fig10");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::packet::{BlePacket, PacketError};
 use crate::{ADVERTISING_AA, DEFAULT_CHANNEL, SAMPLES_PER_BIT};
 use freerider_coding::whitening::Whitener;
 use freerider_dsp::{bits, db, Complex};
+use freerider_telemetry as telemetry;
 
 /// Receiver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -107,6 +108,8 @@ impl Receiver {
 
     /// Receives the first packet in `samples`.
     pub fn receive(&self, samples: &[Complex]) -> Result<RxPacket, RxError> {
+        telemetry::count("ble.rx.receive.calls");
+        let _span = telemetry::span("ble.rx.receive");
         let filtered;
         let input: &[Complex] = if self.config.channel_filter {
             filtered = channel_filter().filter(samples);
@@ -143,12 +146,15 @@ impl Receiver {
             }
         }
         if best.1 < self.config.detection_threshold {
+            telemetry::count("ble.rx.sync.misses");
             return Err(RxError::NoSync);
         }
+        telemetry::count("ble.rx.sync.locks");
         let start = best.0;
 
         let rssi_dbm = db::mean_power_dbm(&samples[start..(start + span).min(samples.len())]);
         if rssi_dbm < self.config.sensitivity_dbm {
+            telemetry::count("ble.rx.sensitivity_drops");
             return Err(RxError::NoSync);
         }
 
@@ -177,8 +183,22 @@ impl Receiver {
             whitened.push(bit_at(n).ok_or(RxError::Truncated(PacketError::Truncated))?);
         }
         let pdu_bits = Whitener::for_channel(self.config.channel).whiten(&whitened);
+        telemetry::count_n("ble.rx.slice.bits", total as u64);
         let (packet, crc_valid, _) =
             BlePacket::parse_pdu_bits(&pdu_bits).map_err(RxError::Truncated)?;
+        telemetry::count(if crc_valid {
+            "ble.rx.crc.ok"
+        } else {
+            "ble.rx.crc.bad"
+        });
+        telemetry::count("ble.rx.packets");
+        telemetry::record("ble.rx.payload_bytes", len as u64);
+        telemetry::event!(
+            Debug,
+            "ble.rx",
+            "packet: {len} B payload, CRC {}",
+            if crc_valid { "ok" } else { "BAD" }
+        );
         Ok(RxPacket {
             packet,
             crc_valid,

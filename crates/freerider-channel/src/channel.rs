@@ -195,6 +195,8 @@ impl Channel {
     /// Propagates a unit-power transmit waveform: multipath, fading gain,
     /// phase noise, power scaling to the target RSSI, thermal noise.
     pub fn propagate(&mut self, tx_wave: &[Complex]) -> Vec<Complex> {
+        freerider_telemetry::count("channel.propagate.calls");
+        freerider_telemetry::count_n("channel.propagate.samples", tx_wave.len() as u64);
         let gain = db::field_scale(self.rssi_dbm);
         let fade = self.fade_gain();
         let mut out = self.apply_multipath(tx_wave);
@@ -209,6 +211,11 @@ impl Channel {
     /// Propagates with `pad` noise-only samples before and after the
     /// packet, so receivers must genuinely detect it.
     pub fn propagate_padded(&mut self, tx_wave: &[Complex], pad: usize) -> Vec<Complex> {
+        freerider_telemetry::count("channel.propagate.calls");
+        freerider_telemetry::count_n(
+            "channel.propagate.samples",
+            (tx_wave.len() + 2 * pad) as u64,
+        );
         let gain = db::field_scale(self.rssi_dbm);
         let fade = self.fade_gain();
         let mut body = self.apply_multipath(tx_wave);

@@ -9,6 +9,16 @@
 
 use freerider_dsp::bits::majority;
 use freerider_dsp::Complex;
+use freerider_telemetry as telemetry;
+
+/// Records one majority-vote decision: the window size and how decisive
+/// the vote was (|ones − zeros|; 0 = a coin toss, `len` = unanimous).
+fn record_vote(kind: &'static str, window: &[u8]) {
+    let ones = window.iter().filter(|&&b| b == 1).count();
+    let margin = (2 * ones).abs_diff(window.len());
+    telemetry::count(kind);
+    telemetry::record("core.decode.vote_margin", margin as u64);
+}
 
 /// Decodes WiFi tag bits by XOR + majority over OFDM-symbol windows.
 ///
@@ -35,6 +45,7 @@ pub fn decode_wifi_binary(
         let window: Vec<u8> = (pos..pos + step_bits)
             .map(|k| original[k] ^ backscattered[k])
             .collect();
+        record_vote("core.decode.wifi.windows", &window);
         out.push(majority(&window));
         pos += step_bits;
     }
@@ -62,6 +73,7 @@ pub fn decode_zigbee_binary(
         let window: Vec<u8> = (pos..pos + symbols_per_step)
             .map(|k| u8::from(original[k] != backscattered[k]))
             .collect();
+        record_vote("core.decode.zigbee.windows", &window);
         out.push(majority(&window));
         pos += symbols_per_step;
     }
@@ -90,6 +102,7 @@ pub fn decode_ble_binary(
         let w: Vec<u8> = (pos..pos + window)
             .map(|k| original[k] ^ backscattered[k])
             .collect();
+        record_vote("core.decode.ble.windows", &w);
         out.push(majority(&w));
         pos += window;
     }
@@ -137,6 +150,7 @@ pub fn decode_wifi_quaternary(
         prev_frac = Some(frac);
         let q = ((r - drift) / delta_theta).round() as i64;
         let value = q.rem_euclid(levels) as usize;
+        telemetry::count("core.decode.quaternary.windows");
         // Two bits, MSB first (matches PhaseTranslator's bit packing).
         out.push(((value >> 1) & 1) as u8);
         out.push((value & 1) as u8);

@@ -110,6 +110,29 @@ impl LinkStats {
         }
         self.packets_decoded as f64 / self.packets_sent as f64
     }
+
+    /// Merges another accumulator in, as if both runs' packets had been
+    /// recorded into one. All counts and the RSSI average combine exactly,
+    /// so merging per-worker accumulators is associative and yields the
+    /// same statistics regardless of how the packets were partitioned.
+    /// `budget_rssi_dbm` keeps `self`'s value (merging only makes sense
+    /// across runs of the same link).
+    pub fn merge(&mut self, other: &LinkStats) {
+        self.packets_sent += other.packets_sent;
+        self.packets_decoded += other.packets_decoded;
+        self.productive_ok += other.productive_ok;
+        self.tag_bits_sent += other.tag_bits_sent;
+        self.tag_bits_compared += other.tag_bits_compared;
+        self.tag_bits_correct += other.tag_bits_correct;
+        self.airtime_s += other.airtime_s;
+        self.rssi_acc += other.rssi_acc;
+        self.rssi_n += other.rssi_n;
+        self.measured_rssi_dbm = if self.rssi_n == 0 {
+            f64::NAN
+        } else {
+            self.rssi_acc / self.rssi_n as f64
+        };
+    }
 }
 
 /// An empirical CDF accumulator (used for the Figs. 15/16 coexistence
@@ -174,6 +197,14 @@ impl Cdf {
         self.ensure_sorted();
         let n = self.samples.partition_point(|&s| s <= x);
         n as f64 / self.samples.len() as f64
+    }
+
+    /// Merges another CDF's samples in. Quantiles of the merged CDF equal
+    /// those of a single accumulator fed all samples, whatever the merge
+    /// order (the samples are re-sorted on the next query).
+    pub fn merge(&mut self, other: &Cdf) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
     }
 
     /// `(value, cumulative probability)` pairs for plotting.
@@ -263,5 +294,120 @@ mod tests {
         let mut c = Cdf::new();
         assert!(c.median().is_nan());
         assert!(c.prob_le(1.0).is_nan());
+    }
+
+    #[test]
+    fn empty_link_stats() {
+        let s = LinkStats::new(-70.0);
+        assert_eq!(s.throughput_bps(), 0.0);
+        assert_eq!(s.ber(), 1.0);
+        assert_eq!(s.prr(), 0.0);
+        assert!(s.measured_rssi_dbm.is_nan());
+    }
+
+    #[test]
+    fn single_sample_paths() {
+        let mut s = LinkStats::new(-70.0);
+        s.add_airtime(2.0);
+        s.note_sent(1);
+        s.note_decoded(&[1], &[1]);
+        s.note_measured_rssi(-72.5);
+        assert!((s.throughput_bps() - 0.5).abs() < 1e-12);
+        assert_eq!(s.ber(), 0.0);
+        assert!((s.measured_rssi_dbm - -72.5).abs() < 1e-12);
+
+        let mut c = Cdf::new();
+        c.push(7.0);
+        assert_eq!(c.median(), 7.0);
+        assert_eq!(c.quantile(0.0), 7.0);
+        assert_eq!(c.quantile(1.0), 7.0);
+        assert_eq!(c.points(), vec![(7.0, 1.0)]);
+    }
+
+    #[test]
+    fn merge_preserves_nan_rssi_until_a_measurement_exists() {
+        // Neither side measured RSSI: the merged average must stay NaN,
+        // not become 0 (which would read as an absurdly strong link).
+        let mut a = LinkStats::new(-70.0);
+        let b = LinkStats::new(-70.0);
+        a.merge(&b);
+        assert!(a.measured_rssi_dbm.is_nan());
+        // One side has a measurement: the merge adopts it exactly.
+        let mut c = LinkStats::new(-70.0);
+        c.note_measured_rssi(-80.0);
+        a.merge(&c);
+        assert!((a.measured_rssi_dbm - -80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_stats_merge_matches_single_accumulator() {
+        let feed = |s: &mut LinkStats, offset: u64| {
+            s.add_airtime(1.0);
+            s.note_sent(8);
+            let sent: Vec<u8> = (0..8).map(|k| ((k + offset) % 2) as u8).collect();
+            let mut dec = sent.clone();
+            dec[0] ^= 1;
+            s.note_decoded(&sent, &dec);
+            s.note_measured_rssi(-70.0 - offset as f64);
+            s.note_productive(offset % 2 == 0);
+        };
+        let mut whole = LinkStats::new(-60.0);
+        for k in 0..6 {
+            feed(&mut whole, k);
+        }
+        // Partition the same packets 3 ways and merge in two different
+        // associations: (a+b)+c and a+(b+c).
+        let mut parts: Vec<LinkStats> = (0..3).map(|_| LinkStats::new(-60.0)).collect();
+        for k in 0..6 {
+            feed(&mut parts[(k / 2) as usize], k);
+        }
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+        for m in [&left, &right] {
+            assert_eq!(m.packets_sent, whole.packets_sent);
+            assert_eq!(m.packets_decoded, whole.packets_decoded);
+            assert_eq!(m.productive_ok, whole.productive_ok);
+            assert_eq!(m.tag_bits_compared, whole.tag_bits_compared);
+            assert_eq!(m.tag_bits_correct, whole.tag_bits_correct);
+            assert!((m.airtime_s - whole.airtime_s).abs() < 1e-12);
+            assert!((m.measured_rssi_dbm - whole.measured_rssi_dbm).abs() < 1e-9);
+            assert!((m.ber() - whole.ber()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_merge_matches_single_accumulator() {
+        let samples: Vec<f64> = (0..90).map(|k| ((k * 61) % 23) as f64).collect();
+        let mut whole = Cdf::new();
+        for &x in &samples {
+            whole.push(x);
+        }
+        let mut parts: Vec<Cdf> = (0..3).map(|_| Cdf::new()).collect();
+        for (k, &x) in samples.iter().enumerate() {
+            parts[k % 3].push(x);
+        }
+        // (a+b)+c vs a+(b+c): identical quantiles, equal to the unmerged
+        // accumulator's.
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            assert_eq!(left.quantile(q), whole.quantile(q), "q={q}");
+            assert_eq!(right.quantile(q), whole.quantile(q), "q={q}");
+        }
+        assert_eq!(left.len(), whole.len());
+        // Merging an empty CDF is the identity.
+        let before: Vec<(f64, f64)> = left.points();
+        left.merge(&Cdf::new());
+        assert_eq!(left.points(), before);
     }
 }

@@ -136,6 +136,7 @@ impl NetworkSim {
 
     /// Runs the configured number of rounds.
     pub fn run(&mut self) -> SimReport {
+        let _span = freerider_telemetry::span("mac.sim.run");
         let cfg = self.config.clone();
         let mut per_tag_bits = vec![0u64; cfg.n_tags];
         let mut total_time = 0.0f64;
@@ -203,6 +204,15 @@ impl NetworkSim {
                 coordinator.adapt(&outcome);
             }
 
+            freerider_telemetry::count("mac.rounds");
+            freerider_telemetry::count_n("mac.slots.success", outcome.success as u64);
+            freerider_telemetry::count_n("mac.slots.capture", outcome.capture as u64);
+            freerider_telemetry::count_n("mac.slots.collision", outcome.collision as u64);
+            freerider_telemetry::count_n("mac.slots.empty", outcome.empty as u64);
+            freerider_telemetry::count_n(
+                "mac.ctrl.missed",
+                (cfg.n_tags - participants.len()) as u64,
+            );
             let duration = cfg.carrier_sense_s
                 + control_airtime
                 + n_slots as f64 * cfg.slot_s
@@ -219,6 +229,14 @@ impl NetworkSim {
 
         let total_bits: u64 = per_tag_bits.iter().sum();
         let allocations: Vec<f64> = per_tag_bits.iter().map(|&b| b as f64).collect();
+        freerider_telemetry::event!(
+            Info,
+            "mac.sim",
+            "{} tags, {} rounds: {:.1} kbps aggregate",
+            cfg.n_tags,
+            rounds.len(),
+            total_bits as f64 / total_time / 1e3
+        );
         SimReport {
             aggregate_bps: total_bits as f64 / total_time,
             fairness: jain_index(&allocations),

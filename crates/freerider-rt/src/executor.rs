@@ -71,6 +71,12 @@ impl Executor {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        // Only deterministic quantities are counted here — recording the
+        // worker count would break the cross-thread-count metric
+        // equivalence this executor exists to provide.
+        freerider_telemetry::count("rt.map.calls");
+        freerider_telemetry::count_n("rt.map.items", items.len() as u64);
+        let _span = freerider_telemetry::span("rt.map");
         if self.threads == 1 || items.len() <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }

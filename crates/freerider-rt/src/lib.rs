@@ -18,8 +18,8 @@
 //!   serial ones regardless of scheduling; `FREERIDER_THREADS=1` forces the
 //!   serial path.
 //!
-//! The crate has **no dependencies** (not even on the rest of the
-//! workspace), which is what makes the whole repository build and test with
+//! The crate's only dependency is `freerider-telemetry` (itself
+//! dependency-free), so the whole repository still builds and tests with
 //! no network access.
 //!
 //! ## Seeding discipline

@@ -1,0 +1,173 @@
+//! A log₂-binned histogram over `u64` values.
+//!
+//! Bin `0` holds the value `0`; bin `k ≥ 1` holds values in
+//! `[2^(k-1), 2^k)`. 65 bins cover the whole `u64` range, so recording
+//! never saturates or reallocates — the collector hot path is a couple of
+//! array writes. Because every field is an integer and merging is
+//! element-wise addition, merged histograms are bit-identical no matter
+//! how the samples were distributed over worker threads.
+
+/// Number of bins: one for zero plus one per possible leading-bit
+/// position.
+pub const BINS: usize = 65;
+
+/// A log₂-binned histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` while empty).
+    pub min: u64,
+    /// Largest sample (0 while empty).
+    pub max: u64,
+    bins: [u64; BINS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            bins: [0; BINS],
+        }
+    }
+}
+
+/// The bin index a value falls into.
+#[inline]
+pub fn bin_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The lower bound of bin `index` (inclusive).
+pub fn bin_lower_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.bins[bin_index(value)] += 1;
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value (NaN while empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Element-wise merge: counts, sums and bins add; min/max combine.
+    /// Addition is commutative and associative, so any merge order over
+    /// any partition of the samples yields the same histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// `(bin lower bound, count)` for every non-empty bin, in value order.
+    pub fn nonzero_bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bin_lower_bound(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_boundaries() {
+        assert_eq!(bin_index(0), 0);
+        assert_eq!(bin_index(1), 1);
+        assert_eq!(bin_index(2), 2);
+        assert_eq!(bin_index(3), 2);
+        assert_eq!(bin_index(4), 3);
+        assert_eq!(bin_index(u64::MAX), 64);
+        assert_eq!(bin_lower_bound(0), 0);
+        assert_eq!(bin_lower_bound(1), 1);
+        assert_eq!(bin_lower_bound(5), 16);
+    }
+
+    #[test]
+    fn record_tracks_summary_stats() {
+        let mut h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert!(h.mean().is_nan());
+        for v in [3u64, 0, 17, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 23);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 17);
+        assert!((h.mean() - 5.75).abs() < 1e-12);
+        let bins: Vec<(u64, u64)> = h.nonzero_bins().collect();
+        assert_eq!(bins, vec![(0, 1), (2, 2), (16, 1)]);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_matches_serial() {
+        let samples: Vec<u64> = (0..200).map(|k| (k * k * 2654435761u64) >> 32).collect();
+        let mut serial = LogHistogram::new();
+        for &s in &samples {
+            serial.record(s);
+        }
+        let (left, right) = samples.split_at(73);
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for &s in left {
+            a.record(s);
+        }
+        for &s in right {
+            b.record(s);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, serial);
+        assert_eq!(ba, serial);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = LogHistogram::new();
+        h.record(42);
+        let before = h.clone();
+        h.merge(&LogHistogram::new());
+        assert_eq!(h, before);
+    }
+}

@@ -1,0 +1,45 @@
+//! Structured, zero-dependency telemetry for the FreeRider workspace.
+//!
+//! The simulation's headline numbers (BER curves, throughput, range) say
+//! *what* happened; this crate records *why*: how many frames each RX
+//! stage saw and dropped, how codeword-translation votes split, where
+//! wall-clock time goes. It provides:
+//!
+//! - **Counters** — monotonic event counts ([`count`], [`count_n`]).
+//! - **Histograms** — log₂-binned `u64` distributions ([`record`]).
+//! - **Span timers** — RAII wall-clock scopes ([`span`]).
+//! - **Event log** — leveled stderr logging gated by `FREERIDER_LOG`
+//!   ([`event!`]).
+//! - **JSON** — a hand-rolled RFC 8259 writer ([`JsonWriter`]) used by
+//!   `repro --json` for machine-readable results.
+//!
+//! # Determinism contract
+//!
+//! Each thread records into its own collector; [`snapshot`] merges them
+//! (plus a graveyard holding finished threads' data) by pure integer
+//! addition. The workspace guarantees bit-identical results for any
+//! `FREERIDER_THREADS` value, and that guarantee extends to the counter
+//! and histogram sections of a snapshot: `Snapshot::metrics_json` is
+//! byte-identical across worker counts for the same workload. Wall-clock
+//! timers are the deliberate exception — they are reported in a separate
+//! `timing` section that consumers must not diff.
+//!
+//! Like the rest of the workspace, this crate has no external
+//! dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+pub mod log;
+pub mod registry;
+pub mod snapshot;
+pub mod timer;
+
+pub use hist::{bin_index, bin_lower_bound, LogHistogram, BINS};
+pub use json::JsonWriter;
+pub use log::{Level, LOG_ENV};
+pub use registry::{count, count_n, record, record_span_ns, reset, snapshot, span};
+pub use snapshot::Snapshot;
+pub use timer::{Span, TimerStat};

@@ -1,0 +1,113 @@
+//! A leveled event log gated by the `FREERIDER_LOG` environment variable.
+//!
+//! Levels are the usual `error < warn < info < debug < trace`; unset or
+//! `off` disables everything (the default — experiment output stays
+//! clean). The variable is read once per process. Events go to stderr so
+//! they never corrupt machine-readable stdout/JSON output.
+//!
+//! ```no_run
+//! freerider_telemetry::event!(Info, "wifi.rx", "decoded {} bytes", 42);
+//! ```
+
+use std::sync::OnceLock;
+
+/// Environment variable selecting the log level.
+pub const LOG_ENV: &str = "FREERIDER_LOG";
+
+/// Event severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or clearly-wrong conditions.
+    Error,
+    /// Suspicious conditions the run survives.
+    Warn,
+    /// Coarse progress events.
+    Info,
+    /// Per-frame / per-decision detail.
+    Debug,
+    /// Per-sample firehose.
+    Trace,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+/// Parses a `FREERIDER_LOG` value; `None` means logging is off.
+fn parse(value: &str) -> Option<Level> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "error" => Some(Level::Error),
+        "warn" | "warning" => Some(Level::Warn),
+        "info" => Some(Level::Info),
+        "debug" => Some(Level::Debug),
+        "trace" => Some(Level::Trace),
+        _ => None,
+    }
+}
+
+fn max_level() -> Option<Level> {
+    static MAX: OnceLock<Option<Level>> = OnceLock::new();
+    *MAX.get_or_init(|| std::env::var(LOG_ENV).ok().as_deref().and_then(parse))
+}
+
+/// Whether events at `level` are currently emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    max_level().is_some_and(|max| level <= max)
+}
+
+/// Emits one event to stderr (prefer the [`crate::event!`] macro, which
+/// skips formatting when the level is disabled).
+pub fn emit(level: Level, target: &str, message: std::fmt::Arguments<'_>) {
+    if enabled(level) {
+        eprintln!("[{:5}] {target}: {message}", level.name());
+    }
+}
+
+/// Logs a formatted event when `FREERIDER_LOG` admits its level.
+///
+/// Arguments: a [`Level`] variant name, a target string (conventionally
+/// the subsystem, e.g. `"wifi.rx"`), then `format!`-style arguments.
+#[macro_export]
+macro_rules! event {
+    ($level:ident, $target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::$level) {
+            $crate::log::emit(
+                $crate::log::Level::$level,
+                $target,
+                format_args!($($arg)*),
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn parse_accepts_known_levels() {
+        assert_eq!(parse("info"), Some(Level::Info));
+        assert_eq!(parse(" WARN "), Some(Level::Warn));
+        assert_eq!(parse("warning"), Some(Level::Warn));
+        assert_eq!(parse("off"), None);
+        assert_eq!(parse(""), None);
+        assert_eq!(parse("nonsense"), None);
+    }
+}

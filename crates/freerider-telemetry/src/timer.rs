@@ -1,0 +1,92 @@
+//! Scoped wall-clock span timers.
+//!
+//! A [`Span`] measures the wall-clock time between its creation and drop
+//! and records it under its name. Timer values are **real elapsed time**:
+//! they are reported (JSON `timing` section, breakdown table) but are
+//! deliberately excluded from the deterministic metric section — wall
+//! clocks differ run to run and across worker counts, while counters and
+//! histograms must not.
+
+use std::time::Instant;
+
+/// Aggregate wall-clock statistics for one named span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimerStat {
+    /// Completed spans.
+    pub count: u64,
+    /// Total nanoseconds across all spans (saturating).
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl TimerStat {
+    /// Records one completed span.
+    pub fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Merges another stat in (sums and max).
+    pub fn merge(&mut self, other: &TimerStat) {
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Mean span duration in nanoseconds (NaN while empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        self.total_ns as f64 / self.count as f64
+    }
+}
+
+/// An RAII span: created by [`crate::span`], records its elapsed
+/// wall-clock time into the thread's collector when dropped.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts a span (prefer [`crate::span`]).
+    pub fn start(name: &'static str) -> Self {
+        Span {
+            name,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        crate::registry::record_span_ns(self.name, ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_accumulates() {
+        let mut t = TimerStat::default();
+        assert!(t.mean_ns().is_nan());
+        t.record(10);
+        t.record(30);
+        assert_eq!(t.count, 2);
+        assert_eq!(t.total_ns, 40);
+        assert_eq!(t.max_ns, 30);
+        assert!((t.mean_ns() - 20.0).abs() < 1e-12);
+        let mut u = TimerStat::default();
+        u.record(100);
+        t.merge(&u);
+        assert_eq!(t.count, 3);
+        assert_eq!(t.max_ns, 100);
+    }
+}

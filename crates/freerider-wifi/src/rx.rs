@@ -30,6 +30,7 @@ use freerider_coding::convolutional::{viterbi_decode_soft, CodeRate};
 use freerider_coding::interleaver::Interleaver;
 use freerider_coding::scrambler::Scrambler;
 use freerider_dsp::{bits, corr, db, Complex};
+use freerider_telemetry as telemetry;
 
 /// How the receiver tracks residual carrier phase across DATA symbols.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -221,6 +222,8 @@ impl Receiver {
     /// 2. **LTF cross-correlation** for fine timing within the window the
     ///    STF trigger implies.
     fn detect(&self, samples: &[Complex]) -> Result<usize, RxError> {
+        telemetry::count("wifi.rx.detect.calls");
+        let _span = telemetry::span("wifi.rx.detect");
         if samples.len() < PREAMBLE_LEN + SYMBOL_LEN {
             return Err(RxError::NoPreamble);
         }
@@ -244,8 +247,10 @@ impl Receiver {
             let m: f64 = dc[p..p + SUSTAIN].iter().sum::<f64>() / SUSTAIN as f64;
             let span_end = (p + 160).min(samples.len());
             let measured = db::mean_power_dbm(&samples[p..span_end]);
+            telemetry::count("wifi.rx.detect.stf_plateaus");
             let signal_est = measured + 10.0 * m.clamp(1e-6, 1.0).log10();
             if signal_est < self.config.sensitivity_dbm {
+                telemetry::count("wifi.rx.detect.sensitivity_drops");
                 // Skip this burst and keep hunting (a later, stronger
                 // packet may still be decodable).
                 p += SUSTAIN;
@@ -277,9 +282,11 @@ impl Receiver {
             // Multipath disperses the peak but a real preamble keeps a
             // dominant component; require a modest floor to reject noise.
             if best.1 < 0.55 {
+                telemetry::count("wifi.rx.detect.ltf_rejects");
                 p += SUSTAIN;
                 continue;
             }
+            telemetry::count("wifi.rx.detect.locks");
             // Timing advance: lock a few samples *early*, inside the
             // cyclic prefix. If the correlator locked onto a delayed
             // multipath component, a late FFT window would straddle the
@@ -295,7 +302,9 @@ impl Receiver {
 
     /// Decodes a PPDU whose first long training symbol starts at `ltf1`.
     fn decode_at(&self, samples: &[Complex], ltf1: usize) -> Result<RxPacket, RxError> {
+        let _span = telemetry::span("wifi.rx.decode");
         if ltf1 + 2 * FFT_SIZE + SYMBOL_LEN > samples.len() {
+            telemetry::count("wifi.rx.truncated");
             return Err(RxError::Truncated);
         }
         // --- Fine CFO from the repeated long symbols. ---
@@ -304,6 +313,10 @@ impl Receiver {
             acc += samples[ltf1 + FFT_SIZE + k] * samples[ltf1 + k].conj();
         }
         let cfo = acc.arg() / (2.0 * std::f64::consts::PI * FFT_SIZE as f64);
+        telemetry::count("wifi.rx.cfo.estimates");
+        // |CFO| in parts-per-billion of the sample rate: integer so it can
+        // live in the deterministic histogram section.
+        telemetry::record("wifi.rx.cfo.abs_ppb", (cfo.abs() * 1e9).round() as u64);
 
         // CFO-correct everything from LTF1 onward.
         let corrected: Vec<Complex> = samples[ltf1..]
@@ -332,9 +345,12 @@ impl Receiver {
             db::mean_power_dbm(&samples[pre_start..ltf1 + 2 * FFT_SIZE])
         };
 
+        telemetry::count("wifi.rx.chanest.estimates");
+
         // --- SIGNAL symbol. ---
         let data_region = &corrected[2 * FFT_SIZE..];
         if data_region.len() < SYMBOL_LEN {
+            telemetry::count("wifi.rx.truncated");
             return Err(RxError::Truncated);
         }
         // Decision-directed residual-CFO tracker: the one-shot LTF CFO
@@ -400,14 +416,24 @@ impl Receiver {
         let sig_llrs = soft_demap_symbols(&sig_points, &gains, Modulation::Bpsk);
         let sig_coded = il_signal.deinterleave_symbol_soft(&sig_llrs);
         let sig_decoded = viterbi_decode_soft(&sig_coded, CodeRate::Half);
+        telemetry::count("wifi.rx.demap.symbols");
+        telemetry::count("wifi.rx.deinterleave.symbols");
+        telemetry::count("wifi.rx.viterbi.decodes");
+        telemetry::count_n("wifi.rx.viterbi.bits", sig_decoded.len() as u64);
         let mut sig24 = [0u8; 24];
         sig24.copy_from_slice(&sig_decoded[..24]);
-        let signal = Signal::decode(&sig24).map_err(RxError::BadSignal)?;
+        let signal = Signal::decode(&sig24).map_err(|e| {
+            telemetry::count("wifi.rx.signal.bad");
+            telemetry::event!(Debug, "wifi.rx", "SIGNAL field rejected: {e:?}");
+            RxError::BadSignal(e)
+        })?;
+        telemetry::count("wifi.rx.signal.ok");
 
         // --- DATA symbols. ---
         let rate = signal.rate;
         let n_sym = rate.data_symbols_for(signal.length);
         if data_region.len() < SYMBOL_LEN * (1 + n_sym) {
+            telemetry::count("wifi.rx.truncated");
             return Err(RxError::Truncated);
         }
         let il = Interleaver::new(
@@ -462,7 +488,11 @@ impl Receiver {
             let llrs = soft_demap_symbols(&points, &gains, rate.modulation());
             coded_llrs.extend(il.deinterleave_symbol_soft(&llrs));
         }
+        telemetry::count_n("wifi.rx.demap.symbols", n_sym as u64);
+        telemetry::count_n("wifi.rx.deinterleave.symbols", n_sym as u64);
         let scrambled = viterbi_decode_soft(&coded_llrs, rate.code_rate());
+        telemetry::count("wifi.rx.viterbi.decodes");
+        telemetry::count_n("wifi.rx.viterbi.bits", scrambled.len() as u64);
 
         // --- Descramble, recovering the seed from the SERVICE bits. ---
         let data_bits = match Scrambler::recover_seed(&scrambled[..7]) {
@@ -477,6 +507,21 @@ impl Receiver {
         let psdu_bits = &data_bits[16..16 + 8 * signal.length];
         let psdu = bits::bits_to_bytes_lsb(psdu_bits);
         let fcs_valid = freerider_coding::crc::check_crc32(&psdu);
+        telemetry::count(if fcs_valid {
+            "wifi.rx.fcs.ok"
+        } else {
+            "wifi.rx.fcs.bad"
+        });
+        telemetry::count("wifi.rx.packets");
+        telemetry::record("wifi.rx.psdu_bytes", signal.length as u64);
+        telemetry::event!(
+            Debug,
+            "wifi.rx",
+            "packet: {} B at {:?}, FCS {}",
+            signal.length,
+            rate,
+            if fcs_valid { "ok" } else { "BAD" }
+        );
 
         let end = ltf1 + 2 * FFT_SIZE + SYMBOL_LEN * (1 + n_sym);
         Ok(RxPacket {
@@ -502,6 +547,8 @@ impl Receiver {
         symbol_index: usize,
     ) -> (Vec<Complex>, f64) {
         debug_assert_eq!(symbol.len(), SYMBOL_LEN);
+        telemetry::count("wifi.rx.equalize.symbols");
+        telemetry::count("wifi.rx.fft.symbols");
         let carriers = demodulate_symbol(&symbol[..SYMBOL_LEN]);
         let polarity = pilot_polarity()[symbol_index % 127];
         // Pilot-derived common phase error.

@@ -16,6 +16,7 @@ use crate::frame::{Ppdu, SFD};
 use crate::oqpsk::{demodulate_chips, modulate_chips};
 use crate::{CHIPS_PER_SYMBOL, SAMPLES_PER_SYMBOL};
 use freerider_dsp::{corr, db, Complex};
+use freerider_telemetry as telemetry;
 
 /// Receiver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -107,6 +108,8 @@ impl Receiver {
 
     /// Receives the first frame found in `samples`.
     pub fn receive(&self, samples: &[Complex]) -> Result<RxPacket, RxError> {
+        telemetry::count("zigbee.rx.receive.calls");
+        let _span = telemetry::span("zigbee.rx.receive");
         // --- Detect the preamble. ---
         let c = corr::normalized_correlation(samples, &self.sync_ref);
         let thr = self.config.detection_threshold;
@@ -114,6 +117,7 @@ impl Receiver {
             Some(i) => i,
             None => return Err(RxError::NoPreamble),
         };
+        telemetry::count("zigbee.rx.preamble.locks");
         // Refine to the local peak.
         let mut best = i;
         for j in i..(i + 4).min(c.len()) {
@@ -127,6 +131,7 @@ impl Receiver {
             &samples[start..(start + 8 * SAMPLES_PER_SYMBOL).min(samples.len())],
         );
         if rssi_dbm < self.config.sensitivity_dbm {
+            telemetry::count("zigbee.rx.sensitivity_drops");
             return Err(RxError::NoPreamble);
         }
 
@@ -164,7 +169,11 @@ impl Receiver {
                 _ => {}
             }
         }
-        let sfd_at = sfd_at.ok_or(RxError::NoSfd)?;
+        let sfd_at = sfd_at.ok_or_else(|| {
+            telemetry::count("zigbee.rx.sfd.misses");
+            RxError::NoSfd
+        })?;
+        telemetry::count("zigbee.rx.sfd.locks");
 
         // --- PHR. ---
         let phr_idx = sfd_at + 2;
@@ -181,9 +190,23 @@ impl Receiver {
             psdu_symbols.push(s);
             symbol_scores.push(score);
         }
+        telemetry::count_n("zigbee.rx.despread.symbols", (4 + n_psdu_sym) as u64);
         let psdu = crate::frame::symbols_to_bytes(&psdu_symbols);
         let ppdu = Ppdu { psdu };
         let fcs_valid = ppdu.fcs_valid();
+        telemetry::count(if fcs_valid {
+            "zigbee.rx.fcs.ok"
+        } else {
+            "zigbee.rx.fcs.bad"
+        });
+        telemetry::count("zigbee.rx.packets");
+        telemetry::record("zigbee.rx.psdu_bytes", psdu_len as u64);
+        telemetry::event!(
+            Debug,
+            "zigbee.rx",
+            "packet: {psdu_len} B, FCS {}",
+            if fcs_valid { "ok" } else { "BAD" }
+        );
         let end = start + (phr_idx + 2 + n_psdu_sym) * SAMPLES_PER_SYMBOL;
         Ok(RxPacket {
             ppdu,

@@ -15,4 +15,20 @@ cargo test --workspace -q --offline
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo clippy --workspace --offline -- -D warnings"
+cargo clippy --workspace --offline -- -D warnings
+
+echo "==> repro --quick all --json smoke"
+./target/release/repro --quick all --json /tmp/freerider_repro_smoke.json >/dev/null
+python3 - <<'EOF'
+import json
+with open("/tmp/freerider_repro_smoke.json") as f:
+    doc = json.load(f)
+assert doc["schema"] == "freerider-repro/1", doc.get("schema")
+assert doc["experiments"], "no experiments in repro JSON"
+for e in doc["experiments"]:
+    assert e["name"] and e["output"], e.get("name")
+print(f"repro JSON OK: {len(doc['experiments'])} experiments")
+EOF
+
 echo "verify: OK"

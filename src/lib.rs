@@ -22,6 +22,8 @@
 //! | [`mac`] | `freerider-mac` | Framed-Slotted-Aloha MAC + coordinator + Fig. 17 simulator |
 //! | [`net`] | `freerider-net` | deployment-scale simulation: 2D sites, coverage maps, latency |
 //! | [`core`] | `freerider-core` | end-to-end links, XOR decoding, every §4 experiment |
+//! | [`rt`] | `freerider-rt` | deterministic RNG streams + parallel sweep executor |
+//! | [`telemetry`] | `freerider-telemetry` | counters, histograms, span timers, event log, JSON output |
 //!
 //! ## Quickstart
 //!
@@ -54,5 +56,6 @@ pub use freerider_mac as mac;
 pub use freerider_net as net;
 pub use freerider_rt as rt;
 pub use freerider_tag as tag;
+pub use freerider_telemetry as telemetry;
 pub use freerider_wifi as wifi;
 pub use freerider_zigbee as zigbee;

@@ -12,9 +12,22 @@ use freerider::core::experiments::{
     distance_sweep_on, plm_accuracy_on, PlmAccuracyConfig, Technology,
 };
 use freerider::rt::Executor;
+use std::sync::{Mutex, MutexGuard};
+
+/// All tests in this binary record into the process-global telemetry
+/// registry, so the telemetry-equivalence test below must not run while
+/// another test is emitting events. One shared lock serialises them.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn telemetry_guard() -> MutexGuard<'static, ()> {
+    TELEMETRY_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 #[test]
 fn distance_sweep_is_bit_identical_across_worker_counts() {
+    let _guard = telemetry_guard();
     let distances = [1.0, 3.0, 6.0];
     let run = |ex: Executor| {
         distance_sweep_on(
@@ -41,6 +54,7 @@ fn distance_sweep_is_bit_identical_across_worker_counts() {
 
 #[test]
 fn plm_accuracy_is_bit_identical_across_worker_counts() {
+    let _guard = telemetry_guard();
     let cfg = PlmAccuracyConfig::default();
     let distances = [0.5, 1.0, 2.0, 4.0, 8.0];
     let serial = plm_accuracy_on(Executor::serial(), &cfg, &distances, 7);
@@ -54,6 +68,7 @@ fn plm_accuracy_is_bit_identical_across_worker_counts() {
 
 #[test]
 fn coexistence_cdfs_are_bit_identical_across_worker_counts() {
+    let _guard = telemetry_guard();
     let run = |ex: Executor| backscatter_coexistence_on(ex, CoexistTech::Zigbee, 3, 1, 21);
     let mut serial = run(Executor::serial());
     let mut parallel = run(Executor::new(4));
@@ -69,4 +84,41 @@ fn coexistence_cdfs_are_bit_identical_across_worker_counts() {
             "present q={q}"
         );
     }
+}
+
+#[test]
+fn telemetry_metrics_are_identical_across_worker_counts() {
+    // The tentpole guarantee of the telemetry crate: counters and
+    // histograms collected across Executor workers merge to the exact
+    // same values (and the exact same serialised JSON) whether the sweep
+    // ran on one thread or four. Wall-clock timers are excluded by
+    // construction — `metrics_json` never contains them.
+    let _guard = telemetry_guard();
+    let distances = [1.0, 3.0, 6.0];
+    let run = |ex: Executor| {
+        freerider::telemetry::reset();
+        distance_sweep_on(
+            ex,
+            Technology::Zigbee,
+            BackscatterBudget::zigbee_los(),
+            &distances,
+            1,
+            40,
+            0xD15_7A9CE,
+        );
+        freerider::telemetry::snapshot()
+    };
+    let serial = run(Executor::serial());
+    let parallel = run(Executor::new(4));
+    assert!(!serial.is_empty(), "the sweep must record telemetry");
+    assert!(
+        serial.counter("zigbee.rx.receive.calls") > 0,
+        "ZigBee RX stages must be instrumented"
+    );
+    assert_eq!(
+        serial.metrics_json(),
+        parallel.metrics_json(),
+        "metric sections must be byte-identical across worker counts"
+    );
+    freerider::telemetry::reset();
 }
