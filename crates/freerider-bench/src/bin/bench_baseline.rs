@@ -1,0 +1,233 @@
+//! `bench-baseline` — emits a machine-readable performance baseline.
+//!
+//! ```sh
+//! cargo run --release -p freerider-bench --bin bench-baseline
+//! cargo run --release -p freerider-bench --bin bench-baseline -- --quick --out /tmp/bench.json
+//! ```
+//!
+//! The output (schema `freerider-bench/1`, default path
+//! `benchmarks/BENCH_<git-sha>.json`) captures:
+//!
+//! * **kernels** — median/mean per-iteration time of the hot PHY kernels
+//!   (WiFi TX/RX, Viterbi, FFT), with derived throughput where a byte
+//!   count is meaningful;
+//! * **trace_overhead** — the flight-recorder cost triad on WiFi RX:
+//!   tracing off (A), tracing off again (A/A repeat — bounds the
+//!   disabled-path cost plus measurement noise), and `all`-mode recording
+//!   with a live packet scope;
+//! * **experiments** — per-experiment wall-clock of the repro registry.
+//!
+//! `scripts/bench_diff.py` diffs a fresh baseline against the committed
+//! `benchmarks/latest.json` and flags regressions beyond a configurable
+//! threshold (warn-only when no committed baseline exists yet).
+//!
+//! Wall-clock numbers vary machine to machine; baselines are comparable
+//! only within one host. The committed baseline documents the reference
+//! machine and lets CI catch order-of-magnitude regressions.
+
+use freerider_bench::micro::{bench, Summary};
+use freerider_coding::convolutional::{encode, viterbi_decode, CodeRate};
+use freerider_dsp::{fft, Complex};
+use freerider_telemetry::trace::{self, TraceMode};
+use freerider_telemetry::JsonWriter;
+use freerider_wifi::{Receiver, RxConfig, Transmitter, TxConfig};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn git_short_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+struct KernelResult {
+    name: &'static str,
+    summary: Summary,
+    /// Payload bytes processed per iteration (0 when not meaningful).
+    bytes: u64,
+}
+
+fn write_summary(w: &mut JsonWriter, s: &Summary, bytes: u64) {
+    w.begin_object();
+    w.key("median_ns").u64(s.median.as_nanos() as u64);
+    w.key("mean_ns").u64(s.mean.as_nanos() as u64);
+    w.key("iters").u64(s.iters as u64);
+    if bytes > 0 && s.median.as_nanos() > 0 {
+        let mb_per_s = bytes as f64 / 1e6 / s.median.as_secs_f64();
+        w.key("mb_per_s").f64((mb_per_s * 100.0).round() / 100.0);
+    }
+    w.end_object();
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let sha = git_short_sha();
+    let out_path = out_path.unwrap_or_else(|| format!("benchmarks/BENCH_{sha}.json"));
+    let (budget, max_iters) = if quick {
+        (Duration::from_millis(60), 300)
+    } else {
+        (Duration::from_millis(300), 2_000)
+    };
+    let t_all = Instant::now();
+
+    // Kernel timings. Tracing is pinned off so baselines measure the
+    // production path regardless of the ambient FREERIDER_TRACE.
+    trace::set_mode(TraceMode::Off);
+    let mut kernels: Vec<KernelResult> = Vec::new();
+
+    let data: Vec<Complex> = (0..64).map(|i| Complex::cis(i as f64 * 0.3)).collect();
+    kernels.push(KernelResult {
+        name: "dsp/fft64",
+        summary: bench("dsp/fft64", budget, max_iters, || {
+            let mut v = data.clone();
+            fft::fft(&mut v).unwrap();
+            v
+        }),
+        bytes: 0,
+    });
+
+    let bits: Vec<u8> = (0..1000).map(|i| ((i * 7) % 3 == 0) as u8).collect();
+    let coded = encode(&bits, CodeRate::Half);
+    kernels.push(KernelResult {
+        name: "coding/viterbi_1000bits",
+        summary: bench("coding/viterbi_1000bits", budget, max_iters, || {
+            viterbi_decode(&coded, CodeRate::Half)
+        }),
+        bytes: 125,
+    });
+
+    let tx = Transmitter::new(TxConfig::default());
+    let mut psdu = vec![0xA5u8; 1000];
+    freerider_coding::crc::append_crc32(&mut psdu);
+    let wave = tx.transmit(&psdu).unwrap();
+    kernels.push(KernelResult {
+        name: "wifi/tx_1000B",
+        summary: bench("wifi/tx_1000B", budget, max_iters, || {
+            tx.transmit(&psdu).unwrap()
+        }),
+        bytes: 1000,
+    });
+    let rx = Receiver::new(RxConfig {
+        sensitivity_dbm: -200.0,
+        ..RxConfig::default()
+    });
+    kernels.push(KernelResult {
+        name: "wifi/rx_1000B",
+        summary: bench("wifi/rx_1000B", budget, max_iters, || {
+            rx.receive(&wave).unwrap()
+        }),
+        bytes: 1000,
+    });
+
+    // Flight-recorder overhead triad on the WiFi RX path. The A/A repeat
+    // with tracing off bounds the disabled-path hook cost together with
+    // the run-to-run noise of this harness — the honest comparison, since
+    // the hooks cannot be compiled out.
+    let rx_off_a = bench("wifi/rx_trace_off", budget, max_iters, || {
+        rx.receive(&wave).unwrap()
+    });
+    let rx_off_b = bench("wifi/rx_trace_off_repeat", budget, max_iters, || {
+        rx.receive(&wave).unwrap()
+    });
+    trace::set_mode(TraceMode::All);
+    trace::reset();
+    let rx_all = bench("wifi/rx_trace_all", budget, max_iters, || {
+        let _pkt = trace::packet("bench.wifi", 0);
+        rx.receive(&wave).unwrap()
+    });
+    trace::set_mode(TraceMode::Off);
+    trace::reset();
+    let pct = |new: Duration, base: Duration| -> f64 {
+        if base.as_nanos() == 0 {
+            return 0.0;
+        }
+        let p = (new.as_secs_f64() / base.as_secs_f64() - 1.0) * 100.0;
+        (p * 100.0).round() / 100.0
+    };
+    let disabled_pct = pct(rx_off_b.median, rx_off_a.median);
+    let recording_pct = pct(rx_all.median, rx_off_a.median);
+    println!(
+        "trace overhead: disabled-path {disabled_pct:+.2}% (A/A), recording {recording_pct:+.2}%"
+    );
+
+    // Per-experiment wall-clock (quick workloads keep this step short).
+    let mut experiments: Vec<(&'static str, f64)> = Vec::new();
+    for e in freerider_bench::EXPERIMENTS {
+        freerider_telemetry::reset();
+        let t0 = Instant::now();
+        let _ = freerider_bench::run(e.name, true).expect("registry names all run");
+        let wall_s = t0.elapsed().as_secs_f64();
+        println!("experiment {:<24} {:>8.3} s", e.name, wall_s);
+        experiments.push((e.name, wall_s));
+    }
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema").string("freerider-bench/1");
+    w.key("git_sha").string(&sha);
+    w.key("quick").bool(quick);
+    w.key("kernels").begin_object();
+    for k in &kernels {
+        w.key(k.name);
+        write_summary(&mut w, &k.summary, k.bytes);
+    }
+    w.end_object();
+    w.key("trace_overhead").begin_object();
+    w.key("wifi_rx_off_ns")
+        .u64(rx_off_a.median.as_nanos() as u64);
+    w.key("wifi_rx_off_repeat_ns")
+        .u64(rx_off_b.median.as_nanos() as u64);
+    w.key("wifi_rx_all_ns").u64(rx_all.median.as_nanos() as u64);
+    w.key("disabled_path_pct").f64(disabled_pct);
+    w.key("recording_pct").f64(recording_pct);
+    w.end_object();
+    w.key("experiments").begin_object();
+    for (name, wall_s) in &experiments {
+        w.key(name).begin_object();
+        w.key("wall_s").f64((wall_s * 1000.0).round() / 1000.0);
+        w.end_object();
+    }
+    w.end_object();
+    w.key("total_wall_s")
+        .f64((t_all.elapsed().as_secs_f64() * 1000.0).round() / 1000.0);
+    w.end_object();
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("bench-baseline: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match std::fs::write(&out_path, w.finish()) {
+        Ok(()) => {
+            println!("bench-baseline: wrote {out_path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench-baseline: failed to write {out_path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

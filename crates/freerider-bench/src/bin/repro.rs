@@ -7,6 +7,7 @@
 //! cargo run --release -p freerider-bench --bin repro -- --list
 //! cargo run --release -p freerider-bench --bin repro -- --metrics fig10
 //! cargo run --release -p freerider-bench --bin repro -- --json out.json all
+//! cargo run --release -p freerider-bench --bin repro -- --trace trace.json fig10
 //! FREERIDER_THREADS=4 cargo run --release -p freerider-bench --bin repro -- fig10
 //! ```
 //!
@@ -16,13 +17,25 @@
 //!
 //! `--metrics` prints each experiment's per-stage telemetry breakdown;
 //! `--json <path>` writes a machine-readable results file (schema
-//! `freerider-repro/1`). In the JSON, the per-experiment `metrics` section
+//! `freerider-repro/2`). In the JSON, the per-experiment `metrics` section
 //! (counters + histograms) is deterministic — byte-identical across worker
 //! counts — while `timing` carries wall-clock values that vary run to run.
+//! Each experiment also carries a `forensics` section: the flight
+//! recorder's black-box dump of failed packets (empty unless tracing is
+//! on, see below).
+//!
+//! `--trace <path>` turns the per-packet flight recorder on (equivalent to
+//! `FREERIDER_TRACE=all` when the variable is unset; an explicit
+//! environment setting wins) and writes every retained packet trace as a
+//! Chrome `trace_event` JSON file — load it at `chrome://tracing` or
+//! <https://ui.perfetto.dev> to see per-packet span trees. `FREERIDER_TRACE`
+//! alone (without `--trace`) still populates the `forensics` sections of
+//! `--json` output.
 
 use freerider_bench::micro::format_duration;
 use freerider_rt::Executor;
-use freerider_telemetry::{JsonWriter, Snapshot};
+use freerider_telemetry::trace::{self, PacketRecord, TraceMode};
+use freerider_telemetry::{chrome_trace_json, JsonWriter, Snapshot};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -32,6 +45,11 @@ struct ExperimentResult {
     output: String,
     metrics: Snapshot,
     wall_s: f64,
+    /// Every packet record the flight recorder retained for this
+    /// experiment (empty when tracing is off).
+    trace_records: Vec<PacketRecord>,
+    /// Failed records evicted by the black-box ring buffer cap.
+    trace_evicted_failed: u64,
 }
 
 fn write_json(
@@ -43,7 +61,7 @@ fn write_json(
 ) -> std::io::Result<()> {
     let mut w = JsonWriter::new();
     w.begin_object();
-    w.key("schema").string("freerider-repro/1");
+    w.key("schema").string("freerider-repro/2");
     w.key("quick").bool(quick);
     // Worker count lives here, outside each experiment's `metrics`
     // section, so those sections stay byte-identical across thread counts.
@@ -56,6 +74,20 @@ fn write_json(
         w.key("output").string(&r.output);
         w.key("metrics");
         r.metrics.write_metrics(&mut w);
+        // The black box: deterministic (time-free, order-normalised)
+        // post-mortems of failed packets. Always present so the schema is
+        // stable; empty when tracing is off.
+        let failed: Vec<PacketRecord> = r
+            .trace_records
+            .iter()
+            .filter(|p| p.failure.is_some())
+            .cloned()
+            .collect();
+        w.key("forensics").begin_object();
+        w.key("evicted_failed").u64(r.trace_evicted_failed);
+        w.key("packets");
+        trace::write_forensics(&failed, &mut w);
+        w.end_object();
         w.key("timing").begin_object();
         w.key("wall_s").f64(r.wall_s);
         w.key("timers");
@@ -78,6 +110,7 @@ fn main() -> ExitCode {
     let list = args.iter().any(|a| a == "--list" || a == "-l");
     let metrics = args.iter().any(|a| a == "--metrics" || a == "-m");
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut targets: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -89,9 +122,23 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        } else if a == "--trace" {
+            match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => {
+                    eprintln!("--trace requires a path");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else if !a.starts_with('-') {
             targets.push(a.as_str());
         }
+    }
+    // --trace implies full tracing unless the user pinned a mode
+    // explicitly via the environment (e.g. FREERIDER_TRACE=failures to
+    // trace only the black box).
+    if trace_path.is_some() && std::env::var(trace::TRACE_ENV).is_err() {
+        trace::set_mode(TraceMode::All);
     }
 
     if list {
@@ -108,7 +155,7 @@ fn main() -> ExitCode {
     }
     if targets.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--metrics] [--json <path>] <experiment>... | all | --list"
+            "usage: repro [--quick] [--metrics] [--json <path>] [--trace <path>] <experiment>... | all | --list"
         );
         return ExitCode::FAILURE;
     }
@@ -149,10 +196,14 @@ fn main() -> ExitCode {
             }
         };
         freerider_telemetry::reset();
+        trace::reset();
         let t0 = Instant::now();
         let out = freerider_bench::run(name, quick).expect("registry names all run");
         let wall_s = t0.elapsed().as_secs_f64();
         let snap = freerider_telemetry::snapshot();
+        // Eviction counters must be read before drain() clears them.
+        let trace_stats = trace::drain_stats();
+        let trace_records = trace::drain();
         println!("{}", "=".repeat(78));
         println!("{out}");
         if metrics && !snap.is_empty() {
@@ -166,9 +217,29 @@ fn main() -> ExitCode {
             output: out,
             metrics: snap,
             wall_s,
+            trace_records,
+            trace_evicted_failed: trace_stats.evicted_failed,
         });
     }
     eprintln!("repro: total {}", format_duration(t_all.elapsed()));
+
+    if let Some(path) = trace_path {
+        let groups: Vec<(&str, &[PacketRecord])> = results
+            .iter()
+            .map(|r| (r.name, r.trace_records.as_slice()))
+            .collect();
+        let n: usize = groups.iter().map(|(_, g)| g.len()).sum();
+        match std::fs::write(&path, chrome_trace_json(&groups)) {
+            Ok(()) => eprintln!(
+                "repro: wrote {path} ({n} packet trace{}; open at ui.perfetto.dev)",
+                if n == 1 { "" } else { "s" }
+            ),
+            Err(e) => {
+                eprintln!("repro: failed to write {path}: {e}");
+                failed = true;
+            }
+        }
+    }
 
     if let Some(path) = json_path {
         match write_json(

@@ -11,6 +11,7 @@ use crate::{ADVERTISING_AA, DEFAULT_CHANNEL, SAMPLES_PER_BIT};
 use freerider_coding::whitening::Whitener;
 use freerider_dsp::{bits, db, Complex};
 use freerider_telemetry as telemetry;
+use freerider_telemetry::trace;
 
 /// Receiver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -110,6 +111,7 @@ impl Receiver {
     pub fn receive(&self, samples: &[Complex]) -> Result<RxPacket, RxError> {
         telemetry::count("ble.rx.receive.calls");
         let _span = telemetry::span("ble.rx.receive");
+        let _stage = trace::stage("ble.rx.receive");
         let filtered;
         let input: &[Complex] = if self.config.channel_filter {
             filtered = channel_filter().filter(samples);
@@ -150,6 +152,7 @@ impl Receiver {
             return Err(RxError::NoSync);
         }
         telemetry::count("ble.rx.sync.locks");
+        trace::value_f64("ble.rx.sync_score", best.1);
         let start = best.0;
 
         let rssi_dbm = db::mean_power_dbm(&samples[start..(start + span).min(samples.len())]);
@@ -191,6 +194,7 @@ impl Receiver {
         } else {
             "ble.rx.crc.bad"
         });
+        trace::value_str("ble.rx.crc", if crc_valid { "ok" } else { "bad" });
         telemetry::count("ble.rx.packets");
         telemetry::record("ble.rx.payload_bytes", len as u64);
         telemetry::event!(

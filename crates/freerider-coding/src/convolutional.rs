@@ -158,12 +158,20 @@ fn depuncture_soft(llrs: &[f64], rate: CodeRate) -> Vec<f64> {
 /// contribute little to the path metric — the standard soft-decoding gain
 /// (~2 dB AWGN, far more on frequency-selective channels) that commodity
 /// 802.11 chips rely on.
-#[allow(clippy::needless_range_loop)] // `b` is the encoder input bit, not a mere index
 pub fn viterbi_decode_soft(llrs: &[f64], rate: CodeRate) -> Vec<u8> {
+    viterbi_decode_soft_with_metric(llrs, rate).0
+}
+
+/// [`viterbi_decode_soft`], also returning the winning path's final
+/// metric (lower = closer to a valid codeword; 0 on noiseless input with
+/// unit-magnitude LLRs is `−2·nsteps`). The metric is the per-packet
+/// decode-confidence figure the flight recorder records.
+#[allow(clippy::needless_range_loop)] // `b` is the encoder input bit, not a mere index
+pub fn viterbi_decode_soft_with_metric(llrs: &[f64], rate: CodeRate) -> (Vec<u8>, f64) {
     let lattice = depuncture_soft(llrs, rate);
     let nsteps = lattice.len() / 2;
     if nsteps == 0 {
-        return Vec::new();
+        return (Vec::new(), 0.0);
     }
 
     const INF: f64 = f64::MAX / 4.0;
@@ -209,18 +217,18 @@ pub fn viterbi_decode_soft(llrs: &[f64], rate: CodeRate) -> Vec<u8> {
         std::mem::swap(&mut metric, &mut next);
     }
 
-    let mut state = metric
+    let (mut state, best_metric) = metric
         .iter()
         .enumerate()
         .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite metrics"))
-        .map(|(s, _)| s)
-        .unwrap_or(0);
+        .map(|(s, &m)| (s, m))
+        .unwrap_or((0, 0.0));
     let mut decoded = vec![0u8; nsteps];
     for t in (0..nsteps).rev() {
         decoded[t] = surv_bit[t * NSTATES + state];
         state = surv_prev[t * NSTATES + state] as usize;
     }
-    decoded
+    (decoded, best_metric)
 }
 
 /// The original hard-decision path, retained for spot-checks and tests.
@@ -475,6 +483,28 @@ mod soft_tests {
         }
         let decoded = viterbi_decode_soft(&llrs, CodeRate::Half);
         assert_eq!(&decoded[..bits.len()], &bits[..]);
+    }
+
+    #[test]
+    fn path_metric_tracks_channel_quality() {
+        let mut bits = random_bits(120, 24);
+        bits.extend_from_slice(&[0; 6]);
+        let coded = encode(&bits, CodeRate::Half);
+        let clean: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 1 { 1.0 } else { -1.0 })
+            .collect();
+        let (decoded, m_clean) = viterbi_decode_soft_with_metric(&clean, CodeRate::Half);
+        assert_eq!(&decoded[..bits.len()], &bits[..]);
+        // Noiseless unit LLRs: every step agrees on both bits, cost −2/step.
+        assert!((m_clean - (-2.0 * clean.len() as f64 / 2.0)).abs() < 1e-9);
+        // A few flipped bits raise (worsen) the best path metric.
+        let mut noisy = clean.clone();
+        for k in [10usize, 77, 150] {
+            noisy[k] = -noisy[k];
+        }
+        let (_, m_noisy) = viterbi_decode_soft_with_metric(&noisy, CodeRate::Half);
+        assert!(m_noisy > m_clean);
     }
 
     #[test]

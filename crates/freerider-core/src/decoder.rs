@@ -10,14 +10,21 @@
 use freerider_dsp::bits::majority;
 use freerider_dsp::Complex;
 use freerider_telemetry as telemetry;
+use freerider_telemetry::trace;
 
 /// Records one majority-vote decision: the window size and how decisive
 /// the vote was (|ones − zeros|; 0 = a coin toss, `len` = unanimous).
+/// A tied vote is a decode failure class — the flight recorder marks the
+/// current packet failed so the black box retains its full trace.
 fn record_vote(kind: &'static str, window: &[u8]) {
     let ones = window.iter().filter(|&&b| b == 1).count();
     let margin = (2 * ones).abs_diff(window.len());
     telemetry::count(kind);
     telemetry::record("core.decode.vote_margin", margin as u64);
+    trace::value_u64("core.decode.vote_margin", margin as u64);
+    if margin == 0 {
+        trace::fail("core.decode.vote_tie");
+    }
 }
 
 /// Decodes WiFi tag bits by XOR + majority over OFDM-symbol windows.
@@ -37,6 +44,7 @@ pub fn decode_wifi_binary(
     start_symbol: usize,
 ) -> Vec<u8> {
     assert!(n_dbps > 0 && symbols_per_step > 0);
+    let _stage = trace::stage("core.decode.wifi");
     let n = original.len().min(backscattered.len());
     let step_bits = n_dbps * symbols_per_step;
     let mut out = Vec::new();
@@ -66,6 +74,7 @@ pub fn decode_zigbee_binary(
     symbols_per_step: usize,
 ) -> Vec<u8> {
     assert!(symbols_per_step > 0);
+    let _stage = trace::stage("core.decode.zigbee");
     let n = original.len().min(backscattered.len());
     let mut out = Vec::new();
     let mut pos = 0usize;
@@ -95,6 +104,7 @@ pub fn decode_ble_binary(
     start: usize,
 ) -> Vec<u8> {
     assert!(window > 0);
+    let _stage = trace::stage("core.decode.ble");
     let n = original.len().min(backscattered.len());
     let mut out = Vec::new();
     let mut pos = start;
@@ -121,6 +131,7 @@ pub fn decode_wifi_quaternary(
     delta_theta: f64,
 ) -> Vec<u8> {
     assert!(symbols_per_step > 0 && delta_theta > 0.0);
+    let _stage = trace::stage("core.decode.quaternary");
     let n = original.len().min(backscattered.len());
     let levels = (2.0 * std::f64::consts::PI / delta_theta).round() as i64;
     // The two receivers' residual carrier drifts differ and accumulate

@@ -22,6 +22,7 @@ pub use freerider_channel::channel::{Fading, Multipath};
 use freerider_channel::BackscatterBudget;
 use freerider_rt::{derive_seed, stream, Rng64};
 use freerider_tag::translator::{FskTranslator, PhaseTranslator};
+use freerider_telemetry::trace;
 
 /// Configuration shared by the three technology links.
 #[derive(Debug, Clone)]
@@ -143,7 +144,7 @@ impl WifiLink {
 
     /// Runs the link, returning aggregate statistics.
     pub fn run(&self) -> LinkStats {
-        use freerider_wifi::{Mpdu, Receiver, RxConfig, Transmitter, TxConfig};
+        use freerider_wifi::{Mpdu, Receiver, RxConfig, RxError, Transmitter, TxConfig};
         let cfg = &self.config;
         let mut rng = Rng64::derive(cfg.seed, stream::PAYLOAD);
         let tx = Transmitter::new(TxConfig {
@@ -182,7 +183,10 @@ impl WifiLink {
             // TX-to-tag bound): nothing is backscattered at all.
             return stats;
         }
-        for _ in 0..cfg.packets {
+        for i in 0..cfg.packets {
+            // One flight-recorder scope per excitation packet; the id is
+            // derived from (seed, index) so it is worker-count independent.
+            let _pkt = trace::packet("wifi.link", derive_seed(cfg.seed, i as u64));
             let frame = Mpdu::build(
                 freerider_wifi::frame::MacAddr::local(1),
                 freerider_wifi::frame::MacAddr::local(2),
@@ -196,10 +200,16 @@ impl WifiLink {
             let ref_rx = rx_ref.receive(&ref_channel.propagate(&wave));
             let original = match ref_rx {
                 Ok(p) => {
+                    if !p.fcs_valid {
+                        // Only the *reference* copy is expected to pass FCS;
+                        // the backscattered copy fails it by design.
+                        trace::fail("wifi.ref.fcs_bad");
+                    }
                     stats.note_productive(p.fcs_valid);
                     p
                 }
                 Err(_) => {
+                    trace::fail("wifi.ref.rx_error");
                     stats.note_productive(false);
                     continue;
                 }
@@ -233,7 +243,14 @@ impl WifiLink {
                     };
                     stats.note_decoded(&tag_bits, &decoded);
                 }
-                Err(_) => stats.note_lost(),
+                Err(e) => {
+                    trace::fail(match e {
+                        RxError::NoPreamble => "wifi.back.no_preamble",
+                        RxError::BadSignal(_) => "wifi.back.bad_signal",
+                        RxError::Truncated => "wifi.back.truncated",
+                    });
+                    stats.note_lost();
+                }
             }
         }
         stats
@@ -264,7 +281,7 @@ impl ZigbeeLink {
 
     /// Runs the link.
     pub fn run(&self) -> LinkStats {
-        use freerider_zigbee::{Receiver, RxConfig, Transmitter};
+        use freerider_zigbee::{Receiver, RxConfig, RxError, Transmitter};
         let cfg = &self.config;
         let mut rng = Rng64::derive(cfg.seed, stream::PAYLOAD);
         let tx = Transmitter::new();
@@ -300,7 +317,8 @@ impl ZigbeeLink {
             // TX-to-tag bound): nothing is backscattered at all.
             return stats;
         }
-        for _ in 0..cfg.packets {
+        for i in 0..cfg.packets {
+            let _pkt = trace::packet("zigbee.link", derive_seed(cfg.seed, i as u64));
             let wave = tx
                 .transmit(&random_bytes(payload_len, &mut rng))
                 .expect("payload fits");
@@ -308,10 +326,14 @@ impl ZigbeeLink {
 
             let original = match rx_ref.receive(&ref_channel.propagate(&wave)) {
                 Ok(p) => {
+                    if !p.fcs_valid {
+                        trace::fail("zigbee.ref.fcs_bad");
+                    }
                     stats.note_productive(p.fcs_valid);
                     p
                 }
                 Err(_) => {
+                    trace::fail("zigbee.ref.rx_error");
                     stats.note_productive(false);
                     continue;
                 }
@@ -332,7 +354,14 @@ impl ZigbeeLink {
                     );
                     stats.note_decoded(&tag_bits, &decoded);
                 }
-                Err(_) => stats.note_lost(),
+                Err(e) => {
+                    trace::fail(match e {
+                        RxError::NoPreamble => "zigbee.back.no_preamble",
+                        RxError::NoSfd => "zigbee.back.no_sfd",
+                        RxError::Truncated => "zigbee.back.truncated",
+                    });
+                    stats.note_lost();
+                }
             }
         }
         stats
@@ -364,7 +393,7 @@ impl BleLink {
 
     /// Runs the link.
     pub fn run(&self) -> LinkStats {
-        use freerider_ble::{Receiver, RxConfig, Transmitter};
+        use freerider_ble::{Receiver, RxConfig, RxError, Transmitter};
         let cfg = &self.config;
         let mut rng = Rng64::derive(cfg.seed, stream::PAYLOAD);
         let tx = Transmitter::new();
@@ -400,7 +429,8 @@ impl BleLink {
             // TX-to-tag bound): nothing is backscattered at all.
             return stats;
         }
-        for _ in 0..cfg.packets {
+        for i in 0..cfg.packets {
+            let _pkt = trace::packet("ble.link", derive_seed(cfg.seed, i as u64));
             let wave = tx
                 .transmit(&random_bytes(payload_len, &mut rng))
                 .expect("payload fits");
@@ -408,10 +438,14 @@ impl BleLink {
 
             let original = match rx_ref.receive(&ref_channel.propagate(&wave)) {
                 Ok(p) => {
+                    if !p.crc_valid {
+                        trace::fail("ble.ref.crc_bad");
+                    }
                     stats.note_productive(p.crc_valid);
                     p
                 }
                 Err(_) => {
+                    trace::fail("ble.ref.rx_error");
                     stats.note_productive(false);
                     continue;
                 }
@@ -433,7 +467,13 @@ impl BleLink {
                     );
                     stats.note_decoded(&tag_bits, &decoded);
                 }
-                Err(_) => stats.note_lost(),
+                Err(e) => {
+                    trace::fail(match e {
+                        RxError::NoSync => "ble.back.no_sync",
+                        RxError::Truncated(_) => "ble.back.truncated",
+                    });
+                    stats.note_lost();
+                }
             }
         }
         stats

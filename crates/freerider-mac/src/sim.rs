@@ -20,7 +20,8 @@ use crate::aloha::{run_round, summarize, SlotOutcome};
 use crate::coordinator::Coordinator;
 use crate::fairness::jain_index;
 use crate::messages::{ControlMessage, MESSAGE_BITS};
-use freerider_rt::Rng64;
+use freerider_rt::{derive_seed, Rng64};
+use freerider_telemetry::trace;
 
 /// Which media-access scheme the round uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,7 +146,10 @@ impl NetworkSim {
         let control_airtime = MESSAGE_BITS as f64 / cfg.plm_bps;
         let mut rr_next = 0usize; // TDM round-robin pointer
 
-        for _ in 0..cfg.rounds {
+        for round in 0..cfg.rounds {
+            // One flight-recorder scope per MAC round (the MAC's unit of
+            // air-time, analogous to a PHY packet).
+            let _round_scope = trace::packet("mac.round", derive_seed(cfg.seed, round as u64));
             let n_slots = match cfg.scheme {
                 MacScheme::FramedAloha => coordinator.n_slots(),
                 // TDM sizes the frame exactly to the population (bounded
@@ -205,6 +209,12 @@ impl NetworkSim {
             }
 
             freerider_telemetry::count("mac.rounds");
+            trace::value_u64("mac.round.n_slots", n_slots as u64);
+            trace::value_u64("mac.round.participants", participants.len() as u64);
+            trace::value_u64("mac.round.slots.success", outcome.success as u64);
+            trace::value_u64("mac.round.slots.capture", outcome.capture as u64);
+            trace::value_u64("mac.round.slots.collision", outcome.collision as u64);
+            trace::value_u64("mac.round.slots.empty", outcome.empty as u64);
             freerider_telemetry::count_n("mac.slots.success", outcome.success as u64);
             freerider_telemetry::count_n("mac.slots.capture", outcome.capture as u64);
             freerider_telemetry::count_n("mac.slots.collision", outcome.collision as u64);

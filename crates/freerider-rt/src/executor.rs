@@ -77,6 +77,22 @@ impl Executor {
         freerider_telemetry::count("rt.map.calls");
         freerider_telemetry::count_n("rt.map.items", items.len() as u64);
         let _span = freerider_telemetry::span("rt.map");
+        // Flight-recorder scope for the whole fan-out. The id is a global
+        // call counter: map() calls are issued serially by the
+        // orchestration thread, so the numbering is deterministic for any
+        // worker count. Per-packet scopes opened by the work items nest
+        // inside (serial path) or live on their own worker threads
+        // (parallel path) — either way their records are identical.
+        let _scope = freerider_telemetry::trace::active().then(|| {
+            use std::sync::atomic::AtomicU64;
+            static MAP_CALLS: AtomicU64 = AtomicU64::new(0);
+            let scope = freerider_telemetry::trace::packet(
+                "rt.map",
+                MAP_CALLS.fetch_add(1, Ordering::Relaxed),
+            );
+            freerider_telemetry::trace::value_u64("rt.map.items", items.len() as u64);
+            scope
+        });
         if self.threads == 1 || items.len() <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }

@@ -1,0 +1,220 @@
+//! Chrome `trace_event` export for flight-recorder packet records.
+//!
+//! Converts [`PacketRecord`]s into the JSON Object Format understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): a
+//! `{"traceEvents":[...]}` document of complete-span (`"ph":"X"`) and
+//! instant (`"ph":"i"`) events. Records are grouped into processes — one
+//! `pid` per experiment (or any grouping the caller chooses), labelled via
+//! `process_name` metadata — and each recording thread's lane becomes a
+//! `tid`, so concurrent packet decodes render as parallel tracks.
+//!
+//! Unlike the forensic dump ([`crate::trace::write_forensics`]), this
+//! export keeps wall-clock timestamps and thread lanes: it is a
+//! visualisation artefact, explicitly outside the determinism contract.
+
+use crate::json::JsonWriter;
+use crate::trace::{EventKind, PacketRecord, Value};
+
+fn us(t_ns: u64) -> f64 {
+    t_ns as f64 / 1000.0
+}
+
+fn write_common(w: &mut JsonWriter, name: &str, ph: &str, pid: u64, tid: u64, ts_us: f64) {
+    w.key("name").string(name);
+    w.key("ph").string(ph);
+    w.key("pid").u64(pid);
+    w.key("tid").u64(tid);
+    w.key("ts").f64(ts_us);
+}
+
+fn write_instant_args(w: &mut JsonWriter, value: &Value) {
+    w.key("s").string("t");
+    w.key("args").begin_object();
+    match value {
+        Value::None => {}
+        Value::U64(v) => {
+            w.key("value").u64(*v);
+        }
+        Value::F64(v) => {
+            w.key("value").f64(*v);
+        }
+        Value::F64s(vs) => {
+            w.key("value").begin_array();
+            for &v in vs {
+                w.f64(v);
+            }
+            w.end_array();
+        }
+        Value::Str(s) => {
+            w.key("value").string(s);
+        }
+    }
+    w.end_object();
+}
+
+fn write_record(w: &mut JsonWriter, r: &PacketRecord, pid: u64) {
+    let tid = r.lane;
+    // The packet itself is a complete span covering all its events.
+    let pkt_end = r.events.last().map_or(r.start_ns, |e| e.t_ns);
+    w.begin_object();
+    write_common(
+        w,
+        &format!("{} #{:x}", r.scope, r.id),
+        "X",
+        pid,
+        tid,
+        us(r.start_ns),
+    );
+    w.key("dur").f64(us(pkt_end.saturating_sub(r.start_ns)));
+    w.key("args").begin_object();
+    w.key("id").u64(r.id);
+    match r.failure {
+        Some(reason) => {
+            w.key("failure").string(reason);
+        }
+        None => {
+            w.key("failure").null();
+        }
+    }
+    if r.dropped_events > 0 {
+        w.key("dropped_events").u64(r.dropped_events as u64);
+    }
+    w.end_object();
+    w.end_object();
+
+    // Pair Enter/Exit events into "X" complete spans via a stack; emit
+    // Value events as instants. Unbalanced enters (packet truncated by
+    // the event cap) close at the packet end.
+    let mut open: Vec<&crate::trace::TraceEvent> = Vec::new();
+    for e in &r.events {
+        match e.kind {
+            EventKind::Enter => open.push(e),
+            EventKind::Exit => {
+                // Find the matching enter (innermost with the same name).
+                if let Some(pos) = open.iter().rposition(|o| o.name == e.name) {
+                    let enter = open.remove(pos);
+                    w.begin_object();
+                    write_common(w, e.name, "X", pid, tid, us(enter.t_ns));
+                    w.key("dur").f64(us(e.t_ns.saturating_sub(enter.t_ns)));
+                    w.end_object();
+                }
+            }
+            EventKind::Value => {
+                w.begin_object();
+                write_common(w, e.name, "i", pid, tid, us(e.t_ns));
+                write_instant_args(w, &e.value);
+                w.end_object();
+            }
+        }
+    }
+    for enter in open {
+        w.begin_object();
+        write_common(w, enter.name, "X", pid, tid, us(enter.t_ns));
+        w.key("dur").f64(us(pkt_end.saturating_sub(enter.t_ns)));
+        w.end_object();
+    }
+}
+
+/// Renders `groups` — `(label, records)` pairs, one process per group —
+/// as a Chrome `trace_event` JSON document.
+pub fn chrome_trace_json(groups: &[(&str, &[PacketRecord])]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("traceEvents").begin_array();
+    for (pid0, (label, records)) in groups.iter().enumerate() {
+        let pid = pid0 as u64 + 1;
+        // Name the process after the group (experiment).
+        w.begin_object();
+        w.key("name").string("process_name");
+        w.key("ph").string("M");
+        w.key("pid").u64(pid);
+        w.key("args").begin_object();
+        w.key("name").string(label);
+        w.end_object();
+        w.end_object();
+        for r in *records {
+            write_record(&mut w, r, pid);
+        }
+    }
+    w.end_array();
+    w.key("displayTimeUnit").string("ms");
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn record() -> PacketRecord {
+        PacketRecord {
+            scope: "test.pkt",
+            id: 7,
+            failure: Some("test.bad"),
+            events: vec![
+                TraceEvent {
+                    seq: 0,
+                    name: "stage.a",
+                    kind: EventKind::Enter,
+                    t_ns: 1_000,
+                    value: Value::None,
+                },
+                TraceEvent {
+                    seq: 1,
+                    name: "meas.cfo",
+                    kind: EventKind::Value,
+                    t_ns: 1_500,
+                    value: Value::F64(0.5),
+                },
+                TraceEvent {
+                    seq: 2,
+                    name: "stage.a",
+                    kind: EventKind::Exit,
+                    t_ns: 3_000,
+                    value: Value::None,
+                },
+                TraceEvent {
+                    seq: 3,
+                    name: "stage.open",
+                    kind: EventKind::Enter,
+                    t_ns: 3_500,
+                    value: Value::None,
+                },
+            ],
+            dropped_events: 0,
+            start_ns: 500,
+            lane: 3,
+        }
+    }
+
+    #[test]
+    fn emits_complete_spans_and_instants() {
+        let r = record();
+        let j = chrome_trace_json(&[("fig10", std::slice::from_ref(&r))]);
+        // Process metadata names the group.
+        assert!(j.contains(r#""name":"process_name""#), "{j}");
+        assert!(j.contains(r#""name":"fig10""#), "{j}");
+        // Packet span: 0.5 µs → 3.5 µs on lane 3.
+        assert!(j.contains(r#""name":"test.pkt #7","ph":"X","pid":1,"tid":3,"ts":0.5,"dur":3"#));
+        // Stage span paired from enter/exit: 1 µs → 3 µs.
+        assert!(j.contains(r#""name":"stage.a","ph":"X","pid":1,"tid":3,"ts":1,"dur":2"#));
+        // Value event as instant with args.
+        assert!(j.contains(r#""name":"meas.cfo","ph":"i""#));
+        assert!(j.contains(r#""args":{"value":0.5}"#));
+        // Unclosed stage closes at packet end (3.5 µs): dur 0.
+        assert!(j.contains(r#""name":"stage.open","ph":"X","pid":1,"tid":3,"ts":3.5,"dur":0"#));
+        // Failure carried into packet args.
+        assert!(j.contains(r#""failure":"test.bad""#));
+    }
+
+    #[test]
+    fn document_is_balanced_json() {
+        let r = record();
+        let j = chrome_trace_json(&[("a", std::slice::from_ref(&r)), ("b", &[])]);
+        // Two process_name metadata entries, one per group.
+        assert_eq!(j.matches(r#""ph":"M""#).count(), 2);
+        assert!(j.starts_with(r#"{"traceEvents":["#));
+        assert!(j.ends_with(r#""displayTimeUnit":"ms"}"#));
+    }
+}

@@ -94,6 +94,58 @@ impl LogHistogram {
         }
     }
 
+    /// The `p`-th percentile (0–100) by nearest rank over the log₂ bins,
+    /// linearly interpolated inside the selected bin and clamped to the
+    /// exact `[min, max]` envelope (so single-valued histograms report
+    /// that value exactly). `None` while empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let lo = bin_lower_bound(i);
+                // Inclusive upper edge; the top bin saturates at u64::MAX.
+                let hi = match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                let frac = (rank - cum - 1) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                let est = if est >= u64::MAX as f64 {
+                    u64::MAX
+                } else {
+                    est.round() as u64
+                };
+                return Some(est.clamp(self.min, self.max));
+            }
+            cum += c;
+        }
+        Some(self.max)
+    }
+
+    /// Median (`None` while empty).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile (`None` while empty).
+    pub fn p90(&self) -> Option<u64> {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile (`None` while empty).
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(99.0)
+    }
+
     /// `(bin lower bound, count)` for every non-empty bin, in value order.
     pub fn nonzero_bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.bins
@@ -160,6 +212,76 @@ mod tests {
         ba.merge(&a);
         assert_eq!(ab, serial);
         assert_eq!(ba, serial);
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        let h = LogHistogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p90(), None);
+        assert_eq!(h.p99(), None);
+    }
+
+    #[test]
+    fn percentile_single_bin_reports_exact_envelope() {
+        // All samples in one bin: the [min, max] clamp must pin every
+        // percentile to the one recorded value.
+        let mut h = LogHistogram::new();
+        for _ in 0..7 {
+            h.record(5);
+        }
+        assert_eq!(h.p50(), Some(5));
+        assert_eq!(h.p90(), Some(5));
+        assert_eq!(h.p99(), Some(5));
+        assert_eq!(h.percentile(0.0), Some(5));
+        assert_eq!(h.percentile(100.0), Some(5));
+        // Zero is its own bin with a degenerate [0, 0] range.
+        let mut z = LogHistogram::new();
+        z.record(0);
+        assert_eq!(z.p50(), Some(0));
+        assert_eq!(z.p99(), Some(0));
+    }
+
+    #[test]
+    fn percentile_saturated_top_bin_does_not_overflow() {
+        // The top bin covers [2^63, u64::MAX]; interpolation near its
+        // upper edge must saturate cleanly instead of wrapping.
+        let mut h = LogHistogram::new();
+        for _ in 0..10 {
+            h.record(u64::MAX);
+        }
+        assert_eq!(h.p50(), Some(u64::MAX));
+        assert_eq!(h.p99(), Some(u64::MAX));
+        assert_eq!(h.percentile(100.0), Some(u64::MAX));
+        // Mixed: one small sample, rest pinned at the top.
+        let mut m = LogHistogram::new();
+        m.record(1);
+        for _ in 0..99 {
+            m.record(u64::MAX);
+        }
+        assert_eq!(m.percentile(0.0), Some(1));
+        let p99 = m.p99().unwrap();
+        assert!(p99 >= 1u64 << 63, "p99 {p99} fell below the top bin");
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_bracketed() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 3, 9, 17, 120, 121, 4000, 65000, 70000] {
+            h.record(v);
+        }
+        let mut prev = 0u64;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let q = h.percentile(p).unwrap();
+            assert!(q >= prev, "percentile not monotone at p={p}");
+            assert!(q >= h.min && q <= h.max);
+            prev = q;
+        }
+        // The median of 10 samples is the 5th by nearest rank (value 17);
+        // log-bin interpolation must stay within its bin [16, 31].
+        let p50 = h.p50().unwrap();
+        assert!((16..=31).contains(&p50), "p50 {p50} outside median bin");
     }
 
     #[test]

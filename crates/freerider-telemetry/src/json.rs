@@ -104,6 +104,13 @@ impl JsonWriter {
         self
     }
 
+    /// Writes a `null` value.
+    pub fn null(&mut self) -> &mut Self {
+        self.pre();
+        self.buf.push_str("null");
+        self
+    }
+
     /// Writes a boolean value.
     pub fn bool(&mut self, v: bool) -> &mut Self {
         self.pre();

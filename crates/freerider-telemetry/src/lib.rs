@@ -12,6 +12,9 @@
 //!   ([`event!`]).
 //! - **JSON** — a hand-rolled RFC 8259 writer ([`JsonWriter`]) used by
 //!   `repro --json` for machine-readable results.
+//! - **Flight recorder** — per-packet trace scopes gated by
+//!   `FREERIDER_TRACE` ([`trace`]), with a deterministic failure-forensics
+//!   dump and a Chrome `trace_event` exporter ([`chrome`]).
 //!
 //! # Determinism contract
 //!
@@ -30,16 +33,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod hist;
 pub mod json;
 pub mod log;
 pub mod registry;
 pub mod snapshot;
 pub mod timer;
+pub mod trace;
 
+pub use chrome::chrome_trace_json;
 pub use hist::{bin_index, bin_lower_bound, LogHistogram, BINS};
 pub use json::JsonWriter;
 pub use log::{Level, LOG_ENV};
 pub use registry::{count, count_n, record, record_span_ns, reset, snapshot, span};
 pub use snapshot::Snapshot;
 pub use timer::{Span, TimerStat};
+pub use trace::{PacketRecord, TraceMode, TRACE_ENV};

@@ -147,18 +147,21 @@ impl Snapshot {
         if !self.histograms.is_empty() {
             writeln!(
                 out,
-                "  {:<44} {:>8} {:>10} {:>8} {:>8}",
-                "histogram", "count", "mean", "min", "max"
+                "  {:<44} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                "histogram", "count", "mean", "min", "p50", "p90", "p99", "max"
             )
             .unwrap();
             for (&k, h) in &self.histograms {
                 let (min, max) = if h.is_empty() { (0, 0) } else { (h.min, h.max) };
                 writeln!(
                     out,
-                    "  {k:<44} {:>8} {:>10.1} {:>8} {:>8}",
+                    "  {k:<44} {:>8} {:>10.1} {:>8} {:>8} {:>8} {:>8} {:>8}",
                     h.count,
                     h.mean(),
                     min,
+                    h.p50().unwrap_or(0),
+                    h.p90().unwrap_or(0),
+                    h.p99().unwrap_or(0),
                     max
                 )
                 .unwrap();
@@ -171,7 +174,13 @@ impl Snapshot {
                 "timer (wall-clock)", "spans", "total(ms)", "mean(us)"
             )
             .unwrap();
-            for (&k, t) in &self.timers {
+            // Stage names are printed in sorted order: the BTreeMap already
+            // iterates that way, but the explicit sort keeps the report
+            // stable even if the backing map type ever changes.
+            let mut rows: Vec<(&'static str, &TimerStat)> =
+                self.timers.iter().map(|(&k, t)| (k, t)).collect();
+            rows.sort_unstable_by_key(|&(k, _)| k);
+            for (k, t) in rows {
                 writeln!(
                     out,
                     "  {k:<44} {:>8} {:>10.2} {:>10.2}",
@@ -245,6 +254,20 @@ mod tests {
         assert!(t.contains("a.hits"));
         assert!(t.contains("a.sizes"));
         assert!(t.contains("a.time"));
+        assert!(t.contains("p50"), "histogram header must show percentiles");
+    }
+
+    #[test]
+    fn table_timing_rows_are_sorted_by_stage_name() {
+        let mut s = Snapshot::new();
+        s.record_span_ns("z.last", 10);
+        s.record_span_ns("a.first", 20);
+        s.record_span_ns("m.middle", 30);
+        let t = s.table();
+        let a = t.find("a.first").unwrap();
+        let m = t.find("m.middle").unwrap();
+        let z = t.find("z.last").unwrap();
+        assert!(a < m && m < z, "timing rows out of order:\n{t}");
     }
 
     #[test]

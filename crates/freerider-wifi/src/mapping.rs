@@ -115,6 +115,13 @@ pub fn demap_symbols(symbols: &[Complex], modulation: Modulation) -> Vec<u8> {
     bits
 }
 
+/// The ideal constellation point nearest to `s` (the hard decision,
+/// re-mapped). Used for per-subcarrier EVM measurement.
+pub fn nearest_point(s: Complex, modulation: Modulation) -> Complex {
+    let bits = demap_symbols(std::slice::from_ref(&s), modulation);
+    map_bits(&bits, modulation)[0]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +197,21 @@ mod tests {
                 assert_eq!(*a ^ 1, *b, "sign bit {i} must flip");
             } else {
                 assert_eq!(a, b, "magnitude bit {i} must not flip");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_point_snaps_to_ideal() {
+        let mut rng = Rng64::new(4);
+        for m in ALL {
+            let bits: Vec<u8> = (0..m.bits_per_subcarrier() * 50)
+                .map(|_| rng.bit())
+                .collect();
+            for &z in &map_bits(&bits, m) {
+                let perturbed = z + Complex::new(0.03, -0.03);
+                let snapped = nearest_point(perturbed, m);
+                assert!((snapped - z).norm_sqr() < 1e-20, "{m:?}");
             }
         }
     }

@@ -26,11 +26,12 @@ use crate::plcp::{Signal, SignalError};
 use crate::preamble::{long_symbol, ltf_carrier};
 use crate::rates::Modulation;
 use crate::{FFT_SIZE, N_DATA_CARRIERS, PREAMBLE_LEN, SYMBOL_LEN};
-use freerider_coding::convolutional::{viterbi_decode_soft, CodeRate};
+use freerider_coding::convolutional::{viterbi_decode_soft_with_metric, CodeRate};
 use freerider_coding::interleaver::Interleaver;
 use freerider_coding::scrambler::Scrambler;
 use freerider_dsp::{bits, corr, db, Complex};
 use freerider_telemetry as telemetry;
+use freerider_telemetry::trace;
 
 /// How the receiver tracks residual carrier phase across DATA symbols.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -224,6 +225,7 @@ impl Receiver {
     fn detect(&self, samples: &[Complex]) -> Result<usize, RxError> {
         telemetry::count("wifi.rx.detect.calls");
         let _span = telemetry::span("wifi.rx.detect");
+        let _stage = trace::stage("wifi.rx.detect");
         if samples.len() < PREAMBLE_LEN + SYMBOL_LEN {
             return Err(RxError::NoPreamble);
         }
@@ -303,6 +305,7 @@ impl Receiver {
     /// Decodes a PPDU whose first long training symbol starts at `ltf1`.
     fn decode_at(&self, samples: &[Complex], ltf1: usize) -> Result<RxPacket, RxError> {
         let _span = telemetry::span("wifi.rx.decode");
+        let _stage = trace::stage("wifi.rx.decode");
         if ltf1 + 2 * FFT_SIZE + SYMBOL_LEN > samples.len() {
             telemetry::count("wifi.rx.truncated");
             return Err(RxError::Truncated);
@@ -317,6 +320,7 @@ impl Receiver {
         // |CFO| in parts-per-billion of the sample rate: integer so it can
         // live in the deterministic histogram section.
         telemetry::record("wifi.rx.cfo.abs_ppb", (cfo.abs() * 1e9).round() as u64);
+        trace::value_f64("wifi.rx.cfo", cfo);
 
         // CFO-correct everything from LTF1 onward.
         let corrected: Vec<Complex> = samples[ltf1..]
@@ -415,7 +419,8 @@ impl Receiver {
         let sig_points: Vec<Complex> = sig_points_raw.iter().map(|&p| p * derot).collect();
         let sig_llrs = soft_demap_symbols(&sig_points, &gains, Modulation::Bpsk);
         let sig_coded = il_signal.deinterleave_symbol_soft(&sig_llrs);
-        let sig_decoded = viterbi_decode_soft(&sig_coded, CodeRate::Half);
+        let (sig_decoded, sig_metric) = viterbi_decode_soft_with_metric(&sig_coded, CodeRate::Half);
+        trace::value_f64("wifi.rx.signal.viterbi_metric", sig_metric);
         telemetry::count("wifi.rx.demap.symbols");
         telemetry::count("wifi.rx.deinterleave.symbols");
         telemetry::count("wifi.rx.viterbi.decodes");
@@ -425,6 +430,7 @@ impl Receiver {
         let signal = Signal::decode(&sig24).map_err(|e| {
             telemetry::count("wifi.rx.signal.bad");
             telemetry::event!(Debug, "wifi.rx", "SIGNAL field rejected: {e:?}");
+            trace::value_str("wifi.rx.signal", "bad");
             RxError::BadSignal(e)
         })?;
         telemetry::count("wifi.rx.signal.ok");
@@ -490,9 +496,29 @@ impl Receiver {
         }
         telemetry::count_n("wifi.rx.demap.symbols", n_sym as u64);
         telemetry::count_n("wifi.rx.deinterleave.symbols", n_sym as u64);
-        let scrambled = viterbi_decode_soft(&coded_llrs, rate.code_rate());
+        let (scrambled, path_metric) =
+            viterbi_decode_soft_with_metric(&coded_llrs, rate.code_rate());
+        trace::value_f64("wifi.rx.data.viterbi_metric", path_metric);
         telemetry::count("wifi.rx.viterbi.decodes");
         telemetry::count_n("wifi.rx.viterbi.bits", scrambled.len() as u64);
+
+        // Per-subcarrier EVM vs the nearest constellation point, averaged
+        // over all DATA symbols. Only computed while a flight-recorder
+        // packet scope is live — it is a diagnostic, not a decode input.
+        if trace::in_packet() && !equalized.is_empty() {
+            let modulation = rate.modulation();
+            let mut evm = vec![0.0f64; N_DATA_CARRIERS];
+            for sym in &equalized {
+                for (k, &z) in sym.iter().enumerate() {
+                    let ideal = crate::mapping::nearest_point(z, modulation);
+                    evm[k] += (z - ideal).norm_sqr();
+                }
+            }
+            for e in evm.iter_mut() {
+                *e = (*e / equalized.len() as f64).sqrt();
+            }
+            trace::value_f64s("wifi.rx.evm", &evm);
+        }
 
         // --- Descramble, recovering the seed from the SERVICE bits. ---
         let data_bits = match Scrambler::recover_seed(&scrambled[..7]) {
@@ -512,6 +538,7 @@ impl Receiver {
         } else {
             "wifi.rx.fcs.bad"
         });
+        trace::value_str("wifi.rx.fcs", if fcs_valid { "ok" } else { "bad" });
         telemetry::count("wifi.rx.packets");
         telemetry::record("wifi.rx.psdu_bytes", signal.length as u64);
         telemetry::event!(

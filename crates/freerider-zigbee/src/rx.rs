@@ -17,6 +17,7 @@ use crate::oqpsk::{demodulate_chips, modulate_chips};
 use crate::{CHIPS_PER_SYMBOL, SAMPLES_PER_SYMBOL};
 use freerider_dsp::{corr, db, Complex};
 use freerider_telemetry as telemetry;
+use freerider_telemetry::trace;
 
 /// Receiver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -110,6 +111,7 @@ impl Receiver {
     pub fn receive(&self, samples: &[Complex]) -> Result<RxPacket, RxError> {
         telemetry::count("zigbee.rx.receive.calls");
         let _span = telemetry::span("zigbee.rx.receive");
+        let _stage = trace::stage("zigbee.rx.receive");
         // --- Detect the preamble. ---
         let c = corr::normalized_correlation(samples, &self.sync_ref);
         let thr = self.config.detection_threshold;
@@ -145,6 +147,7 @@ impl Receiver {
             acc += samples[start + k] * r.conj();
         }
         let phase = acc.arg();
+        trace::value_f64("zigbee.rx.phase", phase);
         let derot = Complex::cis(-phase);
         let corrected: Vec<Complex> = samples[start..].iter().map(|&z| z * derot).collect();
 
@@ -191,6 +194,9 @@ impl Receiver {
             symbol_scores.push(score);
         }
         telemetry::count_n("zigbee.rx.despread.symbols", (4 + n_psdu_sym) as u64);
+        if trace::in_packet() && !symbol_scores.is_empty() {
+            trace::value_f64s("zigbee.rx.symbol_scores", &symbol_scores);
+        }
         let psdu = crate::frame::symbols_to_bytes(&psdu_symbols);
         let ppdu = Ppdu { psdu };
         let fcs_valid = ppdu.fcs_valid();
@@ -199,6 +205,7 @@ impl Receiver {
         } else {
             "zigbee.rx.fcs.bad"
         });
+        trace::value_str("zigbee.rx.fcs", if fcs_valid { "ok" } else { "bad" });
         telemetry::count("zigbee.rx.packets");
         telemetry::record("zigbee.rx.psdu_bytes", psdu_len as u64);
         telemetry::event!(

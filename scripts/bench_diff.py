@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench-baseline JSON against the committed baseline.
+
+    python3 scripts/bench_diff.py <old.json> <new.json> [--warn-only]
+
+Compares kernel median times and per-experiment wall-clock between two
+`freerider-bench/1` documents. A metric regresses when the new value
+exceeds the old by more than the threshold (percent, default 50 --
+wall-clock benchmarks are noisy; override with FREERIDER_BENCH_THRESHOLD).
+
+Exit status is 1 if any metric regressed, unless --warn-only is given or
+the old baseline is missing (first run: nothing to compare yet).
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "freerider-bench/1":
+        sys.exit(f"bench_diff: {path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def main(argv):
+    args = [a for a in argv if not a.startswith("--")]
+    warn_only = "--warn-only" in argv
+    if len(args) != 2:
+        sys.exit(__doc__.strip())
+    old_path, new_path = args
+    threshold = float(os.environ.get("FREERIDER_BENCH_THRESHOLD", "50"))
+
+    if not os.path.exists(old_path):
+        print(f"bench_diff: no baseline at {old_path} (first run), nothing to diff")
+        return 0
+    old, new = load(old_path), load(new_path)
+
+    rows = []  # (metric, old value, new value, unit)
+    for name, k in new.get("kernels", {}).items():
+        prev = old.get("kernels", {}).get(name)
+        if prev:
+            rows.append((f"kernel {name}", prev["median_ns"], k["median_ns"], "ns"))
+    for name, e in new.get("experiments", {}).items():
+        prev = old.get("experiments", {}).get(name)
+        if prev:
+            rows.append((f"experiment {name}", prev["wall_s"], e["wall_s"], "s"))
+
+    if not rows:
+        print("bench_diff: no overlapping metrics between baselines")
+        return 0
+
+    regressions = 0
+    print(f"bench_diff: {old.get('git_sha')} -> {new.get('git_sha')}"
+          f" (threshold {threshold:g}%)")
+    for metric, before, after, unit in rows:
+        delta = (after / before - 1.0) * 100.0 if before else 0.0
+        flag = ""
+        if delta > threshold:
+            flag = "  << REGRESSION"
+            regressions += 1
+        print(f"  {metric:<40} {before:>12g} -> {after:>12g} {unit}"
+              f"  ({delta:+6.1f}%){flag}")
+
+    if regressions:
+        print(f"bench_diff: {regressions} metric(s) regressed beyond {threshold:g}%")
+        return 0 if warn_only else 1
+    print("bench_diff: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

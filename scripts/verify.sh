@@ -24,11 +24,46 @@ python3 - <<'EOF'
 import json
 with open("/tmp/freerider_repro_smoke.json") as f:
     doc = json.load(f)
-assert doc["schema"] == "freerider-repro/1", doc.get("schema")
+assert doc["schema"] == "freerider-repro/2", doc.get("schema")
 assert doc["experiments"], "no experiments in repro JSON"
 for e in doc["experiments"]:
     assert e["name"] and e["output"], e.get("name")
+    assert "forensics" in e, f"{e['name']}: missing forensics section"
+    assert isinstance(e["forensics"]["packets"], list)
 print(f"repro JSON OK: {len(doc['experiments'])} experiments")
 EOF
+
+echo "==> repro --trace smoke (flight recorder + Chrome export)"
+./target/release/repro --quick --trace /tmp/freerider_trace_smoke.json \
+    --json /tmp/freerider_repro_traced.json fig10 >/dev/null
+python3 - <<'EOF'
+import json
+with open("/tmp/freerider_trace_smoke.json") as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "empty Chrome trace"
+# At least one complete span tree: a packet-level X span containing a
+# stage-level X span on the same pid/tid.
+packets = [e for e in events if e.get("ph") == "X" and "#" in e.get("name", "")]
+stages = [e for e in events if e.get("ph") == "X" and "#" not in e.get("name", "")]
+assert packets, "no packet spans in Chrome trace"
+nested = any(
+    p["pid"] == s["pid"] and p["tid"] == s["tid"]
+    and p["ts"] <= s["ts"] and s["ts"] + s["dur"] <= p["ts"] + p["dur"]
+    for p in packets for s in stages
+)
+assert nested, "no stage span nested inside a packet span"
+with open("/tmp/freerider_repro_traced.json") as f:
+    traced = json.load(f)
+forensic_packets = sum(
+    len(e["forensics"]["packets"]) for e in traced["experiments"]
+)
+print(f"trace OK: {len(events)} events, {len(packets)} packet spans, "
+      f"{forensic_packets} forensic packets")
+EOF
+
+echo "==> bench baseline (diff vs benchmarks/latest.json)"
+./target/release/bench-baseline --quick --out /tmp/freerider_bench_new.json >/dev/null
+python3 scripts/bench_diff.py benchmarks/latest.json /tmp/freerider_bench_new.json
 
 echo "verify: OK"

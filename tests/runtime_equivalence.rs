@@ -87,6 +87,53 @@ fn coexistence_cdfs_are_bit_identical_across_worker_counts() {
 }
 
 #[test]
+fn trace_forensics_are_identical_across_worker_counts() {
+    // The flight recorder's determinism contract: with
+    // FREERIDER_TRACE=failures, the *set* of forensic packet records (and
+    // their order-normalised, time-free serialisation) is the same for
+    // one worker and four. Capacities are raised so ring-buffer eviction
+    // (which is arrival-order dependent by design) cannot trim the set.
+    use freerider::telemetry::trace::{self, TraceMode};
+    let _guard = telemetry_guard();
+    // Sweep points near the Fig. 10 range edge, where backscatter decode
+    // genuinely fails (no preamble at the far points) and packets land in
+    // the black box.
+    let distances = [2.0, 34.0, 42.0];
+    let run = |ex: Executor| {
+        freerider::telemetry::reset();
+        trace::set_mode(TraceMode::Failures);
+        trace::reset();
+        trace::set_capacity(1 << 20, 1 << 20);
+        distance_sweep_on(
+            ex,
+            Technology::Wifi,
+            BackscatterBudget::wifi_los(),
+            &distances,
+            3,
+            300,
+            10,
+        );
+        let records = trace::drain();
+        trace::set_mode(TraceMode::Off);
+        (records.len(), trace::forensics_json(&records))
+    };
+    let (n_serial, serial) = run(Executor::serial());
+    let (n_parallel, parallel) = run(Executor::new(4));
+    assert!(
+        n_serial > 0,
+        "the far sweep points must produce at least one failed packet"
+    );
+    assert_eq!(n_serial, n_parallel);
+    assert_eq!(
+        serial, parallel,
+        "forensic serialisation must be byte-identical across worker counts"
+    );
+    trace::set_capacity(trace::DEFAULT_FAILED_CAP, trace::DEFAULT_OK_CAP);
+    trace::reset();
+    freerider::telemetry::reset();
+}
+
+#[test]
 fn telemetry_metrics_are_identical_across_worker_counts() {
     // The tentpole guarantee of the telemetry crate: counters and
     // histograms collected across Executor workers merge to the exact
