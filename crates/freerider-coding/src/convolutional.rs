@@ -220,7 +220,7 @@ pub fn viterbi_decode_soft_with_metric(llrs: &[f64], rate: CodeRate) -> (Vec<u8>
     let (mut state, best_metric) = metric
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite metrics"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(s, &m)| (s, m))
         .unwrap_or((0, 0.0));
     let mut decoded = vec![0u8; nsteps];

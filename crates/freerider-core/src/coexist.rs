@@ -263,6 +263,7 @@ fn coexist_window(
                     0,
                     &payload,
                 );
+                // lint: allow(panic) — fixed 100-byte payload is below the PHY maximum
                 let wave = tx.transmit(frame.as_bytes()).expect("fits");
                 airtime += wave.len() as f64 / freerider_wifi::SAMPLE_RATE;
                 let original = match rx_ref.receive(&ch_ref.propagate(&wave)) {
@@ -314,6 +315,7 @@ fn coexist_window(
             );
             for _ in 0..packets {
                 let payload: Vec<u8> = (0..100).map(|_| rng.byte()).collect();
+                // lint: allow(panic) — fixed 100-byte payload is below the PHY maximum
                 let wave = tx.transmit(&payload).expect("fits");
                 airtime += wave.len() as f64 / freerider_zigbee::SAMPLE_RATE;
                 let original = match rx_ref.receive(&ch_ref.propagate(&wave)) {
@@ -363,6 +365,7 @@ fn coexist_window(
             );
             for _ in 0..packets {
                 let payload: Vec<u8> = (0..37).map(|_| rng.byte()).collect();
+                // lint: allow(panic) — fixed 37-byte payload is below the PHY maximum
                 let wave = tx.transmit(&payload).expect("fits");
                 airtime += wave.len() as f64 / freerider_ble::SAMPLE_RATE;
                 let original = match rx_ref.receive(&ch_ref.propagate(&wave)) {

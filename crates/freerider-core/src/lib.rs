@@ -21,12 +21,15 @@
 //! * [`network`] — the multi-tag system of Fig. 17 (MAC + real control
 //!   messages + tag state machines).
 //! * [`metrics`] — throughput/BER/CDF accumulators.
+//! * [`env`] — the registry of every `FREERIDER_*` environment knob
+//!   (enforced by `freerider-lint` rule D3).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coexist;
 pub mod decoder;
+pub mod env;
 pub mod experiments;
 pub mod link;
 pub mod metrics;

@@ -183,6 +183,12 @@ impl WifiLink {
             // TX-to-tag bound): nothing is backscattered at all.
             return stats;
         }
+        // Clamp so header + payload + FCS never exceeds the 4095-byte PSDU.
+        let payload_len = cfg.payload_len.min(
+            freerider_wifi::plcp::MAX_PSDU_LEN
+                - freerider_wifi::frame::HEADER_LEN
+                - freerider_wifi::frame::FCS_LEN,
+        );
         for i in 0..cfg.packets {
             // One flight-recorder scope per excitation packet; the id is
             // derived from (seed, index) so it is worker-count independent.
@@ -191,8 +197,9 @@ impl WifiLink {
                 freerider_wifi::frame::MacAddr::local(1),
                 freerider_wifi::frame::MacAddr::local(2),
                 rng.below(4096) as u16,
-                &random_bytes(cfg.payload_len, &mut rng),
+                &random_bytes(payload_len, &mut rng),
             );
+            // lint: allow(panic) — payload_len clamped above so the PSDU fits
             let wave = tx.transmit(frame.as_bytes()).expect("payload fits");
             stats.add_airtime(wave.len() as f64 / freerider_wifi::SAMPLE_RATE);
 
@@ -321,7 +328,7 @@ impl ZigbeeLink {
             let _pkt = trace::packet("zigbee.link", derive_seed(cfg.seed, i as u64));
             let wave = tx
                 .transmit(&random_bytes(payload_len, &mut rng))
-                .expect("payload fits");
+                .expect("payload fits"); // lint: allow(panic) — payload_len clamped to the PHY maximum
             stats.add_airtime(wave.len() as f64 / freerider_zigbee::SAMPLE_RATE);
 
             let original = match rx_ref.receive(&ref_channel.propagate(&wave)) {
@@ -433,7 +440,7 @@ impl BleLink {
             let _pkt = trace::packet("ble.link", derive_seed(cfg.seed, i as u64));
             let wave = tx
                 .transmit(&random_bytes(payload_len, &mut rng))
-                .expect("payload fits");
+                .expect("payload fits"); // lint: allow(panic) — payload_len clamped to the PHY maximum
             stats.add_airtime(wave.len() as f64 / freerider_ble::SAMPLE_RATE);
 
             let original = match rx_ref.receive(&ref_channel.propagate(&wave)) {

@@ -167,8 +167,7 @@ impl Cdf {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.samples.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
     }

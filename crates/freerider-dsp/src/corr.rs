@@ -73,7 +73,7 @@ pub fn peak(values: &[f64]) -> Option<(usize, f64)> {
         .copied()
         .enumerate()
         .filter(|(_, v)| !v.is_nan())
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(&b.1))
 }
 
 /// Finds the first index where `values` crosses `threshold`, or `None`.

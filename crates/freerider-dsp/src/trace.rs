@@ -79,11 +79,14 @@ impl IqTrace {
         if hdr[..4] != MAGIC {
             return Err(TraceError::BadFormat);
         }
+        // lint: allow(panic) — hdr[4..8] is a fixed 4-byte slice
         let version = u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes"));
         if version != VERSION {
             return Err(TraceError::BadFormat);
         }
+        // lint: allow(panic) — hdr[8..12] is a fixed 4-byte slice
         let sample_rate = f32::from_le_bytes(hdr[8..12].try_into().expect("4 bytes")) as f64;
+        // lint: allow(panic) — hdr[12..16] is a fixed 4-byte slice
         let n = u32::from_le_bytes(hdr[12..16].try_into().expect("4 bytes")) as usize;
         let mut buf = vec![0u8; n * 8];
         r.read_exact(&mut buf)?;
@@ -91,7 +94,9 @@ impl IqTrace {
             .chunks_exact(8)
             .map(|c| {
                 Complex::new(
+                    // lint: allow(panic) — chunks_exact(8) fixes c.len() at 8
                     f32::from_le_bytes(c[..4].try_into().expect("4 bytes")) as f64,
+                    // lint: allow(panic) — chunks_exact(8) fixes c.len() at 8
                     f32::from_le_bytes(c[4..].try_into().expect("4 bytes")) as f64,
                 )
             })

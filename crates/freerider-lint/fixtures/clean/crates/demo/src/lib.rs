@@ -1,0 +1,38 @@
+//! Negative fixture: near-misses for every rule, all of them sound.
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+/// Deterministic collection: D2 is satisfied without any pragma.
+pub fn sizes() -> BTreeMap<&'static str, usize> {
+    let mut m = BTreeMap::new();
+    m.insert("demo", 1);
+    m
+}
+
+/// A registered knob: D3 is satisfied via the fixture registry.
+pub fn knob() -> Option<String> {
+    std::env::var("FREERIDER_DEMO").ok()
+}
+
+/// A justified panic: P1 waived by a pragma with a reason.
+pub fn first() -> usize {
+    // lint: allow(panic) — sizes() always contains the "demo" entry
+    *sizes().values().next().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_is_exempt_from_d1_d2_p1() {
+        let _ = Instant::now();
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+        assert_eq!(first(), 1);
+    }
+}

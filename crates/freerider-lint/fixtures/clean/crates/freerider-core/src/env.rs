@@ -1,0 +1,2 @@
+//! Fixture env registry: the one knob the clean workspace reads.
+pub const REGISTRY: &[&str] = &["FREERIDER_DEMO"];

@@ -1,0 +1,6 @@
+//! Negative fixture for U1: documented unsafe (so no forbid required).
+/// Reads one byte from a raw pointer.
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads (see docs)
+    unsafe { *p }
+}

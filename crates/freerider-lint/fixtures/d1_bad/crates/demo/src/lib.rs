@@ -1,0 +1,7 @@
+//! Positive fixture for D1: wall-clock in deterministic library code.
+#![forbid(unsafe_code)]
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

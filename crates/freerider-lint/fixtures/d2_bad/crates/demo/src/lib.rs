@@ -1,0 +1,7 @@
+//! Positive fixture for D2: hashed collection in non-test code.
+#![forbid(unsafe_code)]
+use std::collections::HashMap;
+
+pub fn table() -> HashMap<u32, u32> {
+    HashMap::new()
+}

@@ -1,0 +1,5 @@
+//! Positive fixture for D3: unregistered FREERIDER_* knob.
+#![forbid(unsafe_code)]
+pub fn knob() -> Option<String> {
+    std::env::var("FREERIDER_SECRET_KNOB").ok()
+}

@@ -1,0 +1,13 @@
+//! Positive fixture for P1: panicking calls in library code.
+#![forbid(unsafe_code)]
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn must(x: Result<u32, String>) -> u32 {
+    x.expect("must hold")
+}
+
+pub fn never() -> ! {
+    panic!("library code must not do this")
+}

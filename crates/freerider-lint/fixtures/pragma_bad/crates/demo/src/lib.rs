@@ -1,0 +1,11 @@
+//! Positive fixture for pragma hygiene: reason missing, rule unknown.
+#![forbid(unsafe_code)]
+// lint: allow(panic)
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+// lint: allow(wibble) — no such rule
+pub fn fine() -> u32 {
+    7
+}

@@ -1,0 +1,5 @@
+//! Positive fixture for U1 (crate half): no unsafe anywhere, but the
+//! crate root does not carry #![forbid(unsafe_code)].
+pub fn fine() -> u32 {
+    7
+}

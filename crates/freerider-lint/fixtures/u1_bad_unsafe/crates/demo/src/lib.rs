@@ -1,0 +1,4 @@
+//! Positive fixture for U1 (site half): unsafe without a SAFETY comment.
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,222 @@
+//! Count-based baselines: fail on *new* violations only.
+//!
+//! A baseline records, per `(rule, file)`, how many findings are accepted
+//! debt. The analyzer fails only when a file's count for a rule *exceeds*
+//! its baseline — so existing debt can be burned down incrementally while
+//! the build blocks regressions. Counts (not line numbers) are recorded
+//! because unrelated edits shift lines; a count only moves when a
+//! violation is added or removed.
+//!
+//! Format: one `<rule-slug> <path> <count>` triple per line, `#` comments
+//! and blank lines ignored, sorted on save so diffs stay reviewable.
+
+use crate::rules::{Finding, Rule};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Accepted-debt counts keyed by `(rule slug, workspace-relative path)`.
+pub type Baseline = BTreeMap<(String, String), u32>;
+
+/// Loads a baseline file; a missing file is an empty baseline.
+pub fn load(path: &Path) -> io::Result<Baseline> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Baseline::new()),
+        Err(e) => return Err(e),
+    };
+    let mut out = Baseline::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parsed = (|| {
+            let slug = parts.next()?;
+            Rule::from_slug(slug)?;
+            let path = parts.next()?;
+            let count: u32 = parts.next()?.parse().ok()?;
+            Some((slug.to_string(), path.to_string(), count))
+        })();
+        match parsed {
+            Some((slug, path, count)) if parts.next().is_none() => {
+                out.insert((slug, path), count);
+            }
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "baseline line {}: expected `<rule> <path> <count>`, got `{line}`",
+                        no + 1
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Writes the baseline that would make the given findings pass exactly.
+pub fn save(path: &Path, findings: &[Finding]) -> io::Result<()> {
+    let mut text = String::from(
+        "# freerider-lint baseline — accepted findings per (rule, file).\n\
+         # Regenerate with `freerider-lint --workspace --update-baseline`.\n",
+    );
+    for ((slug, file), count) in &counts(findings) {
+        text.push_str(&format!("{slug} {file} {count}\n"));
+    }
+    fs::write(path, text)
+}
+
+/// The verdict of weighing findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Assessment {
+    /// Findings in groups that exceed their baseline (these fail the run).
+    pub new: Vec<Finding>,
+    /// Findings absorbed by the baseline.
+    pub baselined: usize,
+    /// Entries whose debt shrank: `(slug, path, allowed, found)` — time to
+    /// tighten the baseline.
+    pub stale: Vec<(String, String, u32, u32)>,
+}
+
+/// Weighs `findings` against `baseline`.
+///
+/// When a `(rule, file)` group exceeds its allowance, *all* of that
+/// group's findings are reported — counts cannot tell old debt from the
+/// regression, and showing the full group is what lets the author spot
+/// the new one.
+pub fn assess(findings: &[Finding], baseline: &Baseline) -> Assessment {
+    let found = counts(findings);
+    let mut out = Assessment::default();
+    for (key, &n) in &found {
+        let allowed = baseline.get(key).copied().unwrap_or(0);
+        if n > allowed {
+            out.new.extend(
+                findings
+                    .iter()
+                    .filter(|f| f.rule.slug() == key.0 && f.path == key.1)
+                    .cloned(),
+            );
+        } else {
+            out.baselined += n as usize;
+            if n < allowed {
+                out.stale.push((key.0.clone(), key.1.clone(), allowed, n));
+            }
+        }
+    }
+    // Baseline entries for files with zero current findings are stale too.
+    for (key, &allowed) in baseline {
+        if !found.contains_key(key) {
+            out.stale.push((key.0.clone(), key.1.clone(), allowed, 0));
+        }
+    }
+    out.stale.sort();
+    out
+}
+
+fn counts(findings: &[Finding]) -> BTreeMap<(String, String), u32> {
+    let mut map = BTreeMap::new();
+    for f in findings {
+        *map.entry((f.rule.slug().to_string(), f.path.clone()))
+            .or_insert(0u32) += 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, path: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn empty_baseline_reports_everything() {
+        let f = vec![
+            finding(Rule::Panic, "a.rs", 1),
+            finding(Rule::Panic, "a.rs", 2),
+        ];
+        let a = assess(&f, &Baseline::new());
+        assert_eq!(a.new.len(), 2);
+        assert_eq!(a.baselined, 0);
+    }
+
+    #[test]
+    fn at_or_under_baseline_passes_over_fails() {
+        let f = vec![
+            finding(Rule::Panic, "a.rs", 1),
+            finding(Rule::Panic, "a.rs", 2),
+            finding(Rule::Wallclock, "b.rs", 3),
+        ];
+        let mut b = Baseline::new();
+        b.insert(("panic".into(), "a.rs".into()), 2);
+        let a = assess(&f, &b);
+        assert_eq!(a.new.len(), 1, "wallclock group has no allowance");
+        assert_eq!(a.new[0].rule, Rule::Wallclock);
+        assert_eq!(a.baselined, 2);
+
+        b.insert(("panic".into(), "a.rs".into()), 1);
+        let a = assess(&f, &b);
+        assert_eq!(a.new.len(), 3, "whole exceeded group + wallclock reported");
+    }
+
+    #[test]
+    fn shrunk_and_vanished_debt_is_stale() {
+        let f = vec![finding(Rule::Panic, "a.rs", 1)];
+        let mut b = Baseline::new();
+        b.insert(("panic".into(), "a.rs".into()), 3);
+        b.insert(("panic".into(), "gone.rs".into()), 2);
+        let a = assess(&f, &b);
+        assert!(a.new.is_empty());
+        assert_eq!(
+            a.stale,
+            vec![
+                ("panic".into(), "a.rs".into(), 3, 1),
+                ("panic".into(), "gone.rs".into(), 2, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let f = vec![
+            finding(Rule::Panic, "a.rs", 1),
+            finding(Rule::Panic, "a.rs", 9),
+            finding(Rule::HashCollections, "b.rs", 2),
+        ];
+        let dir = std::env::temp_dir().join("freerider_lint_baseline_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("lint.baseline");
+        save(&path, &f).expect("save");
+        let b = load(&path).expect("load");
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[&("panic".to_string(), "a.rs".to_string())], 2);
+        assert_eq!(assess(&f, &b).new.len(), 0);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        let dir = std::env::temp_dir().join("freerider_lint_baseline_bad");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("lint.baseline");
+        std::fs::write(&path, "panic a.rs not-a-number\n").expect("write");
+        assert!(load(&path).is_err());
+        std::fs::write(&path, "no-such-rule a.rs 1\n").expect("write");
+        assert!(load(&path).is_err());
+    }
+
+    #[test]
+    fn missing_baseline_is_empty() {
+        let b = load(Path::new("/nonexistent/definitely/lint.baseline")).expect("ok");
+        assert!(b.is_empty());
+    }
+}

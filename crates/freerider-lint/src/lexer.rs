@@ -1,0 +1,473 @@
+//! A hand-rolled Rust lexer, just precise enough for rule checking.
+//!
+//! The analyzer's rules fire on identifiers, string-literal contents, and
+//! comments — so the lexer's only hard job is *not confusing the three*.
+//! That means it must get right exactly the places where a naive
+//! regex-over-source approach breaks:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * cooked strings with escapes, raw strings with any `#` count, and the
+//!   `b` / `r` / `br` / `c` / `cr` prefixes,
+//! * lifetimes (`'a`) versus char literals (`'a'`, `'\n'`, `'\u{1F980}'`),
+//! * raw identifiers (`r#match`) versus raw strings (`r#"..."#`).
+//!
+//! Everything else (numbers, punctuation) is tokenized loosely; the rules
+//! never inspect those beyond single characters.
+
+/// The kind of one lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (raw identifiers carry their bare name).
+    Ident(String),
+    /// A lifetime such as `'a` (the name excludes the quote).
+    Lifetime(String),
+    /// A string literal; the payload is the *content* (no quotes, raw —
+    /// escape sequences are not cooked, which the rules never need).
+    Str(String),
+    /// A char or byte literal (`'x'`, `b'\n'`); content is irrelevant.
+    Char,
+    /// A numeric literal (integer or float, any base/suffix).
+    Num,
+    /// A single punctuation character (`{`, `}`, `.`, `!`, …).
+    Punct(char),
+    /// A `//` comment; the payload excludes the slashes and newline.
+    LineComment(String),
+    /// A `/* */` comment (nesting handled); payload excludes delimiters.
+    BlockComment(String),
+}
+
+/// One token plus its location (lines are 1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// Line the token starts on.
+    pub line: u32,
+    /// Line the token ends on (differs for multi-line strings/comments).
+    pub end_line: u32,
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated constructs
+/// are tolerated by consuming to end-of-file (the analyzer lints files
+/// that `rustc` may still reject; best-effort beats a hard error).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: Tok, start_line: u32) {
+        self.out.push(Token {
+            kind,
+            line: start_line,
+            end_line: self.line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let start = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(start),
+                '/' if self.peek(1) == Some('*') => self.block_comment(start),
+                '"' => self.cooked_string(start),
+                '\'' => self.quote(start),
+                c if c.is_ascii_digit() => self.number(start),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(start),
+                c => {
+                    self.bump();
+                    self.push(Tok::Punct(c), start);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, start: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Tok::LineComment(text), start);
+    }
+
+    fn block_comment(&mut self, start: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(Tok::BlockComment(text), start);
+    }
+
+    /// A `"…"` string with `\`-escapes (the opening quote not yet consumed).
+    fn cooked_string(&mut self, start: u32) {
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Keep the escape verbatim; rules match raw content.
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                c => text.push(c),
+            }
+        }
+        self.push(Tok::Str(text), start);
+    }
+
+    /// A `r"…"` / `r#"…"#` raw string; `'r'` already consumed, `self.pos`
+    /// is at the first `#` or the opening quote.
+    fn raw_string(&mut self, start: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // Candidate close: must be followed by `hashes` hashes.
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        text.push('"');
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(Tok::Str(text), start);
+    }
+
+    /// `'` starts either a lifetime or a char literal; disambiguate by
+    /// lookahead the way rustc does: it is a char literal iff the next
+    /// char is an escape, or a single char directly followed by `'`.
+    fn quote(&mut self, start: u32) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume until the closing quote.
+                self.bump();
+                self.bump(); // escape head ('n', 'u', '\'', …)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::Char, start);
+            }
+            Some(c) if self.peek(1) == Some('\'') => {
+                // 'x' — a one-char literal (also covers '_', digits, …).
+                let _ = c;
+                self.bump();
+                self.bump();
+                self.push(Tok::Char, start);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                // A lifetime: consume the identifier.
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(Tok::Lifetime(name), start);
+            }
+            _ => {
+                // Stray quote (e.g. inside a macro); treat as punctuation.
+                self.push(Tok::Punct('\''), start);
+            }
+        }
+    }
+
+    fn number(&mut self, start: u32) {
+        // Loose: digits, `_`, base/exponent letters, and `.` only when a
+        // digit follows (so `1..2` lexes as Num Punct Punct Num).
+        while let Some(c) = self.peek(0) {
+            let part_of_number = c == '_'
+                || c.is_ascii_alphanumeric()
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !part_of_number {
+                break;
+            }
+            self.bump();
+        }
+        self.push(Tok::Num, start);
+    }
+
+    /// An identifier — or one of the literal prefixes `r` / `b` / `br` /
+    /// `c` / `cr` fused onto a string, or a raw identifier `r#name`.
+    fn ident_or_prefixed(&mut self, start: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match (name.as_str(), self.peek(0)) {
+            // Raw string (possibly byte/C): r"…", r#"…"#, br#"…"#, cr"…".
+            ("r" | "br" | "cr", Some('"')) | ("r" | "br" | "cr", Some('#'))
+                if self.raw_follows() =>
+            {
+                self.raw_string(start);
+            }
+            // Raw identifier r#name (the `#` is followed by an ident char,
+            // which `raw_follows` ruled out above).
+            ("r", Some('#')) => {
+                self.bump();
+                let mut raw = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        raw.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(Tok::Ident(raw), start);
+            }
+            // Cooked byte/C string or byte char: b"…", c"…", b'…'.
+            ("b" | "c", Some('"')) => self.cooked_string(start),
+            ("b", Some('\'')) => self.quote(start),
+            _ => self.push(Tok::Ident(name), start),
+        }
+    }
+
+    /// True when the chars at `pos` are `#`*n `"` (a raw-string opener) or
+    /// an immediate `"`; distinguishes `r#"…"#` from `r#ident`.
+    fn raw_follows(&self) -> bool {
+        let mut ahead = 0usize;
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some('"')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            kinds("let x = y.unwrap();"),
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct('='),
+                Tok::Ident("y".into()),
+                Tok::Punct('.'),
+                Tok::Ident("unwrap".into()),
+                Tok::Punct('('),
+                Tok::Punct(')'),
+                Tok::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_do_not_hide_code_and_code_does_not_leak_into_comments() {
+        let toks = kinds("a /* unwrap() */ b // HashMap\nc");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::BlockComment(" unwrap() ".into()),
+                Tok::Ident("b".into()),
+                Tok::LineComment(" HashMap".into()),
+                Tok::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("x /* outer /* inner */ still comment */ y");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], Tok::Ident("x".into()));
+        assert!(matches!(&toks[1], Tok::BlockComment(t)
+            if t.contains("inner") && t.contains("still comment")));
+        assert_eq!(toks[2], Tok::Ident("y".into()));
+    }
+
+    #[test]
+    fn cooked_string_with_escaped_quote() {
+        assert_eq!(
+            kinds(r#"let s = "a\"b // not a comment";"#),
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("s".into()),
+                Tok::Punct('='),
+                Tok::Str(r#"a\"b // not a comment"#.into()),
+                Tok::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_any_hash_count() {
+        assert_eq!(kinds(r###"r"plain""###), vec![Tok::Str("plain".into())]);
+        assert_eq!(
+            kinds(r###"r#"has "quotes" inside"#"###),
+            vec![Tok::Str(r#"has "quotes" inside"#.into())]
+        );
+        assert_eq!(
+            kinds("r##\"one # and \"# inside\"##"),
+            vec![Tok::Str("one # and \"# inside".into())]
+        );
+        assert_eq!(kinds(r###"br#"bytes"#"###), vec![Tok::Str("bytes".into())]);
+    }
+
+    #[test]
+    fn lifetimes_versus_char_literals() {
+        assert_eq!(
+            kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }"),
+            vec![
+                Tok::Ident("fn".into()),
+                Tok::Ident("f".into()),
+                Tok::Punct('<'),
+                Tok::Lifetime("a".into()),
+                Tok::Punct('>'),
+                Tok::Punct('('),
+                Tok::Ident("x".into()),
+                Tok::Punct(':'),
+                Tok::Punct('&'),
+                Tok::Lifetime("a".into()),
+                Tok::Ident("str".into()),
+                Tok::Punct(')'),
+                Tok::Punct('{'),
+                Tok::Ident("let".into()),
+                Tok::Ident("c".into()),
+                Tok::Punct('='),
+                Tok::Char,
+                Tok::Punct(';'),
+                Tok::Ident("let".into()),
+                Tok::Ident("n".into()),
+                Tok::Punct('='),
+                Tok::Char,
+                Tok::Punct(';'),
+                Tok::Punct('}'),
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        assert_eq!(
+            kinds(r"let crab = '\u{1F980}';"),
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("crab".into()),
+                Tok::Punct('='),
+                Tok::Char,
+                Tok::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        assert_eq!(
+            kinds("let r#match = r#\"raw\"#;"),
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("match".into()),
+                Tok::Punct('='),
+                Tok::Str("raw".into()),
+                Tok::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let toks = lex("a\n/* two\nlines */\nb\"x\ny\"");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!((toks[1].line, toks[1].end_line), (2, 3));
+        assert_eq!(toks[2].line, 4);
+        assert_eq!((toks[2].line, toks[2].end_line), (4, 5));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_loop() {
+        assert!(!lex("/* never closed").is_empty());
+        assert!(!lex("\"never closed").is_empty());
+        assert!(!lex("r#\"never closed").is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! # freerider-lint
+//!
+//! A hermetic, zero-external-dependency static analyzer that turns this
+//! workspace's determinism contract into a machine-checked invariant.
+//!
+//! The whole reproduction stands on one claim: the software-defined IQ
+//! substrate behaves identically across seeds and thread counts, so
+//! figures are bit-reproducible. The runtime tests assert that
+//! *dynamically* (1-vs-4-worker byte equivalence); this crate enforces it
+//! *statically*, before the nondeterminism is ever executed — a stray
+//! `Instant::now()` in a decoder or a `HashMap` iteration in a report
+//! path is a finding, not a flaky figure three PRs later.
+//!
+//! The analyzer is a hand-rolled Rust [`lexer`] (comments, raw strings,
+//! lifetimes-vs-chars handled correctly) plus a [`rules`] engine over the
+//! token stream:
+//!
+//! * **D1 `wallclock`** — no `Instant`/`SystemTime` outside the telemetry
+//!   timer modules and the bench harness.
+//! * **D2 `hash-collections`** — no `HashMap`/`HashSet` in non-test code.
+//! * **D3 `env-registry`** — every `FREERIDER_*` knob must be listed in
+//!   `freerider-core/src/env.rs`.
+//! * **P1 `panic`** — no `unwrap()`/`expect()`/`panic!` in library
+//!   non-test code without a justified pragma.
+//! * **U1 `unsafe-audit`** — every `unsafe` needs a `// SAFETY:` comment;
+//!   unsafe-free crates must `#![forbid(unsafe_code)]`.
+//!
+//! Waivers are per-line pragmas with mandatory reasons
+//! (`// lint: allow(panic) — length checked above`); accepted legacy debt
+//! lives in a count-based [`baseline`] so the build fails only on *new*
+//! violations. Reports come as `file:line: rule: message` text or a
+//! schema-tagged JSON document ([`report`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+/// The outcome of one workspace run: analysis plus baseline verdict.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Raw analysis (all findings, pre-baseline).
+    pub analysis: rules::Analysis,
+    /// Findings weighed against the baseline.
+    pub assessment: baseline::Assessment,
+}
+
+impl RunOutcome {
+    /// True when the run should exit 0: no above-baseline findings.
+    pub fn ok(&self) -> bool {
+        self.assessment.new.is_empty()
+    }
+}
+
+/// Analyzes the workspace at `root` against the baseline at
+/// `baseline_path` (missing file = empty baseline).
+pub fn run(root: &Path, baseline_path: &Path) -> io::Result<RunOutcome> {
+    let files = walk::discover(root)?;
+    let analysis = rules::analyze(root, &files)?;
+    let base = baseline::load(baseline_path)?;
+    let assessment = baseline::assess(&analysis.findings, &base);
+    Ok(RunOutcome {
+        analysis,
+        assessment,
+    })
+}
+
+/// Default baseline location for a workspace root.
+pub fn default_baseline_path(root: &Path) -> std::path::PathBuf {
+    root.join("lint.baseline")
+}

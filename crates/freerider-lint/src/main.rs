@@ -1,0 +1,136 @@
+//! The `freerider-lint` binary: walk the workspace, enforce the contract.
+//!
+//! ```text
+//! freerider-lint --workspace [--root DIR] [--baseline FILE] [--json FILE]
+//!                [--update-baseline] [--list-rules]
+//! ```
+//!
+//! Exit status: 0 when no *new* (above-baseline) findings, 1 when there
+//! are, 2 on usage or I/O errors.
+
+use freerider_lint::{baseline, default_baseline_path, report, run, walk};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: Option<PathBuf>,
+    update_baseline: bool,
+    list_rules: bool,
+}
+
+const USAGE: &str = "\
+usage: freerider-lint --workspace [options]
+       freerider-lint --list-rules
+
+options:
+  --workspace          analyze every .rs file of the enclosing workspace
+  --root DIR           workspace root (default: walk up from the cwd)
+  --baseline FILE      baseline file (default: <root>/lint.baseline)
+  --json FILE          also write the machine-readable freerider-lint/1 report
+  --update-baseline    rewrite the baseline to match current findings, exit 0
+  --list-rules         print the rule catalogue and exit
+";
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: None,
+        baseline: None,
+        json: None,
+        update_baseline: false,
+        list_rules: false,
+    };
+    let mut argv = argv.peekable();
+    while let Some(a) = argv.next() {
+        let mut path_arg = |name: &str| -> Result<PathBuf, String> {
+            argv.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--root" => args.root = Some(path_arg("--root")?),
+            "--baseline" => args.baseline = Some(path_arg("--baseline")?),
+            "--json" => args.json = Some(path_arg("--json")?),
+            "--update-baseline" => args.update_baseline = true,
+            "--list-rules" => args.list_rules = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !args.workspace && !args.list_rules {
+        return Err("nothing to do: pass --workspace or --list-rules".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("freerider-lint: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        print!("{}", report::rule_catalogue());
+        return ExitCode::SUCCESS;
+    }
+    match run_workspace(&args) {
+        Ok(ok) => {
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("freerider-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_workspace(args: &Args) -> Result<bool, String> {
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            walk::find_root(&cwd)
+                .ok_or("no enclosing workspace (no Cargo.toml with [workspace]); use --root")?
+        }
+    };
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| default_baseline_path(&root));
+
+    let outcome =
+        run(&root, &baseline_path).map_err(|e| format!("analyzing {}: {e}", root.display()))?;
+
+    if args.update_baseline {
+        baseline::save(&baseline_path, &outcome.analysis.findings)
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "freerider-lint: baseline updated ({} finding(s) accepted) at {}",
+            outcome.analysis.findings.len(),
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    if let Some(json_path) = &args.json {
+        let doc = report::json(
+            &root.display().to_string(),
+            &outcome.analysis,
+            &outcome.assessment,
+        );
+        std::fs::write(json_path, doc)
+            .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    }
+
+    print!("{}", report::text(&outcome.analysis, &outcome.assessment));
+    Ok(outcome.ok())
+}

@@ -1,0 +1,858 @@
+//! The rule engine: repo-specific invariants over the token stream.
+//!
+//! | id | slug | invariant |
+//! |----|------|-----------|
+//! | D1 | `wallclock` | no `Instant` / `SystemTime` outside the telemetry timer modules and the bench harness |
+//! | D2 | `hash-collections` | no `HashMap` / `HashSet` in non-test code (iteration order is nondeterministic) |
+//! | D3 | `env-registry` | every `FREERIDER_*` name in a string literal must be listed in `freerider-core/src/env.rs` |
+//! | P1 | `panic` | no `.unwrap()` / `.expect(…)` / `panic!` in library non-test code |
+//! | U1 | `unsafe-audit` | every `unsafe` is preceded by a `// SAFETY:` comment; unsafe-free crates carry `#![forbid(unsafe_code)]` |
+//! | —  | `pragma` | `// lint:` comments must parse (unknown rule / missing reason is itself a finding) |
+//!
+//! Findings can be waived per line with
+//! `// lint: allow(<slug>) — <reason>` (trailing on the offending line, or
+//! alone on the line above it); the reason is mandatory. Test code —
+//! `#[cfg(test)]` / `#[test]` items and `tests/` files — is exempt from
+//! D1, D2 and P1 but not from D3 or U1.
+
+use crate::lexer::{lex, Tok, Token};
+use crate::walk::{FileKind, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The rules, in report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D1 — wall-clock reads break run-to-run determinism.
+    Wallclock,
+    /// D2 — hashed collections iterate in nondeterministic order.
+    HashCollections,
+    /// D3 — undocumented `FREERIDER_*` knobs drift silently.
+    EnvRegistry,
+    /// P1 — library code must return errors, not abort the process.
+    Panic,
+    /// U1 — unsafe requires a written safety argument (or a crate ban).
+    UnsafeAudit,
+    /// Malformed `// lint:` pragma.
+    Pragma,
+}
+
+/// All rules, in the order reports list them.
+pub const ALL_RULES: [Rule; 6] = [
+    Rule::Wallclock,
+    Rule::HashCollections,
+    Rule::EnvRegistry,
+    Rule::Panic,
+    Rule::UnsafeAudit,
+    Rule::Pragma,
+];
+
+impl Rule {
+    /// The slug used in findings, pragmas, and baselines.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::Wallclock => "wallclock",
+            Rule::HashCollections => "hash-collections",
+            Rule::EnvRegistry => "env-registry",
+            Rule::Panic => "panic",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::Pragma => "pragma",
+        }
+    }
+
+    /// The short catalogue id (`D1`…`U1`; the pragma check has none).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Wallclock => "D1",
+            Rule::HashCollections => "D2",
+            Rule::EnvRegistry => "D3",
+            Rule::Panic => "P1",
+            Rule::UnsafeAudit => "U1",
+            Rule::Pragma => "-",
+        }
+    }
+
+    /// One-line description for `--list-rules` and the JSON report.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::Wallclock => {
+                "no Instant/SystemTime outside freerider-telemetry timers and the bench harness"
+            }
+            Rule::HashCollections => {
+                "no HashMap/HashSet in non-test code (use BTreeMap/BTreeSet or sort before emit)"
+            }
+            Rule::EnvRegistry => {
+                "every FREERIDER_* env var must be listed in freerider-core/src/env.rs"
+            }
+            Rule::Panic => "no unwrap()/expect()/panic! in library non-test code",
+            Rule::UnsafeAudit => {
+                "unsafe requires a preceding // SAFETY: comment; unsafe-free crates \
+                 must carry #![forbid(unsafe_code)]"
+            }
+            Rule::Pragma => "// lint: pragmas must name a known rule and give a reason",
+        }
+    }
+
+    /// Parses a slug back to a rule (pragmas may name any except `pragma`).
+    pub fn from_slug(s: &str) -> Option<Rule> {
+        ALL_RULES
+            .into_iter()
+            .find(|r| r.slug() == s && *r != Rule::Pragma)
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// The canonical `file:line: rule: message` rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}: {}",
+            self.path,
+            self.line,
+            self.rule.slug(),
+            self.message
+        )
+    }
+}
+
+/// The result of analyzing a workspace.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// The registered `FREERIDER_*` names found in the env registry.
+    pub registry: BTreeSet<String>,
+}
+
+/// Path (workspace-relative) of the central env-var registry D3 reads.
+pub const REGISTRY_PATH: &str = "crates/freerider-core/src/env.rs";
+
+/// Files D1 exempts: the telemetry timer modules are the *only* library
+/// code allowed to read the clock (their output is reported separately
+/// from the deterministic sections).
+const WALLCLOCK_EXEMPT_FILES: [&str; 2] = [
+    "crates/freerider-telemetry/src/timer.rs",
+    "crates/freerider-telemetry/src/trace.rs",
+];
+
+/// Crates exempt from D1 and P1 wholesale: the bench harness exists to
+/// measure wall-clock time, and the lint's own fixtures never ship.
+const BENCH_CRATE: &str = "freerider-bench";
+
+/// Runs every rule over the given files (as discovered by
+/// [`crate::walk::discover`]). `root` is the workspace root.
+pub fn analyze(root: &Path, files: &[SourceFile]) -> io::Result<Analysis> {
+    let registry = load_registry(root);
+    let mut findings = Vec::new();
+    // Per-crate U1 state: does the lib target contain `unsafe`, and does
+    // its crate root carry `#![forbid(unsafe_code)]`?
+    let mut lib_unsafe: BTreeMap<String, bool> = BTreeMap::new();
+    let mut lib_forbid: BTreeMap<String, (String, bool)> = BTreeMap::new();
+
+    for file in files {
+        let src = fs::read_to_string(&file.abs)?;
+        let ctx = FileCtx::new(file, &src, &registry);
+        ctx.check(&mut findings);
+        if file.kind == FileKind::Lib {
+            let has_unsafe = ctx.has_unsafe();
+            *lib_unsafe.entry(file.crate_name.clone()).or_insert(false) |= has_unsafe;
+            if file.is_lib_root {
+                lib_forbid.insert(
+                    file.crate_name.clone(),
+                    (file.rel.clone(), ctx.has_forbid_unsafe()),
+                );
+            }
+        }
+    }
+
+    // U1, crate half: a crate with no unsafe in its library target must
+    // ban it outright, so the audit burden can never grow silently.
+    for (crate_name, (lib_rel, has_forbid)) in &lib_forbid {
+        let has_unsafe = lib_unsafe.get(crate_name).copied().unwrap_or(false);
+        if !has_unsafe && !has_forbid {
+            findings.push(Finding {
+                rule: Rule::UnsafeAudit,
+                path: lib_rel.clone(),
+                line: 1,
+                message: format!(
+                    "crate `{crate_name}` has no unsafe code but its crate root \
+                     lacks #![forbid(unsafe_code)]"
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(Analysis {
+        findings,
+        files_scanned: files.len(),
+        registry,
+    })
+}
+
+/// Loads the registered env-var names: every `FREERIDER_*` string literal
+/// in [`REGISTRY_PATH`]. A missing registry file means an empty registry
+/// (so every knob is flagged until one is created).
+fn load_registry(root: &Path) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    if let Ok(src) = fs::read_to_string(root.join(REGISTRY_PATH)) {
+        for tok in lex(&src) {
+            if let Tok::Str(s) = &tok.kind {
+                for name in freerider_names(s) {
+                    names.insert(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Extracts every maximal `FREERIDER_[A-Z0-9_]+` run from a string.
+fn freerider_names(s: &str) -> Vec<String> {
+    const PREFIX: &str = "FREERIDER_";
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(off) = s[i..].find(PREFIX) {
+        let start = i + off;
+        let mut end = start + PREFIX.len();
+        while end < bytes.len()
+            && (bytes[end].is_ascii_uppercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        if end > start + PREFIX.len() {
+            out.push(s[start..end].to_string());
+        }
+        i = end;
+    }
+    out
+}
+
+/// Everything the per-file checks need, computed once per file.
+struct FileCtx<'a> {
+    file: &'a SourceFile,
+    registry: &'a BTreeSet<String>,
+    tokens: Vec<Token>,
+    /// True for tokens inside `#[cfg(test)]` / `#[test]` items.
+    in_test: Vec<bool>,
+    /// Per rule: lines waived by a parsed `// lint: allow(…)` pragma.
+    allowed: BTreeMap<Rule, BTreeSet<u32>>,
+    /// Malformed-pragma findings discovered while parsing comments.
+    pragma_errors: Vec<(u32, String)>,
+    /// End lines of `SAFETY:` comments (for U1 adjacency).
+    safety_lines: BTreeSet<u32>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn new(file: &'a SourceFile, src: &str, registry: &'a BTreeSet<String>) -> Self {
+        let tokens = lex(src);
+        let in_test = test_mask(&tokens);
+        let mut ctx = FileCtx {
+            file,
+            registry,
+            in_test,
+            allowed: BTreeMap::new(),
+            pragma_errors: Vec::new(),
+            safety_lines: BTreeSet::new(),
+            tokens,
+        };
+        ctx.scan_comments();
+        ctx
+    }
+
+    /// Parses pragmas and SAFETY markers out of the comment tokens.
+    fn scan_comments(&mut self) {
+        for i in 0..self.tokens.len() {
+            let (text, line, end_line) = match &self.tokens[i].kind {
+                Tok::LineComment(t) => (t.clone(), self.tokens[i].line, self.tokens[i].end_line),
+                Tok::BlockComment(t) => (t.clone(), self.tokens[i].line, self.tokens[i].end_line),
+                _ => continue,
+            };
+            let trimmed = text.trim_start_matches(['/', '!', '*', ' ', '\t']);
+            if trimmed.starts_with("SAFETY:") {
+                self.safety_lines.insert(end_line);
+            }
+            match parse_pragma(&text) {
+                Ok(None) => {}
+                Ok(Some((rule, _reason))) => {
+                    let target = self.pragma_target(i, line);
+                    self.allowed.entry(rule).or_default().insert(target);
+                }
+                Err(msg) => self.pragma_errors.push((line, msg)),
+            }
+        }
+    }
+
+    /// The line a pragma waives: its own line when it trails code, else
+    /// the line of the next code token below it.
+    fn pragma_target(&self, comment_idx: usize, comment_line: u32) -> u32 {
+        let trails_code = self.tokens[..comment_idx]
+            .iter()
+            .rev()
+            .take_while(|t| t.end_line >= comment_line)
+            .any(|t| !is_comment(t) && t.end_line == comment_line);
+        if trails_code {
+            return comment_line;
+        }
+        self.tokens[comment_idx + 1..]
+            .iter()
+            .find(|t| !is_comment(t))
+            .map(|t| t.line)
+            .unwrap_or(comment_line)
+    }
+
+    fn is_allowed(&self, rule: Rule, line: u32) -> bool {
+        self.allowed.get(&rule).is_some_and(|s| s.contains(&line))
+    }
+
+    /// True when the file as a whole is test code.
+    fn is_test_file(&self) -> bool {
+        self.file.kind == FileKind::Test
+    }
+
+    fn has_unsafe(&self) -> bool {
+        self.tokens
+            .iter()
+            .any(|t| matches!(&t.kind, Tok::Ident(s) if s == "unsafe"))
+    }
+
+    /// Detects `#![forbid(unsafe_code)]` (possibly with more lints listed).
+    fn has_forbid_unsafe(&self) -> bool {
+        let code: Vec<&Token> = self.tokens.iter().filter(|t| !is_comment(t)).collect();
+        for w in 0..code.len().saturating_sub(4) {
+            if matches!(code[w].kind, Tok::Punct('#'))
+                && matches!(code[w + 1].kind, Tok::Punct('!'))
+                && matches!(code[w + 2].kind, Tok::Punct('['))
+                && matches!(&code[w + 3].kind, Tok::Ident(s) if s == "forbid")
+            {
+                for t in &code[w + 4..] {
+                    match &t.kind {
+                        Tok::Punct(']') => break,
+                        Tok::Ident(s) if s == "unsafe_code" => return true,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Runs all per-file rules, appending to `out`.
+    fn check(&self, out: &mut Vec<Finding>) {
+        for (line, msg) in &self.pragma_errors {
+            self.emit(out, Rule::Pragma, *line, msg.clone());
+        }
+
+        let code: Vec<(usize, &Token)> = self
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !is_comment(t))
+            .collect();
+
+        for (pos, &(idx, tok)) in code.iter().enumerate() {
+            let test_code = self.is_test_file() || self.in_test[idx];
+            match &tok.kind {
+                Tok::Ident(name) => {
+                    self.check_ident(out, &code, pos, name, tok.line, test_code);
+                }
+                Tok::Str(s) => self.check_string(out, s, tok.line),
+                _ => {}
+            }
+        }
+    }
+
+    fn check_ident(
+        &self,
+        out: &mut Vec<Finding>,
+        code: &[(usize, &Token)],
+        pos: usize,
+        name: &str,
+        line: u32,
+        test_code: bool,
+    ) {
+        let next_is = |c: char| {
+            code.get(pos + 1)
+                .is_some_and(|(_, t)| matches!(t.kind, Tok::Punct(p) if p == c))
+        };
+        let prev_is_dot = pos > 0 && matches!(code[pos - 1].1.kind, Tok::Punct('.'));
+
+        match name {
+            // D1 — wall-clock.
+            "Instant" | "SystemTime" if !test_code && self.wallclock_applies() => {
+                self.emit_unless_allowed(
+                    out,
+                    Rule::Wallclock,
+                    line,
+                    format!(
+                        "`{name}` is wall-clock time; deterministic code must not read the \
+                     clock (telemetry timers and the bench harness are the exemptions)"
+                    ),
+                );
+            }
+            // D2 — hashed collections.
+            "HashMap" | "HashSet" if !test_code => {
+                self.emit_unless_allowed(
+                    out,
+                    Rule::HashCollections,
+                    line,
+                    format!(
+                        "`{name}` iterates in nondeterministic order; use BTreeMap/BTreeSet, \
+                     or sort before emitting and annotate \
+                     `// lint: allow(hash-collections) — <why sorted>`"
+                    ),
+                );
+            }
+            // P1 — panic policy.
+            "unwrap" | "expect"
+                if !test_code && self.panic_applies() && prev_is_dot && next_is('(') =>
+            {
+                self.emit_unless_allowed(
+                    out,
+                    Rule::Panic,
+                    line,
+                    format!(
+                        ".{name}() can abort the process; return a typed error, or annotate \
+                     `// lint: allow(panic) — <why this cannot fail>`"
+                    ),
+                );
+            }
+            "panic" if !test_code && self.panic_applies() && next_is('!') => {
+                self.emit_unless_allowed(
+                    out,
+                    Rule::Panic,
+                    line,
+                    "panic! aborts the process; return a typed error, or annotate \
+                     `// lint: allow(panic) — <why this is unreachable>`"
+                        .to_string(),
+                );
+            }
+            // U1 — per-site half: every `unsafe` needs an adjacent SAFETY
+            // comment (applies to test code too — audits don't stop at
+            // #[cfg(test)]).
+            "unsafe" => {
+                let documented = self.safety_lines.contains(&line)
+                    || self.safety_lines.contains(&line.saturating_sub(1));
+                if !documented {
+                    self.emit(
+                        out,
+                        Rule::UnsafeAudit,
+                        line,
+                        "`unsafe` without an immediately preceding // SAFETY: comment \
+                         stating why the invariants hold"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// D3 — every `FREERIDER_*` name mentioned in a string literal must be
+    /// registered. Applies everywhere (tests reading an unregistered knob
+    /// are still drift); the registry file itself is exempt.
+    fn check_string(&self, out: &mut Vec<Finding>, s: &str, line: u32) {
+        if self.file.rel == REGISTRY_PATH {
+            return;
+        }
+        for name in freerider_names(s) {
+            if !self.registry.contains(&name) {
+                self.emit_unless_allowed(
+                    out,
+                    Rule::EnvRegistry,
+                    line,
+                    format!(
+                        "`{name}` is not listed in the env-var registry \
+                     ({REGISTRY_PATH}); register it so knobs stay documented"
+                    ),
+                );
+            }
+        }
+    }
+
+    fn wallclock_applies(&self) -> bool {
+        self.file.crate_name != BENCH_CRATE
+            && !WALLCLOCK_EXEMPT_FILES.contains(&self.file.rel.as_str())
+    }
+
+    fn panic_applies(&self) -> bool {
+        self.file.kind == FileKind::Lib && self.file.crate_name != BENCH_CRATE
+    }
+
+    fn emit_unless_allowed(&self, out: &mut Vec<Finding>, rule: Rule, line: u32, msg: String) {
+        if !self.is_allowed(rule, line) {
+            self.emit(out, rule, line, msg);
+        }
+    }
+
+    fn emit(&self, out: &mut Vec<Finding>, rule: Rule, line: u32, message: String) {
+        out.push(Finding {
+            rule,
+            path: self.file.rel.clone(),
+            line,
+            message,
+        });
+    }
+}
+
+fn is_comment(t: &Token) -> bool {
+    matches!(t.kind, Tok::LineComment(_) | Tok::BlockComment(_))
+}
+
+/// Parses one comment as a pragma.
+///
+/// Grammar: `lint: allow(<slug>) <sep> <reason>` where `<sep>` is `—`, `-`
+/// or `:` (optional) and `<reason>` is non-empty. Returns `Ok(None)` for
+/// comments that are not pragmas at all, and `Err` for comments that start
+/// with `lint:` but do not parse — a typo'd pragma silently allowing
+/// nothing would be worse than a finding.
+pub fn parse_pragma(text: &str) -> Result<Option<(Rule, String)>, String> {
+    let t = text.trim();
+    let Some(rest) = t.strip_prefix("lint:") else {
+        return Ok(None);
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Err(format!(
+            "malformed pragma `{t}`: expected `lint: allow(<rule>) — <reason>`"
+        ));
+    };
+    let Some(close) = rest.find(')') else {
+        return Err(format!("malformed pragma `{t}`: unclosed `allow(`"));
+    };
+    let slug = rest[..close].trim();
+    let Some(rule) = Rule::from_slug(slug) else {
+        return Err(format!(
+            "pragma names unknown rule `{slug}` (known: wallclock, hash-collections, \
+             env-registry, panic, unsafe-audit)"
+        ));
+    };
+    let reason: String = rest[close + 1..]
+        .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
+        .trim()
+        .to_string();
+    if reason.is_empty() {
+        return Err(format!(
+            "pragma `allow({slug})` has no reason; write \
+             `// lint: allow({slug}) — <why this is sound>`"
+        ));
+    }
+    Ok(Some((rule, reason)))
+}
+
+/// Marks tokens belonging to `#[cfg(test)]` / `#[test]` items (the
+/// attribute, any stacked attributes after it, and the item body through
+/// its closing `}` or `;`).
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !is_comment(&tokens[i]))
+        .collect();
+    let kind = |ci: usize| -> &Tok { &tokens[code[ci]].kind };
+
+    let mut ci = 0;
+    while ci < code.len() {
+        if matches!(kind(ci), Tok::Punct('#'))
+            && ci + 1 < code.len()
+            && matches!(kind(ci + 1), Tok::Punct('['))
+        {
+            if let Some(close) = matching(&code, tokens, ci + 1, '[', ']') {
+                if attr_is_test(tokens, &code[ci + 2..close]) {
+                    // Consume stacked attributes after the matching one.
+                    let mut end = close;
+                    while end + 2 < code.len()
+                        && matches!(kind(end + 1), Tok::Punct('#'))
+                        && matches!(kind(end + 2), Tok::Punct('['))
+                    {
+                        match matching(&code, tokens, end + 2, '[', ']') {
+                            Some(c) => end = c,
+                            None => break,
+                        }
+                    }
+                    let item_end = item_end(&code, tokens, end + 1);
+                    for &ti in &code[ci..=item_end.min(code.len() - 1)] {
+                        mask[ti] = true;
+                    }
+                    ci = item_end + 1;
+                    continue;
+                }
+                ci = close + 1;
+                continue;
+            }
+        }
+        ci += 1;
+    }
+    mask
+}
+
+/// Finds the code-index of the delimiter matching `code[open_ci]`.
+fn matching(
+    code: &[usize],
+    tokens: &[Token],
+    open_ci: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
+    let mut depth = 0usize;
+    for (ci, &ti) in code.iter().enumerate().skip(open_ci) {
+        match tokens[ti].kind {
+            Tok::Punct(p) if p == open => depth += 1,
+            Tok::Punct(p) if p == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(ci);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// True when the attribute token span means "test code": `#[test]`, or a
+/// `cfg`/`cfg_attr` whose predicate mentions `test` outside any `not(…)`.
+fn attr_is_test(tokens: &[Token], inner: &[usize]) -> bool {
+    let idents: Vec<&str> = inner
+        .iter()
+        .filter_map(|&ti| match &tokens[ti].kind {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    if idents.as_slice() == ["test"] {
+        return true;
+    }
+    if idents.first() != Some(&"cfg") {
+        return false;
+    }
+    // Walk the predicate tracking which head ident owns each paren group,
+    // so `cfg(not(test))` is recognised as NOT test code.
+    let mut heads: Vec<String> = Vec::new();
+    let mut last_ident: Option<String> = None;
+    for &ti in inner {
+        match &tokens[ti].kind {
+            Tok::Ident(s) => {
+                if s == "test" && !heads.iter().any(|h| h == "not") {
+                    return true;
+                }
+                last_ident = Some(s.clone());
+            }
+            Tok::Punct('(') => heads.push(last_ident.take().unwrap_or_default()),
+            Tok::Punct(')') => {
+                heads.pop();
+            }
+            _ => last_ident = None,
+        }
+    }
+    false
+}
+
+/// Code-index of the last token of the item starting at `start_ci`: the
+/// first `;` at depth 0, or the `}` matching the first `{`.
+fn item_end(code: &[usize], tokens: &[Token], start_ci: usize) -> usize {
+    let mut depth = 0usize;
+    for (ci, &ti) in code.iter().enumerate().skip(start_ci) {
+        match tokens[ti].kind {
+            Tok::Punct(';') if depth == 0 => return ci,
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return ci;
+                }
+            }
+            _ => {}
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::SourceFile;
+    use std::path::PathBuf;
+
+    fn lib_file(rel: &str, crate_name: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.to_string(),
+            abs: PathBuf::new(),
+            crate_name: crate_name.to_string(),
+            kind: FileKind::Lib,
+            is_lib_root: rel.ends_with("lib.rs"),
+        }
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = lib_file("crates/x/src/m.rs", "x");
+        let registry = BTreeSet::from(["FREERIDER_THREADS".to_string()]);
+        let ctx = FileCtx::new(&file, src, &registry);
+        let mut out = Vec::new();
+        ctx.check(&mut out);
+        out
+    }
+
+    fn slugs(src: &str) -> Vec<&'static str> {
+        run(src).into_iter().map(|f| f.rule.slug()).collect()
+    }
+
+    #[test]
+    fn wallclock_flags_instant_and_systemtime() {
+        assert_eq!(
+            slugs("use std::time::Instant;\nlet t = SystemTime::now();"),
+            vec!["wallclock", "wallclock"]
+        );
+    }
+
+    #[test]
+    fn wallclock_in_comment_or_string_is_fine() {
+        assert!(slugs("// Instant::now()\nlet s = \"SystemTime\";").is_empty());
+    }
+
+    #[test]
+    fn hash_collections_flagged_with_pragma_escape() {
+        assert_eq!(
+            slugs("use std::collections::HashMap;"),
+            vec!["hash-collections"]
+        );
+        assert!(slugs(
+            "// lint: allow(hash-collections) — keys sorted before emit\n\
+             use std::collections::HashMap;"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn env_registry_checks_literals() {
+        assert!(slugs(r#"let v = std::env::var("FREERIDER_THREADS");"#).is_empty());
+        assert_eq!(
+            slugs(r#"let v = std::env::var("FREERIDER_BOGUS");"#), // lint: allow(env-registry) — negative fixture for this very rule
+            vec!["env-registry"]
+        );
+        // Substring inside a usage string counts too.
+        assert_eq!(
+            slugs(r#"let u = "set FREERIDER_NOPE=1 to break things";"#), // lint: allow(env-registry) — negative fixture for this very rule
+            vec!["env-registry"]
+        );
+    }
+
+    #[test]
+    fn panic_policy_on_method_calls_only() {
+        assert_eq!(
+            slugs("fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); }"),
+            vec!["panic", "panic", "panic"]
+        );
+        // unwrap_or / expect-like idents and field accesses don't match.
+        assert!(slugs("fn f() { x.unwrap_or(0); let unwrap = 3; s.expected(); }").is_empty());
+    }
+
+    #[test]
+    fn panic_pragma_trailing_and_preceding() {
+        assert!(slugs("x.unwrap(); // lint: allow(panic) — len checked above").is_empty());
+        assert!(slugs("// lint: allow(panic) — infallible on String\nx.unwrap();").is_empty());
+        // A trailing pragma does not leak onto the next line.
+        assert_eq!(
+            slugs("x.unwrap(); // lint: allow(panic) — checked\ny.unwrap();"),
+            vec!["panic"]
+        );
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt_from_panic_and_hash_rules() {
+        let src = "\
+fn prod() { real(); }
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() { x.unwrap(); let i = Instant::now(); }
+}
+";
+        // D1/D2/P1 all quiet; nothing else fires.
+        assert!(slugs(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        assert_eq!(
+            slugs("#[cfg(not(test))]\nfn f() { x.unwrap(); }"),
+            vec!["panic"]
+        );
+    }
+
+    #[test]
+    fn test_attr_fn_is_exempt_but_following_code_is_not() {
+        let src = "\
+#[test]
+fn t() { x.unwrap(); }
+fn prod() { y.unwrap(); }
+";
+        let found = run(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn unsafe_requires_adjacent_safety_comment() {
+        assert_eq!(
+            slugs("fn f() { unsafe { danger() } }"),
+            vec!["unsafe-audit"]
+        );
+        assert!(slugs(
+            "// SAFETY: index bounded by the loop condition above\n\
+             fn f() { unsafe { danger() } }"
+        )
+        .is_empty());
+        // A SAFETY comment two lines up is not "immediately preceding".
+        assert_eq!(
+            slugs("// SAFETY: stale\n\nlet _pad = 0;\nfn f() { unsafe { danger() } }"),
+            vec!["unsafe-audit"]
+        );
+    }
+
+    #[test]
+    fn malformed_pragmas_are_findings() {
+        assert_eq!(
+            slugs("// lint: allow(panics) — typo'd rule\nf();"),
+            vec!["pragma"]
+        );
+        assert_eq!(
+            slugs("// lint: allow(panic)\nx.unwrap();"),
+            vec!["pragma", "panic"]
+        );
+        assert_eq!(
+            slugs("// lint: disallow(panic) — nope\nf();"),
+            vec!["pragma"]
+        );
+    }
+
+    #[test]
+    fn pragma_parser_accepts_separator_variants() {
+        for sep in ["—", "-", ":", ""] {
+            let text = format!(" lint: allow(panic) {sep} reason here");
+            let (rule, reason) = parse_pragma(&text).expect("parses").expect("is a pragma");
+            assert_eq!(rule, Rule::Panic);
+            assert_eq!(reason, "reason here");
+        }
+        assert_eq!(parse_pragma(" ordinary comment"), Ok(None));
+    }
+}

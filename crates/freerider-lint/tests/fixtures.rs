@@ -1,0 +1,216 @@
+//! End-to-end fixture runs: one positive and one negative per rule.
+//!
+//! Each fixture under `fixtures/` is a miniature workspace; the tests run
+//! the real `freerider-lint` binary against it and assert on exit status
+//! and report text — the same interface `scripts/verify.sh` uses.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn run_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_freerider-lint"))
+        .args(args)
+        .output()
+        .expect("spawn freerider-lint")
+}
+
+fn lint_fixture(name: &str) -> (bool, String) {
+    let root = fixture(name);
+    let out = run_lint(&["--workspace", "--root", root.to_str().expect("utf-8 path")]);
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+/// Asserts the fixture fails with findings of exactly `slug` (and a
+/// finding count of `count`).
+fn assert_positive(name: &str, slug: &str, count: usize) {
+    let (ok, text) = lint_fixture(name);
+    assert!(!ok, "{name} must exit non-zero:\n{text}");
+    let hits = text
+        .lines()
+        .filter(|l| l.contains(&format!(": {slug}: ")))
+        .count();
+    assert_eq!(
+        hits, count,
+        "{name} expected {count} `{slug}` finding(s):\n{text}"
+    );
+    let other = text
+        .lines()
+        .filter(|l| l.contains("crates/demo") || l.contains("crates/unsafe_demo"))
+        .filter(|l| !l.contains(&format!(": {slug}: ")))
+        .count();
+    assert_eq!(other, 0, "{name} must only trip `{slug}`:\n{text}");
+}
+
+#[test]
+fn d1_wallclock_positive() {
+    assert_positive("d1_bad", "wallclock", 3);
+}
+
+#[test]
+fn d2_hash_collections_positive() {
+    assert_positive("d2_bad", "hash-collections", 3);
+}
+
+#[test]
+fn d3_env_registry_positive() {
+    assert_positive("d3_bad", "env-registry", 1);
+}
+
+#[test]
+fn p1_panic_positive() {
+    assert_positive("p1_bad", "panic", 3);
+}
+
+#[test]
+fn u1_unsafe_site_positive() {
+    assert_positive("u1_bad_unsafe", "unsafe-audit", 1);
+}
+
+#[test]
+fn u1_missing_forbid_positive() {
+    let (ok, text) = lint_fixture("u1_bad_forbid");
+    assert!(!ok, "u1_bad_forbid must exit non-zero:\n{text}");
+    assert!(
+        text.contains("lacks #![forbid(unsafe_code)]"),
+        "expected the crate-level forbid finding:\n{text}"
+    );
+}
+
+#[test]
+fn pragma_hygiene_positive() {
+    let (ok, text) = lint_fixture("pragma_bad");
+    assert!(!ok, "pragma_bad must exit non-zero:\n{text}");
+    // The reason-less allow(panic) is flagged and does NOT waive the
+    // unwrap it precedes; the unknown-rule pragma is flagged too.
+    assert_eq!(
+        text.lines().filter(|l| l.contains(": pragma: ")).count(),
+        2,
+        "{text}"
+    );
+    assert_eq!(
+        text.lines().filter(|l| l.contains(": panic: ")).count(),
+        1,
+        "{text}"
+    );
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    let (ok, text) = lint_fixture("clean");
+    assert!(ok, "clean fixture must exit zero:\n{text}");
+    assert!(text.contains("0 new"), "{text}");
+}
+
+#[test]
+fn baseline_absorbs_existing_debt_but_not_new() {
+    let dir = std::env::temp_dir().join("freerider_lint_fixture_baseline");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let baseline = dir.join("p1.baseline");
+
+    // Accept the three known panics of p1_bad…
+    std::fs::write(&baseline, "panic crates/demo/src/lib.rs 3\n").expect("write");
+    let root = fixture("p1_bad");
+    let out = run_lint(&[
+        "--workspace",
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--baseline",
+        baseline.to_str().expect("utf-8 path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "baselined debt must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // …but an allowance of two means the group exceeds the baseline.
+    std::fs::write(&baseline, "panic crates/demo/src/lib.rs 2\n").expect("write");
+    let out = run_lint(&[
+        "--workspace",
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--baseline",
+        baseline.to_str().expect("utf-8 path"),
+    ]);
+    assert!(!out.status.success(), "exceeding the baseline must fail");
+}
+
+#[test]
+fn update_baseline_round_trips() {
+    let dir = std::env::temp_dir().join("freerider_lint_fixture_update");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let baseline = dir.join("lint.baseline");
+    let _ = std::fs::remove_file(&baseline);
+
+    let root = fixture("d1_bad");
+    let root_s = root.to_str().expect("utf-8 path");
+    let base_s = baseline.to_str().expect("utf-8 path");
+    let out = run_lint(&[
+        "--workspace",
+        "--root",
+        root_s,
+        "--baseline",
+        base_s,
+        "--update-baseline",
+    ]);
+    assert!(out.status.success(), "--update-baseline exits zero");
+    let written = std::fs::read_to_string(&baseline).expect("baseline written");
+    assert!(
+        written.contains("wallclock crates/demo/src/lib.rs 3"),
+        "{written}"
+    );
+
+    // With the generated baseline the same fixture now passes.
+    let out = run_lint(&["--workspace", "--root", root_s, "--baseline", base_s]);
+    assert!(
+        out.status.success(),
+        "generated baseline must absorb the debt"
+    );
+}
+
+#[test]
+fn json_report_written_for_fixture() {
+    let dir = std::env::temp_dir().join("freerider_lint_fixture_json");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let json_path = dir.join("report.json");
+    let root = fixture("d2_bad");
+    let out = run_lint(&[
+        "--workspace",
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--json",
+        json_path.to_str().expect("utf-8 path"),
+    ]);
+    assert!(!out.status.success());
+    let doc = std::fs::read_to_string(&json_path).expect("json written");
+    assert!(doc.starts_with(r#"{"schema":"freerider-lint/1""#), "{doc}");
+    assert!(doc.contains(r#""slug":"hash-collections""#), "{doc}");
+    assert!(doc.contains(r#""ok":false"#), "{doc}");
+}
+
+#[test]
+fn list_rules_prints_catalogue() {
+    let out = run_lint(&["--list-rules"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    for id in ["D1", "D2", "D3", "P1", "U1"] {
+        assert!(text.contains(id), "missing {id} in:\n{text}");
+    }
+}
+
+#[test]
+fn usage_error_exits_2() {
+    let out = run_lint(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,95 @@
+//! Self-check: the analyzer runs over the *real* workspace and must find
+//! zero above-baseline violations — the committed contract that keeps the
+//! determinism invariants machine-enforced from this PR forward.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/freerider-lint has a workspace two levels up")
+}
+
+#[test]
+fn real_workspace_has_zero_new_findings() {
+    let root = workspace_root();
+    let baseline = freerider_lint::default_baseline_path(root);
+    let outcome = freerider_lint::run(root, &baseline).expect("analyze workspace");
+    let rendered: Vec<String> = outcome.assessment.new.iter().map(|f| f.render()).collect();
+    assert!(
+        outcome.ok(),
+        "workspace has {} above-baseline finding(s):\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+    assert!(
+        outcome.analysis.files_scanned > 100,
+        "suspiciously few files scanned: {}",
+        outcome.analysis.files_scanned
+    );
+}
+
+#[test]
+fn rx_crates_carry_zero_panic_debt() {
+    // The hot RX paths must be panic-clean *without* baseline absorption:
+    // an empty baseline for P1 in these crates is an acceptance criterion.
+    let root = workspace_root();
+    let baseline = freerider_lint::default_baseline_path(root);
+    let base = freerider_lint::baseline::load(&baseline).expect("load baseline");
+    for krate in [
+        "freerider-wifi",
+        "freerider-zigbee",
+        "freerider-ble",
+        "freerider-coding",
+    ] {
+        let debt: Vec<_> = base
+            .iter()
+            .filter(|((slug, path), _)| {
+                slug == "panic" && path.starts_with(&format!("crates/{krate}/"))
+            })
+            .collect();
+        assert!(
+            debt.is_empty(),
+            "{krate} must have an empty P1 baseline: {debt:?}"
+        );
+    }
+}
+
+#[test]
+fn determinism_rules_have_completely_empty_baselines() {
+    let root = workspace_root();
+    let baseline = freerider_lint::default_baseline_path(root);
+    let base = freerider_lint::baseline::load(&baseline).expect("load baseline");
+    for slug in [
+        "wallclock",
+        "hash-collections",
+        "env-registry",
+        "unsafe-audit",
+    ] {
+        let debt: Vec<_> = base.iter().filter(|((s, _), _)| s == slug).collect();
+        assert!(
+            debt.is_empty(),
+            "rule {slug} must carry no baseline debt: {debt:?}"
+        );
+    }
+}
+
+#[test]
+fn registry_covers_all_documented_knobs() {
+    let root = workspace_root();
+    let baseline = freerider_lint::default_baseline_path(root);
+    let outcome = freerider_lint::run(root, &baseline).expect("analyze workspace");
+    for knob in [
+        "FREERIDER_THREADS",
+        "FREERIDER_LOG",
+        "FREERIDER_TRACE",
+        "FREERIDER_BENCH_THRESHOLD",
+    ] {
+        assert!(
+            outcome.analysis.registry.contains(knob),
+            "registry missing {knob}: {:?}",
+            outcome.analysis.registry
+        );
+    }
+}

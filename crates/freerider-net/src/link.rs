@@ -66,7 +66,7 @@ impl LinkModel {
                 let margin = d.backscatter_rssi(tag, rx.position) - rx.sensitivity_dbm;
                 (i, margin)
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite margins"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 

@@ -116,6 +116,7 @@ impl Executor {
                 .collect();
             handles
                 .into_iter()
+                // lint: allow(panic) — re-raising a worker panic is the intended behaviour
                 .flat_map(|h| h.join().expect("executor worker panicked"))
                 .collect()
         });

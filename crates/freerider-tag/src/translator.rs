@@ -199,7 +199,7 @@ impl FskTranslator {
     /// translator skipping the SERVICE symbol.
     pub fn ble() -> Self {
         Self::new(500e3, 8e6, 250e3, 1e6, 16, 8, (40 + 16) * 8)
-            .expect("the paper's parameters satisfy Eq. 10")
+            .expect("the paper's parameters satisfy Eq. 10") // lint: allow(panic) — constant arguments known to satisfy Eq. 10
     }
 
     /// Creates a translator, checking Eq. 10: with deviation `f_dev` and

@@ -89,6 +89,7 @@ impl JsonWriter {
     /// Writes an unsigned integer value.
     pub fn u64(&mut self, v: u64) -> &mut Self {
         self.pre();
+        // lint: allow(panic) — write! to a String cannot fail
         write!(self.buf, "{v}").expect("write to String");
         self
     }
@@ -97,6 +98,7 @@ impl JsonWriter {
     pub fn f64(&mut self, v: f64) -> &mut Self {
         self.pre();
         if v.is_finite() {
+            // lint: allow(panic) — write! to a String cannot fail
             write!(self.buf, "{v}").expect("write to String");
         } else {
             self.buf.push_str("null");
@@ -137,6 +139,7 @@ pub fn escape_into(buf: &mut String, s: &str) {
             '\r' => buf.push_str("\\r"),
             '\t' => buf.push_str("\\t"),
             c if (c as u32) < 0x20 => {
+                // lint: allow(panic) — write! to a String cannot fail
                 write!(buf, "\\u{:04x}", c as u32).expect("write to String");
             }
             c => buf.push(c),

@@ -139,9 +139,9 @@ impl Snapshot {
     pub fn table(&self) -> String {
         let mut out = String::new();
         if !self.counters.is_empty() {
-            writeln!(out, "  {:<44} {:>12}", "counter", "value").unwrap();
+            writeln!(out, "  {:<44} {:>12}", "counter", "value").unwrap(); // lint: allow(panic) — write! to a String cannot fail
             for (&k, &v) in &self.counters {
-                writeln!(out, "  {k:<44} {v:>12}").unwrap();
+                writeln!(out, "  {k:<44} {v:>12}").unwrap(); // lint: allow(panic) — write! to a String cannot fail
             }
         }
         if !self.histograms.is_empty() {
@@ -150,7 +150,7 @@ impl Snapshot {
                 "  {:<44} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
                 "histogram", "count", "mean", "min", "p50", "p90", "p99", "max"
             )
-            .unwrap();
+            .unwrap(); // lint: allow(panic) — write! to a String cannot fail
             for (&k, h) in &self.histograms {
                 let (min, max) = if h.is_empty() { (0, 0) } else { (h.min, h.max) };
                 writeln!(
@@ -164,7 +164,7 @@ impl Snapshot {
                     h.p99().unwrap_or(0),
                     max
                 )
-                .unwrap();
+                .unwrap(); // lint: allow(panic) — write! to a String cannot fail
             }
         }
         if !self.timers.is_empty() {
@@ -173,10 +173,10 @@ impl Snapshot {
                 "  {:<44} {:>8} {:>10} {:>10}",
                 "timer (wall-clock)", "spans", "total(ms)", "mean(us)"
             )
-            .unwrap();
-            // Stage names are printed in sorted order: the BTreeMap already
-            // iterates that way, but the explicit sort keeps the report
-            // stable even if the backing map type ever changes.
+            .unwrap(); // lint: allow(panic) — write! to a String cannot fail
+                       // Stage names are printed in sorted order: the BTreeMap already
+                       // iterates that way, but the explicit sort keeps the report
+                       // stable even if the backing map type ever changes.
             let mut rows: Vec<(&'static str, &TimerStat)> =
                 self.timers.iter().map(|(&k, t)| (k, t)).collect();
             rows.sort_unstable_by_key(|&(k, _)| k);
@@ -188,7 +188,7 @@ impl Snapshot {
                     t.total_ns as f64 / 1e6,
                     t.mean_ns() / 1e3
                 )
-                .unwrap();
+                .unwrap(); // lint: allow(panic) — write! to a String cannot fail
             }
         }
         out

@@ -58,6 +58,7 @@ pub fn modulate_symbol(data: &[Complex], pilot_polarity: f64) -> Vec<Complex> {
     for (i, &c) in PILOT_CARRIERS.iter().enumerate() {
         freq[carrier_to_bin(c)] = Complex::new(PILOT_VALUES[i] * pilot_polarity, 0.0);
     }
+    // lint: allow(panic) — freq.len() is FFT_SIZE = 64, a power of two
     fft::ifft(&mut freq).expect("64 is a power of two");
     // Scale so total symbol power is comparable across symbols: the IFFT's
     // 1/N normalisation leaves per-sample power = (52/64)/64; rescale to
@@ -94,6 +95,7 @@ pub fn demodulate_symbol(samples: &[Complex]) -> SymbolCarriers {
         "need one 80-sample symbol"
     );
     let mut freq: Vec<Complex> = samples[CP_LEN..].to_vec();
+    // lint: allow(panic) — freq.len() is FFT_SIZE = 64, a power of two
     fft::fft(&mut freq).expect("64 is a power of two");
     let mut data = [Complex::ZERO; N_DATA_CARRIERS];
     for (i, &c) in DATA_CARRIERS.iter().enumerate() {

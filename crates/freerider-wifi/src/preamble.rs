@@ -46,6 +46,7 @@ pub fn short_symbol_block() -> Vec<Complex> {
     for &(c, sign) in STF_CARRIERS.iter() {
         freq[carrier_to_bin(c)] = Complex::new(sign * k, sign * k);
     }
+    // lint: allow(panic) — freq.len() is FFT_SIZE = 64, a power of two
     fft::ifft(&mut freq).expect("power of two");
     // Match the data-symbol power scaling convention (see ofdm.rs).
     let scale = ((FFT_SIZE * FFT_SIZE) as f64 / 52.0).sqrt();
@@ -58,6 +59,7 @@ pub fn long_symbol() -> Vec<Complex> {
     for c in -26..=26 {
         freq[carrier_to_bin(c)] = Complex::new(ltf_carrier(c), 0.0);
     }
+    // lint: allow(panic) — freq.len() is FFT_SIZE = 64, a power of two
     fft::ifft(&mut freq).expect("power of two");
     let scale = ((FFT_SIZE * FFT_SIZE) as f64 / 52.0).sqrt();
     freq.into_iter().map(|z| z.scale(scale)).collect()

@@ -333,6 +333,7 @@ impl Receiver {
         let mut h = [Complex::ZERO; FFT_SIZE];
         for rep in 0..2 {
             let mut f: Vec<Complex> = corrected[rep * FFT_SIZE..(rep + 1) * FFT_SIZE].to_vec();
+            // lint: allow(panic) — f.len() is FFT_SIZE = 64, a power of two
             freerider_dsp::fft::fft(&mut f).expect("power of two");
             for c in -26..=26i32 {
                 let l = ltf_carrier(c);

@@ -18,6 +18,25 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --offline -- -D warnings"
 cargo clippy --workspace --offline -- -D warnings
 
+echo "==> freerider-lint --workspace (determinism / panic / unsafe contract)"
+cargo run --release --offline -p freerider-lint -- \
+    --workspace --json /tmp/freerider_lint.json
+python3 - <<'EOF'
+import json
+with open("/tmp/freerider_lint.json") as f:
+    doc = json.load(f)
+assert doc["schema"] == "freerider-lint/1", doc.get("schema")
+assert doc["ok"] is True, "lint report not ok"
+assert doc["newFindings"] == 0, f"{doc['newFindings']} new lint finding(s)"
+assert doc["filesScanned"] > 100, doc["filesScanned"]
+slugs = {r["slug"] for r in doc["rules"]}
+expected = {"wallclock", "hash-collections", "env-registry",
+            "panic", "unsafe-audit", "pragma"}
+assert expected <= slugs, f"missing rules: {expected - slugs}"
+print(f"lint JSON OK: {doc['filesScanned']} files, {len(slugs)} rules, "
+      f"{doc['newFindings']} new findings")
+EOF
+
 echo "==> repro --quick all --json smoke"
 ./target/release/repro --quick all --json /tmp/freerider_repro_smoke.json >/dev/null
 python3 - <<'EOF'
