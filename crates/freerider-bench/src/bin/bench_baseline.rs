@@ -65,8 +65,49 @@ fn write_summary(w: &mut JsonWriter, s: &Summary, bytes: u64) {
     w.end_object();
 }
 
+/// Verifies the planned 64-point FFT path against the reference
+/// transform on a fixed vector, bit for bit. Wired into `verify.sh` as a
+/// release-build smoke check: the planned path must never drift from the
+/// reference by even one ULP, or repro byte-identity silently breaks.
+fn selftest_fft() -> ExitCode {
+    let data: Vec<Complex> = (0..64).map(|i| Complex::cis(i as f64 * 0.3)).collect();
+    let mut reference = data.clone();
+    if let Err(e) = fft::fft(&mut reference) {
+        eprintln!("selftest-fft: reference FFT failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut planned = [Complex::ZERO; 64];
+    planned.copy_from_slice(&data);
+    fft::fft64(&mut planned);
+    for (i, (a, b)) in reference.iter().zip(planned.iter()).enumerate() {
+        if a.re.to_bits() != b.re.to_bits() || a.im.to_bits() != b.im.to_bits() {
+            eprintln!("selftest-fft: forward mismatch at bin {i}: {a:?} vs {b:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut ref_inv = data.clone();
+    if let Err(e) = fft::ifft(&mut ref_inv) {
+        eprintln!("selftest-fft: reference IFFT failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut planned_inv = [Complex::ZERO; 64];
+    planned_inv.copy_from_slice(&data);
+    fft::ifft64(&mut planned_inv);
+    for (i, (a, b)) in ref_inv.iter().zip(planned_inv.iter()).enumerate() {
+        if a.re.to_bits() != b.re.to_bits() || a.im.to_bits() != b.im.to_bits() {
+            eprintln!("selftest-fft: inverse mismatch at bin {i}: {a:?} vs {b:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("selftest-fft: planned 64-point FFT/IFFT bit-identical to reference");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--selftest-fft") {
+        return selftest_fft();
+    }
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let mut out_path: Option<String> = None;
     let mut it = args.iter();
@@ -106,6 +147,17 @@ fn main() -> ExitCode {
         bytes: 0,
     });
 
+    kernels.push(KernelResult {
+        name: "dsp/fft64_planned",
+        summary: bench("dsp/fft64_planned", budget, max_iters, || {
+            let mut v = [Complex::ZERO; 64];
+            v.copy_from_slice(&data);
+            fft::fft64(&mut v);
+            v
+        }),
+        bytes: 0,
+    });
+
     let bits: Vec<u8> = (0..1000).map(|i| ((i * 7) % 3 == 0) as u8).collect();
     let coded = encode(&bits, CodeRate::Half);
     kernels.push(KernelResult {
@@ -135,6 +187,16 @@ fn main() -> ExitCode {
         name: "wifi/rx_1000B",
         summary: bench("wifi/rx_1000B", budget, max_iters, || {
             rx.receive(&wave).unwrap()
+        }),
+        bytes: 1000,
+    });
+    // The allocation-free steady state: a warm scratch reused across
+    // iterations, as the sweep executor's per-worker state does it.
+    let mut rx_scratch = freerider_wifi::RxScratch::new();
+    kernels.push(KernelResult {
+        name: "wifi/rx_1000B_warm",
+        summary: bench("wifi/rx_1000B_warm", budget, max_iters, || {
+            rx.receive_with(&wave, &mut rx_scratch).unwrap().fcs_valid
         }),
         bytes: 1000,
     });

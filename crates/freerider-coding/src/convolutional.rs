@@ -57,6 +57,12 @@ const NSTATES: usize = 1 << (K - 1); // 64
 const G0: u8 = 0o133;
 const G1: u8 = 0o171;
 
+// The XOR-3 butterfly shortcut in `viterbi_decode_soft_scratch` requires
+// both generators to tap the input bit (bit 6) and the oldest register
+// bit (bit 0); true for the 802.11 pair (133, 171 octal), guarded here
+// in case the polynomials ever change.
+const _: () = assert!(G0 & 1 == 1 && (G0 >> 6) & 1 == 1 && G1 & 1 == 1 && (G1 >> 6) & 1 == 1);
+
 #[inline]
 fn parity(x: u8) -> u8 {
     (x.count_ones() & 1) as u8
@@ -126,14 +132,56 @@ pub fn viterbi_decode(coded: &[u8], rate: CodeRate) -> Vec<u8> {
     viterbi_decode_soft(&llrs, rate)
 }
 
-/// Depunctures soft values back to the rate-1/2 lattice, marking punctured
-/// positions as zero-confidence erasures.
-fn depuncture_soft(llrs: &[f64], rate: CodeRate) -> Vec<f64> {
+/// Depunctures soft values back to the rate-1/2 lattice, writing into
+/// `out` (cleared first), marking punctured positions as zero-confidence
+/// erasures.
+///
+/// The output length is computed exactly up front and `out` reserves
+/// exactly that much: no erasure is emitted past the last input value's
+/// bit pair, and no odd tail is pushed only to be popped again. The
+/// resulting values are identical to [`reference::depuncture_soft`] —
+/// pinned by `depuncture_matches_reference_and_pins_lengths`.
+pub fn depuncture_soft_into(llrs: &[f64], rate: CodeRate, out: &mut Vec<f64>) {
+    out.clear();
     let pat = rate.pattern();
-    let mut out = Vec::new();
+    if llrs.is_empty() {
+        return;
+    }
+    // Kept (transmitted) slots per pattern period.
+    let keeps = pat.iter().filter(|&&k| k).count();
+    let full = llrs.len() / keeps;
+    let rem = llrs.len() % keeps;
+    // Walk the final partial period the way the reference loop does —
+    // consuming `rem` inputs and passing punctured slots — to find where
+    // the stream ends, then trim a dangling half pair.
+    let mut len = full * pat.len();
+    if rem > 0 {
+        let mut seen = 0usize;
+        let mut i = 0usize;
+        loop {
+            if pat[i] {
+                if seen == rem {
+                    break;
+                }
+                seen += 1;
+            }
+            len += 1;
+            i += 1;
+            if i == pat.len() {
+                i = 0;
+            }
+        }
+        if !len.is_multiple_of(2) {
+            len -= 1;
+        }
+    }
+    out.reserve_exact(len);
     let mut it = llrs.iter();
-    'outer: loop {
+    'outer: while out.len() < len {
         for &keep in pat {
+            if out.len() == len {
+                break 'outer;
+            }
             if keep {
                 match it.next() {
                     Some(&v) => out.push(v),
@@ -144,10 +192,7 @@ fn depuncture_soft(llrs: &[f64], rate: CodeRate) -> Vec<f64> {
             }
         }
     }
-    while out.len() % 2 != 0 {
-        out.pop();
-    }
-    out
+    debug_assert_eq!(out.len(), len);
 }
 
 /// Soft-decision Viterbi decoder.
@@ -166,54 +211,144 @@ pub fn viterbi_decode_soft(llrs: &[f64], rate: CodeRate) -> Vec<u8> {
 /// metric (lower = closer to a valid codeword; 0 on noiseless input with
 /// unit-magnitude LLRs is `−2·nsteps`). The metric is the per-packet
 /// decode-confidence figure the flight recorder records.
-#[allow(clippy::needless_range_loop)] // `b` is the encoder input bit, not a mere index
 pub fn viterbi_decode_soft_with_metric(llrs: &[f64], rate: CodeRate) -> (Vec<u8>, f64) {
-    let lattice = depuncture_soft(llrs, rate);
-    let nsteps = lattice.len() / 2;
+    let mut scratch = ViterbiScratch::new();
+    let (decoded, metric) = viterbi_decode_soft_scratch(llrs, rate, &mut scratch);
+    (decoded.to_vec(), metric)
+}
+
+/// Reusable working memory for [`viterbi_decode_soft_scratch`]: the
+/// depunctured lattice, the bit-packed survivor matrix and the
+/// decoded-bit buffer (the two path-metric rows are small enough to live
+/// on the stack). One scratch amortises every
+/// allocation across repeated decodes (the RX hot loop decodes two
+/// codewords per packet, thousands of packets per sweep point).
+#[derive(Debug, Clone, Default)]
+pub struct ViterbiScratch {
+    lattice: Vec<f64>,
+    /// One u64 per trellis step: bit `s` is the survivor branch choice
+    /// for next-state `s` (0 = even predecessor, 1 = odd predecessor).
+    surv: Vec<u64>,
+    decoded: Vec<u8>,
+}
+
+impl ViterbiScratch {
+    /// An empty scratch; buffers grow to the packet size on first use and
+    /// are reused thereafter.
+    pub fn new() -> Self {
+        ViterbiScratch::default()
+    }
+}
+
+/// Per-next-state branch data, precomputed once at compile time.
+///
+/// For next-state `ns`, the input bit is forced (`b = ns >> 5`: the newest
+/// register bit) and the two predecessors are `(ns << 1) & 63` and
+/// `((ns << 1) & 63) | 1` (the shifted-out oldest bit). `BRANCH_SYMS[ns]`
+/// holds the expected coded symbol `(a << 1) | b_out` for each of the two,
+/// indexing into the four per-step branch-metric pairs (±ra, ±rb).
+const fn branch_syms() -> [[u8; 2]; NSTATES] {
+    let mut t = [[0u8; 2]; NSTATES];
+    let mut ns = 0;
+    while ns < NSTATES {
+        let b = (ns >> 5) as u8;
+        let ps0 = ((ns << 1) & (NSTATES - 1)) as u8;
+        let mut j = 0;
+        while j < 2 {
+            let reg = (b << 6) | ps0 | j as u8;
+            let ea = ((reg & G0).count_ones() & 1) as u8;
+            let eb = ((reg & G1).count_ones() & 1) as u8;
+            t[ns][j] = (ea << 1) | eb;
+            j += 1;
+        }
+        ns += 1;
+    }
+    t
+}
+
+const BRANCH_SYMS: [[u8; 2]; NSTATES] = branch_syms();
+
+/// The flattened, table-driven soft Viterbi kernel.
+///
+/// Same decode as [`reference::viterbi_decode_soft_with_metric`] — pinned
+/// bit-for-bit by `table_viterbi_matches_reference` — but restructured for
+/// speed:
+///
+/// - the 4 possible branch metric pairs `(±ra, ±rb)` are formed once per
+///   trellis step instead of per transition;
+/// - the ACS loop iterates over *next* states through the compile-time
+///   [`BRANCH_SYMS`] table, so each state is written exactly once, with
+///   no `pm >= INF` skip (INF absorbs any physical LLR exactly:
+///   `INF + x == INF` for `|x| < ~1e291`, so unreached states stay at INF
+///   through the same arithmetic);
+/// - survivors compress to one bit per (step, state) — the branch choice;
+///   the predecessor and input bit are recomputed from the state in
+///   traceback — shrinking the survivor matrix 16× to one u64 per step;
+/// - all working memory lives in the caller's [`ViterbiScratch`], so
+///   repeated decodes allocate nothing.
+///
+/// The returned slice borrows the scratch's decoded-bit buffer.
+pub fn viterbi_decode_soft_scratch<'s>(
+    llrs: &[f64],
+    rate: CodeRate,
+    scratch: &'s mut ViterbiScratch,
+) -> (&'s [u8], f64) {
+    depuncture_soft_into(llrs, rate, &mut scratch.lattice);
+    let nsteps = scratch.lattice.len() / 2;
+    scratch.decoded.clear();
     if nsteps == 0 {
-        return (Vec::new(), 0.0);
+        return (&scratch.decoded, 0.0);
     }
 
     const INF: f64 = f64::MAX / 4.0;
-    let mut metric = vec![INF; NSTATES];
-    metric[0] = 0.0; // encoder starts in state 0
-    let mut next = vec![INF; NSTATES];
-    let mut surv_bit = vec![0u8; nsteps * NSTATES];
-    let mut surv_prev = vec![0u8; nsteps * NSTATES];
+    scratch.surv.clear();
+    scratch.surv.resize(nsteps, 0);
 
-    // Transition table, as in the hard decoder.
-    let mut trans = [[(0u8, 0u8, 0u8); 2]; NSTATES];
-    for (ps, row) in trans.iter_mut().enumerate() {
-        for (b, entry) in row.iter_mut().enumerate() {
-            let reg = ((b as u8) << 6) | ps as u8;
-            *entry = (parity(reg & G0), parity(reg & G1), (reg >> 1));
+    // Two path-metric rows live on the stack (1 KiB total): fixed-size
+    // arrays let the compiler elide every bounds check in the ACS loop,
+    // and the rows "swap" by reference, never by copy.
+    let mut row_a = [INF; NSTATES];
+    row_a[0] = 0.0; // encoder starts in state 0
+    let mut row_b = [INF; NSTATES];
+    let (mut metric, mut next) = (&mut row_a, &mut row_b);
+    for (t, pair) in scratch.lattice.chunks_exact(2).enumerate() {
+        let (ra, rb) = (pair[0], pair[1]);
+        // Branch metric addend pairs, indexed by expected symbol
+        // (a << 1) | b: cost of llr r for expected bit e is −r if e=1,
+        // +r if e=0. Kept as a pair and applied as two sequential adds so
+        // the summation order (pm + a) + b matches the reference exactly.
+        let bm = [(ra, rb), (ra, -rb), (-ra, rb), (-ra, -rb)];
+        let mut bits = 0u64;
+        // Butterfly pairing: next-states `j` and `j + 32` share the same
+        // two predecessors (`2j`, `2j + 1`), so each metric entry is
+        // loaded once per pair instead of twice. Because both generator
+        // polynomials tap the input bit and the oldest register bit
+        // (asserted at compile time below), flipping either flips both
+        // output bits: the odd predecessor's symbol and the high state's
+        // symbols are each `XOR 3` of the even/low one. An XOR-3 symbol
+        // negates both addends, and IEEE negation is exact, so one 2-bit
+        // lookup per butterfly yields all four branch costs bit-identical
+        // to the reference's four independent lookups.
+        for j in 0..NSTATES / 2 {
+            let m0 = metric[2 * j];
+            let m1 = metric[2 * j + 1];
+            let hi = j + NSTATES / 2;
+            let (a, b) = bm[(BRANCH_SYMS[j][0] & 3) as usize];
+            let (na, nb) = (-a, -b);
+            let c0 = (m0 + a) + b;
+            let c1 = (m1 + na) + nb;
+            // Strict `<`: on a tie the even predecessor wins, matching the
+            // reference's visit order (ps ascending, strict improvement).
+            let lo_take1 = c1 < c0;
+            next[j] = if lo_take1 { c1 } else { c0 };
+            bits |= (lo_take1 as u64) << j;
+            let d0 = (m0 + na) + nb;
+            let d1 = (m1 + a) + b;
+            let hi_take1 = d1 < d0;
+            next[hi] = if hi_take1 { d1 } else { d0 };
+            bits |= (hi_take1 as u64) << hi;
         }
-    }
-
-    for t in 0..nsteps {
-        let ra = lattice[2 * t];
-        let rb = lattice[2 * t + 1];
-        next.iter_mut().for_each(|m| *m = INF);
-        for ps in 0..NSTATES {
-            let pm = metric[ps];
-            if pm >= INF {
-                continue;
-            }
-            for b in 0..2 {
-                let (ea, eb, ns) = trans[ps][b];
-                // Cost of receiving llr r when bit e was sent: −r if e=1,
-                // +r if e=0 (maximise agreement = minimise cost).
-                let mut cost = pm;
-                cost += if ea == 1 { -ra } else { ra };
-                cost += if eb == 1 { -rb } else { rb };
-                let nsu = ns as usize;
-                if cost < next[nsu] {
-                    next[nsu] = cost;
-                    surv_bit[t * NSTATES + nsu] = b as u8;
-                    surv_prev[t * NSTATES + nsu] = ps as u8;
-                }
-            }
-        }
+        scratch.surv[t] = bits;
         std::mem::swap(&mut metric, &mut next);
     }
 
@@ -223,12 +358,111 @@ pub fn viterbi_decode_soft_with_metric(llrs: &[f64], rate: CodeRate) -> (Vec<u8>
         .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(s, &m)| (s, m))
         .unwrap_or((0, 0.0));
-    let mut decoded = vec![0u8; nsteps];
+    scratch.decoded.resize(nsteps, 0);
     for t in (0..nsteps).rev() {
-        decoded[t] = surv_bit[t * NSTATES + state];
-        state = surv_prev[t * NSTATES + state] as usize;
+        scratch.decoded[t] = (state >> 5) as u8;
+        let tb = ((scratch.surv[t] >> state) & 1) as usize;
+        state = ((state << 1) & (NSTATES - 1)) | tb;
     }
-    (decoded, best_metric)
+    (&scratch.decoded, best_metric)
+}
+
+/// The original (pre-table-driven) soft-decision kernels, retained
+/// verbatim as the bit-exactness oracle the seeded property tests compare
+/// the optimised paths against.
+pub mod reference {
+    use super::{parity, CodeRate, G0, G1, NSTATES};
+
+    /// Depunctures soft values back to the rate-1/2 lattice, marking
+    /// punctured positions as zero-confidence erasures. Original
+    /// push-then-trim formulation.
+    pub fn depuncture_soft(llrs: &[f64], rate: CodeRate) -> Vec<f64> {
+        let pat = rate.pattern();
+        let mut out = Vec::new();
+        let mut it = llrs.iter();
+        'outer: loop {
+            for &keep in pat {
+                if keep {
+                    match it.next() {
+                        Some(&v) => out.push(v),
+                        None => break 'outer,
+                    }
+                } else {
+                    out.push(0.0);
+                }
+            }
+        }
+        while out.len() % 2 != 0 {
+            out.pop();
+        }
+        out
+    }
+
+    /// The original per-previous-state ACS soft Viterbi decoder.
+    #[allow(clippy::needless_range_loop)] // `b` is the encoder input bit, not a mere index
+    pub fn viterbi_decode_soft_with_metric(llrs: &[f64], rate: CodeRate) -> (Vec<u8>, f64) {
+        let lattice = depuncture_soft(llrs, rate);
+        let nsteps = lattice.len() / 2;
+        if nsteps == 0 {
+            return (Vec::new(), 0.0);
+        }
+
+        const INF: f64 = f64::MAX / 4.0;
+        let mut metric = vec![INF; NSTATES];
+        metric[0] = 0.0; // encoder starts in state 0
+        let mut next = vec![INF; NSTATES];
+        let mut surv_bit = vec![0u8; nsteps * NSTATES];
+        let mut surv_prev = vec![0u8; nsteps * NSTATES];
+
+        // Transition table, as in the hard decoder.
+        let mut trans = [[(0u8, 0u8, 0u8); 2]; NSTATES];
+        for (ps, row) in trans.iter_mut().enumerate() {
+            for (b, entry) in row.iter_mut().enumerate() {
+                let reg = ((b as u8) << 6) | ps as u8;
+                *entry = (parity(reg & G0), parity(reg & G1), (reg >> 1));
+            }
+        }
+
+        for t in 0..nsteps {
+            let ra = lattice[2 * t];
+            let rb = lattice[2 * t + 1];
+            next.iter_mut().for_each(|m| *m = INF);
+            for ps in 0..NSTATES {
+                let pm = metric[ps];
+                if pm >= INF {
+                    continue;
+                }
+                for b in 0..2 {
+                    let (ea, eb, ns) = trans[ps][b];
+                    // Cost of receiving llr r when bit e was sent: −r if
+                    // e=1, +r if e=0 (maximise agreement = minimise cost).
+                    let mut cost = pm;
+                    cost += if ea == 1 { -ra } else { ra };
+                    cost += if eb == 1 { -rb } else { rb };
+                    let nsu = ns as usize;
+                    if cost < next[nsu] {
+                        next[nsu] = cost;
+                        surv_bit[t * NSTATES + nsu] = b as u8;
+                        surv_prev[t * NSTATES + nsu] = ps as u8;
+                    }
+                }
+            }
+            std::mem::swap(&mut metric, &mut next);
+        }
+
+        let (mut state, best_metric) = metric
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(s, &m)| (s, m))
+            .unwrap_or((0, 0.0));
+        let mut decoded = vec![0u8; nsteps];
+        for t in (0..nsteps).rev() {
+            decoded[t] = surv_bit[t * NSTATES + state];
+            state = surv_prev[t * NSTATES + state] as usize;
+        }
+        (decoded, best_metric)
+    }
 }
 
 /// The original hard-decision path, retained for spot-checks and tests.
@@ -505,6 +739,95 @@ mod soft_tests {
         }
         let (_, m_noisy) = viterbi_decode_soft_with_metric(&noisy, CodeRate::Half);
         assert!(m_noisy > m_clean);
+    }
+
+    #[test]
+    fn depuncture_matches_reference_and_pins_lengths() {
+        // Exact output length for every rate and input length: the new
+        // exact-capacity depuncturer must agree with the reference
+        // push-then-trim formulation value for value, and the lengths
+        // follow closed forms per rate.
+        let mut rng = Rng64::new(0xDE9);
+        let mut out = Vec::new();
+        for n in 0..64usize {
+            let llrs: Vec<f64> = (0..n).map(|_| rng.gauss()).collect();
+            for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+                let expect = reference::depuncture_soft(&llrs, rate);
+                depuncture_soft_into(&llrs, rate, &mut out);
+                assert_eq!(out.len(), expect.len(), "{rate:?} n={n}");
+                for (a, b) in out.iter().zip(&expect) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{rate:?} n={n}");
+                }
+                // Closed-form length pins (trellis steps = len/2).
+                let pinned = match rate {
+                    CodeRate::Half => n & !1,
+                    CodeRate::TwoThirds => (n / 3) * 4 + if n % 3 == 2 { 2 } else { 0 },
+                    CodeRate::ThreeQuarters => {
+                        (n / 4) * 6
+                            + match n % 4 {
+                                1 => 0,
+                                2 => 2,
+                                3 => 4,
+                                _ => 0,
+                            }
+                    }
+                };
+                assert_eq!(out.len(), pinned, "{rate:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_viterbi_matches_reference() {
+        // Seeded random LLRs at every code rate — including lengths that
+        // leave punctured-erasure tails — must decode to bit-identical
+        // outputs and bit-identical path metrics through the flattened
+        // table-driven kernel and the retained reference kernel.
+        let mut scratch = ViterbiScratch::new();
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            for trial in 0..24u64 {
+                let mut rng = Rng64::derive(0x56AB, trial * 3 + rate as u64);
+                let n = 1 + (rng.next_u64() % 400) as usize;
+                let llrs: Vec<f64> = (0..n).map(|_| rng.gauss() * 2.0).collect();
+                let (expect_bits, expect_metric) =
+                    reference::viterbi_decode_soft_with_metric(&llrs, rate);
+                let (got_bits, got_metric) = viterbi_decode_soft_scratch(&llrs, rate, &mut scratch);
+                assert_eq!(got_bits, &expect_bits[..], "{rate:?} trial={trial} n={n}");
+                assert_eq!(
+                    got_metric.to_bits(),
+                    expect_metric.to_bits(),
+                    "{rate:?} trial={trial} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_viterbi_matches_reference_on_noisy_codewords() {
+        // Same comparison on realistic inputs: actual codewords through
+        // soft noise, where the decode is meaningful rather than random.
+        let mut scratch = ViterbiScratch::new();
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            for trial in 0..8u64 {
+                let mut rng = Rng64::derive(0xC0DE, trial ^ (rate as u64) << 32);
+                let mut bits: Vec<u8> = (0..150).map(|_| rng.bit()).collect();
+                bits.extend_from_slice(&[0; 6]);
+                let coded = encode(&bits, rate);
+                let llrs: Vec<f64> = coded
+                    .iter()
+                    .map(|&b| (if b == 1 { 1.0 } else { -1.0 }) + 0.4 * rng.gauss())
+                    .collect();
+                let (expect_bits, expect_metric) =
+                    reference::viterbi_decode_soft_with_metric(&llrs, rate);
+                let (got_bits, got_metric) = viterbi_decode_soft_scratch(&llrs, rate, &mut scratch);
+                assert_eq!(got_bits, &expect_bits[..], "{rate:?} trial={trial}");
+                assert_eq!(
+                    got_metric.to_bits(),
+                    expect_metric.to_bits(),
+                    "{rate:?} trial={trial}"
+                );
+            }
+        }
     }
 
     #[test]

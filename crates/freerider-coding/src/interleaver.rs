@@ -201,10 +201,22 @@ impl Interleaver {
     pub fn deinterleave_symbol_soft(&self, values: &[f64]) -> Vec<f64> {
         assert_eq!(values.len(), self.n_cbps, "symbol size mismatch");
         let mut out = vec![0.0f64; self.n_cbps];
+        self.deinterleave_symbol_soft_into(values, &mut out);
+        out
+    }
+
+    /// [`Interleaver::deinterleave_symbol_soft`] into a caller-provided
+    /// exact-size slice (the allocation-free RX path appends one symbol at
+    /// a time to its coded-LLR buffer and scatters into the tail window).
+    ///
+    /// # Panics
+    /// Panics if `values.len() != N_CBPS` or `out.len() != N_CBPS`.
+    pub fn deinterleave_symbol_soft_into(&self, values: &[f64], out: &mut [f64]) {
+        assert_eq!(values.len(), self.n_cbps, "symbol size mismatch");
+        assert_eq!(out.len(), self.n_cbps, "output size mismatch");
         for (j, &v) in values.iter().enumerate() {
             out[self.inv[j]] = v;
         }
-        out
     }
 }
 

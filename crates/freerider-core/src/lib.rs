@@ -35,5 +35,5 @@ pub mod link;
 pub mod metrics;
 pub mod network;
 
-pub use link::{BleLink, LinkConfig, WifiLink, ZigbeeLink};
+pub use link::{BleLink, LinkConfig, WifiLink, WifiLinkScratch, ZigbeeLink};
 pub use metrics::{Cdf, LinkStats};

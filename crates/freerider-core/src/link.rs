@@ -110,6 +110,24 @@ pub enum WifiTagScheme {
     Quaternary,
 }
 
+/// Reusable working memory for one [`WifiLink`] worker: one receive
+/// arena per receiver, so both decoded copies of a packet stay live at
+/// once while everything underneath is reused packet to packet.
+#[derive(Debug, Clone, Default)]
+pub struct WifiLinkScratch {
+    /// Arena for receiver 1 (the productive/reference decode).
+    reference: freerider_wifi::RxScratch,
+    /// Arena for receiver 2 (the backscatter decode).
+    backscatter: freerider_wifi::RxScratch,
+}
+
+impl WifiLinkScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl WifiLink {
     /// Creates the paper's standard WiFi link (6 Mbps excitation, binary
     /// 180° translation over 4-symbol windows).
@@ -144,6 +162,13 @@ impl WifiLink {
 
     /// Runs the link, returning aggregate statistics.
     pub fn run(&self) -> LinkStats {
+        self.run_with(&mut WifiLinkScratch::new())
+    }
+
+    /// [`WifiLink::run`] with caller-provided receive arenas — the
+    /// allocation-lean form sweeps thread through per-worker executor
+    /// state. Statistics are bit-identical to [`WifiLink::run`].
+    pub fn run_with(&self, scratch: &mut WifiLinkScratch) -> LinkStats {
         use freerider_wifi::{Mpdu, Receiver, RxConfig, RxError, Transmitter, TxConfig};
         let cfg = &self.config;
         let mut rng = Rng64::derive(cfg.seed, stream::PAYLOAD);
@@ -204,7 +229,7 @@ impl WifiLink {
             stats.add_airtime(wave.len() as f64 / freerider_wifi::SAMPLE_RATE);
 
             // Receiver 1: the productive link.
-            let ref_rx = rx_ref.receive(&ref_channel.propagate(&wave));
+            let ref_rx = rx_ref.receive_with(&ref_channel.propagate(&wave), &mut scratch.reference);
             let original = match ref_rx {
                 Ok(p) => {
                     if !p.fcs_valid {
@@ -229,7 +254,10 @@ impl WifiLink {
             stats.note_sent(tag_bits.len());
 
             // Receiver 2: the backscatter path.
-            match rx_back.receive(&back_channel.propagate_padded(&tagged, 200)) {
+            match rx_back.receive_with(
+                &back_channel.propagate_padded(&tagged, 200),
+                &mut scratch.backscatter,
+            ) {
                 Ok(pkt) => {
                     stats.note_measured_rssi(pkt.rssi_dbm);
                     let decoded = match self.scheme {

@@ -20,6 +20,15 @@ pub fn bytes_to_bits_lsb(bytes: &[u8]) -> Vec<u8> {
 /// any, is zero-padded in its high bits.
 pub fn bits_to_bytes_lsb(bits: &[u8]) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(bits.len().div_ceil(8));
+    bits_to_bytes_lsb_into(bits, &mut bytes);
+    bytes
+}
+
+/// [`bits_to_bytes_lsb`] into a caller-provided buffer (cleared first),
+/// for allocation-free receive loops.
+pub fn bits_to_bytes_lsb_into(bits: &[u8], bytes: &mut Vec<u8>) {
+    bytes.clear();
+    bytes.reserve(bits.len().div_ceil(8));
     for chunk in bits.chunks(8) {
         let mut b = 0u8;
         for (i, &bit) in chunk.iter().enumerate() {
@@ -27,7 +36,6 @@ pub fn bits_to_bytes_lsb(bits: &[u8]) -> Vec<u8> {
         }
         bytes.push(b);
     }
-    bytes
 }
 
 /// Unpacks bytes into bits, most-significant bit first.

@@ -33,17 +33,27 @@ pub fn cross_correlate(signal: &[Complex], reference: &[Complex]) -> Vec<Complex
 /// `|Σ s·conj(r)| / (‖s_window‖·‖r‖)` — robust to absolute signal level, the
 /// standard metric for preamble detection thresholds.
 pub fn normalized_correlation(signal: &[Complex], reference: &[Complex]) -> Vec<f64> {
+    let mut out = Vec::new();
+    normalized_correlation_into(signal, reference, &mut out);
+    out
+}
+
+/// [`normalized_correlation`] into a caller-provided buffer (cleared
+/// first), for allocation-free receive loops. Values are identical.
+pub fn normalized_correlation_into(signal: &[Complex], reference: &[Complex], out: &mut Vec<f64>) {
+    out.clear();
     if reference.is_empty() || reference.len() > signal.len() {
-        return Vec::new();
-    }
-    let r_energy: f64 = reference.iter().map(|z| z.norm_sqr()).sum();
-    if r_energy <= 0.0 {
-        return vec![0.0; signal.len() - reference.len() + 1];
+        return;
     }
     let n_out = signal.len() - reference.len() + 1;
+    out.reserve(n_out);
+    let r_energy: f64 = reference.iter().map(|z| z.norm_sqr()).sum();
+    if r_energy <= 0.0 {
+        out.resize(n_out, 0.0);
+        return;
+    }
     // Running window energy for the signal.
     let mut win_energy: f64 = signal[..reference.len()].iter().map(|z| z.norm_sqr()).sum();
-    let mut out = Vec::with_capacity(n_out);
     for n in 0..n_out {
         let mut acc = Complex::ZERO;
         for (k, &r) in reference.iter().enumerate() {
@@ -62,7 +72,6 @@ pub fn normalized_correlation(signal: &[Complex], reference: &[Complex]) -> Vec<
             }
         }
     }
-    out
 }
 
 /// Finds the index and value of the maximum in a real sequence.

@@ -11,12 +11,20 @@
 //! `1/N` normalisation, so `ifft(fft(x)) == x`.
 
 use crate::complex::Complex;
+use std::sync::OnceLock;
 
 /// Errors from the transform entry points.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FftError {
     /// Input length is not a power of two (or is zero).
     NotPowerOfTwo(usize),
+    /// Input length does not match the plan it was handed to.
+    LengthMismatch {
+        /// The transform size the plan was built for.
+        plan: usize,
+        /// The length of the buffer that was passed.
+        data: usize,
+    },
 }
 
 impl std::fmt::Display for FftError {
@@ -24,6 +32,9 @@ impl std::fmt::Display for FftError {
         match self {
             FftError::NotPowerOfTwo(n) => {
                 write!(f, "FFT length {n} is not a nonzero power of two")
+            }
+            FftError::LengthMismatch { plan, data } => {
+                write!(f, "buffer of length {data} passed to a {plan}-point plan")
             }
         }
     }
@@ -87,6 +98,190 @@ fn transform(data: &mut [Complex], inverse: bool) -> Result<(), FftError> {
 pub fn fft_shift(data: &mut [Complex]) {
     let n = data.len();
     data.rotate_left(n / 2);
+}
+
+/// A precomputed transform plan: cached twiddle-factor tables and the
+/// bit-reversal permutation for one power-of-two size.
+///
+/// [`fft`]/[`ifft`] re-derive every twiddle factor with `Complex::cis`
+/// trig on each call; a plan hoists that work to construction time so the
+/// per-call cost is pure multiply–adds. The tables are generated with the
+/// **same** `w *= wlen` recurrence the direct transform uses (not closed
+/// form `cis(2πk/N)` calls), so a planned transform is *bit-identical* to
+/// the direct one — the property `planned_transform_is_bit_identical`
+/// pins and the receiver's determinism guarantees rely on.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal swap pairs `(i, j)` with `j > i`, in ascending-`i`
+    /// order (the order the direct transform applies them).
+    swaps: Vec<(u32, u32)>,
+    /// Forward twiddles, stages concatenated: `len = 2, 4, …, n`, each
+    /// stage contributing `len/2` factors.
+    fwd: Vec<Complex>,
+    /// Inverse twiddles, same layout.
+    inv: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for an `n`-point transform (`n` a nonzero power of
+    /// two).
+    pub fn new(n: usize) -> Result<FftPlan, FftError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(FftError::NotPowerOfTwo(n));
+        }
+        let bits = n.trailing_zeros();
+        let mut swaps = Vec::new();
+        for i in 0..n {
+            let j = i.reverse_bits() >> (usize::BITS - bits);
+            if j > i {
+                swaps.push((i as u32, j as u32));
+            }
+        }
+        let table = |sign: f64| -> Vec<Complex> {
+            let mut t = Vec::with_capacity(n - 1);
+            let mut len = 2;
+            while len <= n {
+                // Identical recurrence to `transform` — the k-th entry is
+                // the k-fold product, not a fresh `cis` evaluation.
+                let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+                let wlen = Complex::cis(ang);
+                let mut w = Complex::ONE;
+                for _ in 0..len / 2 {
+                    t.push(w);
+                    w *= wlen;
+                }
+                len <<= 1;
+            }
+            t
+        };
+        Ok(FftPlan {
+            n,
+            swaps,
+            fwd: table(-1.0),
+            inv: table(1.0),
+        })
+    }
+
+    /// The transform size this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is for a zero-point transform (never true; present
+    /// for the `len`/`is_empty` API convention).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT through the plan's cached tables.
+    pub fn fft(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        if data.len() != self.n {
+            return Err(FftError::LengthMismatch {
+                plan: self.n,
+                data: data.len(),
+            });
+        }
+        self.process(data, &self.fwd);
+        Ok(())
+    }
+
+    /// In-place inverse FFT with `1/N` normalisation through the plan.
+    pub fn ifft(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        if data.len() != self.n {
+            return Err(FftError::LengthMismatch {
+                plan: self.n,
+                data: data.len(),
+            });
+        }
+        self.process(data, &self.inv);
+        let n = data.len() as f64;
+        for x in data.iter_mut() {
+            *x = *x / n;
+        }
+        Ok(())
+    }
+
+    fn process(&self, data: &mut [Complex], table: &[Complex]) {
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+        let n = self.n;
+        let mut len = 2;
+        let mut off = 0;
+        while len <= n {
+            let half = len / 2;
+            let tw = &table[off..off + half];
+            let mut i = 0;
+            while i < n {
+                for (k, &w) in tw.iter().enumerate() {
+                    let u = data[i + k];
+                    let v = data[i + k + half] * w;
+                    data[i + k] = u + v;
+                    data[i + k + half] = u - v;
+                }
+                i += len;
+            }
+            off += half;
+            len <<= 1;
+        }
+    }
+
+    /// The specialized 64-point butterfly network (the OFDM symbol size):
+    /// identical arithmetic to [`FftPlan::process`], but over a fixed-size
+    /// array with every loop bound a compile-time constant, so the
+    /// optimiser drops all bounds checks and unrolls the inner stages.
+    fn process64(&self, data: &mut [Complex; 64], table: &[Complex]) {
+        debug_assert_eq!(self.n, 64);
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+        let mut len = 2;
+        let mut off = 0;
+        while len <= 64 {
+            let half = len / 2;
+            let tw = &table[off..off + half];
+            let mut i = 0;
+            while i < 64 {
+                for (k, &w) in tw.iter().enumerate() {
+                    let u = data[i + k];
+                    let v = data[i + k + half] * w;
+                    data[i + k] = u + v;
+                    data[i + k + half] = u - v;
+                }
+                i += len;
+            }
+            off += half;
+            len <<= 1;
+        }
+    }
+}
+
+/// The process-wide shared 64-point plan — the OFDM symbol size every
+/// modem in the workspace transforms at. Built once, reused everywhere.
+pub fn plan64() -> &'static FftPlan {
+    static PLAN: OnceLock<FftPlan> = OnceLock::new();
+    // lint: allow(panic) — 64 is a power of two; construction cannot fail
+    PLAN.get_or_init(|| FftPlan::new(64).expect("64 is a power of two"))
+}
+
+/// In-place forward 64-point FFT through the shared plan. Infallible: the
+/// array type carries the length proof.
+#[inline]
+pub fn fft64(data: &mut [Complex; 64]) {
+    let plan = plan64();
+    plan.process64(data, &plan.fwd);
+}
+
+/// In-place inverse 64-point FFT (with `1/64` normalisation) through the
+/// shared plan.
+#[inline]
+pub fn ifft64(data: &mut [Complex; 64]) {
+    let plan = plan64();
+    plan.process64(data, &plan.inv);
+    for x in data.iter_mut() {
+        *x = *x / 64.0;
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +370,86 @@ mod tests {
         assert_eq!(v[4].re, 0.0);
         fft_shift(&mut v);
         assert_eq!(v[0].re, 0.0);
+    }
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = freerider_rt::Rng64::new(seed);
+        (0..n)
+            .map(|_| Complex::new(rng.gauss(), rng.gauss()))
+            .collect()
+    }
+
+    #[test]
+    fn plan_rejects_bad_sizes() {
+        assert_eq!(FftPlan::new(0).unwrap_err(), FftError::NotPowerOfTwo(0));
+        assert_eq!(FftPlan::new(48).unwrap_err(), FftError::NotPowerOfTwo(48));
+        let plan = FftPlan::new(16).unwrap();
+        assert_eq!(plan.len(), 16);
+        assert!(!plan.is_empty());
+        let mut v = vec![Complex::ZERO; 8];
+        assert_eq!(
+            plan.fft(&mut v),
+            Err(FftError::LengthMismatch { plan: 16, data: 8 })
+        );
+        assert_eq!(
+            plan.ifft(&mut v),
+            Err(FftError::LengthMismatch { plan: 16, data: 8 })
+        );
+    }
+
+    // The property the whole kernel overhaul rests on: a planned transform
+    // is not merely close to the direct one, it is the *same sequence of
+    // floating-point operations* and therefore bit-identical. Seeded
+    // random inputs across every size the workspace uses.
+    #[test]
+    fn planned_transform_is_bit_identical() {
+        for n in [2usize, 4, 8, 64, 128, 1024] {
+            let plan = FftPlan::new(n).unwrap();
+            for seed in 0..8u64 {
+                let orig = random_signal(n, 0xF0F0 + seed * 131 + n as u64);
+                let mut direct = orig.clone();
+                let mut planned = orig.clone();
+                fft(&mut direct).unwrap();
+                plan.fft(&mut planned).unwrap();
+                for (a, b) in direct.iter().zip(&planned) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "fft n={n} seed={seed}");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "fft n={n} seed={seed}");
+                }
+                let mut direct = orig.clone();
+                let mut planned = orig.clone();
+                ifft(&mut direct).unwrap();
+                plan.ifft(&mut planned).unwrap();
+                for (a, b) in direct.iter().zip(&planned) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "ifft n={n} seed={seed}");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "ifft n={n} seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn specialized_64_path_is_bit_identical() {
+        for seed in 0..16u64 {
+            let orig = random_signal(64, 0xBEEF + seed);
+            let mut direct = orig.clone();
+            fft(&mut direct).unwrap();
+            let mut arr = [Complex::ZERO; 64];
+            arr.copy_from_slice(&orig);
+            fft64(&mut arr);
+            for (a, b) in direct.iter().zip(arr.iter()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "fft64 seed={seed}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "fft64 seed={seed}");
+            }
+            let mut direct = orig.clone();
+            ifft(&mut direct).unwrap();
+            let mut arr = [Complex::ZERO; 64];
+            arr.copy_from_slice(&orig);
+            ifft64(&mut arr);
+            for (a, b) in direct.iter().zip(arr.iter()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "ifft64 seed={seed}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "ifft64 seed={seed}");
+            }
+        }
     }
 
     #[test]

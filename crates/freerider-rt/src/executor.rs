@@ -71,6 +71,23 @@ impl Executor {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.map_with(items, || (), |i, t, _| f(i, t))
+    }
+
+    /// [`Executor::map`] with reusable per-worker state: `mk_state` builds
+    /// one `S` per worker (one total on the serial path) and `f` receives
+    /// `&mut S` alongside each item. This is how hot loops (the WiFi
+    /// receiver's scratch arenas) reuse buffers across work items without
+    /// any cross-item coupling — `f` must still be a pure function of
+    /// `(index, &item)`, treating the state as scratch memory only, so
+    /// results stay bit-identical for any worker count.
+    pub fn map_with<T, R, S, M, F>(&self, items: &[T], mk_state: M, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        M: Fn() -> S + Sync,
+        F: Fn(usize, &T, &mut S) -> R + Sync,
+    {
         // Only deterministic quantities are counted here — recording the
         // worker count would break the cross-thread-count metric
         // equivalence this executor exists to provide.
@@ -94,7 +111,12 @@ impl Executor {
             scope
         });
         if self.threads == 1 || items.len() <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let mut state = mk_state();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t, &mut state))
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(items.len());
@@ -102,13 +124,14 @@ impl Executor {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let mut state = mk_state();
                         let mut out = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= items.len() {
                                 break;
                             }
-                            out.push((i, f(i, &items[i])));
+                            out.push((i, f(i, &items[i], &mut state)));
                         }
                         out
                     })
@@ -194,6 +217,27 @@ mod tests {
         );
         let expect: String = (0..40).map(|i| format!("{i},")).collect();
         assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn map_with_reuses_state_and_stays_deterministic() {
+        // The per-worker state is scratch only: a buffer reused across
+        // items must not change results, whatever the worker count.
+        let items: Vec<u64> = (0..97).collect();
+        let run = |threads: usize| {
+            Executor::new(threads).map_with(&items, Vec::<f64>::new, |i, _, buf| {
+                buf.clear();
+                let mut rng = Rng64::derive(0xBEEF, i as u64);
+                buf.extend((0..64).map(|_| rng.gauss()));
+                buf.iter().sum::<f64>()
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 4, 7] {
+            for (a, b) in serial.iter().zip(&run(threads)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod tx;
 
 pub use frame::Mpdu;
 pub use rates::Mcs;
-pub use rx::{PhaseTracking, Receiver, RxConfig, RxError, RxPacket};
+pub use rx::{PhaseTracking, Receiver, RxConfig, RxError, RxPacket, RxScratch};
 pub use tx::{Transmitter, TxConfig};
 
 /// Baseband sample rate of the 20 MHz OFDM PHY, samples/second.

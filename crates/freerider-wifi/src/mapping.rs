@@ -237,8 +237,22 @@ mod tests {
 /// subcarriers low-confidence so the soft Viterbi decoder discounts them —
 /// essential on frequency-selective channels.
 pub fn soft_demap_symbols(symbols: &[Complex], gains: &[f64], modulation: Modulation) -> Vec<f64> {
-    assert_eq!(symbols.len(), gains.len(), "one gain per subcarrier");
     let mut llrs = Vec::with_capacity(symbols.len() * modulation.bits_per_subcarrier());
+    soft_demap_symbols_into(symbols, gains, modulation, &mut llrs);
+    llrs
+}
+
+/// [`soft_demap_symbols`] into a caller-provided buffer (cleared first),
+/// for the allocation-free RX path. Values are identical.
+pub fn soft_demap_symbols_into(
+    symbols: &[Complex],
+    gains: &[f64],
+    modulation: Modulation,
+    llrs: &mut Vec<f64>,
+) {
+    assert_eq!(symbols.len(), gains.len(), "one gain per subcarrier");
+    llrs.clear();
+    llrs.reserve(symbols.len() * modulation.bits_per_subcarrier());
     for (&s, &g) in symbols.iter().zip(gains.iter()) {
         let g = g.max(0.0);
         match modulation {
@@ -269,7 +283,6 @@ pub fn soft_demap_symbols(symbols: &[Complex], gains: &[f64], modulation: Modula
             }
         }
     }
-    llrs
 }
 
 #[cfg(test)]

@@ -51,15 +51,14 @@ pub fn carrier_to_bin(carrier: i32) -> usize {
 /// Panics if `data.len() != 48`.
 pub fn modulate_symbol(data: &[Complex], pilot_polarity: f64) -> Vec<Complex> {
     assert_eq!(data.len(), N_DATA_CARRIERS, "need 48 data carriers");
-    let mut freq = vec![Complex::ZERO; FFT_SIZE];
+    let mut freq = [Complex::ZERO; FFT_SIZE];
     for (i, &c) in DATA_CARRIERS.iter().enumerate() {
         freq[carrier_to_bin(c)] = data[i];
     }
     for (i, &c) in PILOT_CARRIERS.iter().enumerate() {
         freq[carrier_to_bin(c)] = Complex::new(PILOT_VALUES[i] * pilot_polarity, 0.0);
     }
-    // lint: allow(panic) — freq.len() is FFT_SIZE = 64, a power of two
-    fft::ifft(&mut freq).expect("64 is a power of two");
+    fft::ifft64(&mut freq);
     // Scale so total symbol power is comparable across symbols: the IFFT's
     // 1/N normalisation leaves per-sample power = (52/64)/64; rescale to
     // mean unit sample power for 52 active carriers of unit power.
@@ -94,9 +93,9 @@ pub fn demodulate_symbol(samples: &[Complex]) -> SymbolCarriers {
         FFT_SIZE + CP_LEN,
         "need one 80-sample symbol"
     );
-    let mut freq: Vec<Complex> = samples[CP_LEN..].to_vec();
-    // lint: allow(panic) — freq.len() is FFT_SIZE = 64, a power of two
-    fft::fft(&mut freq).expect("64 is a power of two");
+    let mut freq = [Complex::ZERO; FFT_SIZE];
+    freq.copy_from_slice(&samples[CP_LEN..]);
+    fft::fft64(&mut freq);
     let mut data = [Complex::ZERO; N_DATA_CARRIERS];
     for (i, &c) in DATA_CARRIERS.iter().enumerate() {
         data[i] = freq[carrier_to_bin(c)];

@@ -41,28 +41,26 @@ pub fn ltf_carrier(c: i32) -> f64 {
 /// One 64-sample period of the short training symbol (the STF repeats this
 /// with period 16; a full 64-sample block contains 4 periods).
 pub fn short_symbol_block() -> Vec<Complex> {
-    let mut freq = vec![Complex::ZERO; FFT_SIZE];
+    let mut freq = [Complex::ZERO; FFT_SIZE];
     let k = (13.0f64 / 6.0).sqrt();
     for &(c, sign) in STF_CARRIERS.iter() {
         freq[carrier_to_bin(c)] = Complex::new(sign * k, sign * k);
     }
-    // lint: allow(panic) — freq.len() is FFT_SIZE = 64, a power of two
-    fft::ifft(&mut freq).expect("power of two");
+    fft::ifft64(&mut freq);
     // Match the data-symbol power scaling convention (see ofdm.rs).
     let scale = ((FFT_SIZE * FFT_SIZE) as f64 / 52.0).sqrt();
-    freq.into_iter().map(|z| z.scale(scale)).collect()
+    freq.iter().map(|z| z.scale(scale)).collect()
 }
 
 /// One 64-sample long training symbol (time domain).
 pub fn long_symbol() -> Vec<Complex> {
-    let mut freq = vec![Complex::ZERO; FFT_SIZE];
+    let mut freq = [Complex::ZERO; FFT_SIZE];
     for c in -26..=26 {
         freq[carrier_to_bin(c)] = Complex::new(ltf_carrier(c), 0.0);
     }
-    // lint: allow(panic) — freq.len() is FFT_SIZE = 64, a power of two
-    fft::ifft(&mut freq).expect("power of two");
+    fft::ifft64(&mut freq);
     let scale = ((FFT_SIZE * FFT_SIZE) as f64 / 52.0).sqrt();
-    freq.into_iter().map(|z| z.scale(scale)).collect()
+    freq.iter().map(|z| z.scale(scale)).collect()
 }
 
 /// The complete 320-sample preamble: 160-sample STF + 32-sample guard +

@@ -17,16 +17,22 @@
 //!    design, a different bit stream than the excitation frame and hence a
 //!    broken FCS. This mirrors §3.1's use of `tcpdump` on bad-checksum
 //!    packets.
+//!
+//! The hot path is allocation-free in steady state: [`Receiver::receive_with`]
+//! threads an [`RxScratch`] arena through detection and decode, so a warm
+//! receiver touches no allocator at all for same-shaped packets. The
+//! convenience [`Receiver::receive`] / [`Receiver::receive_all`] wrappers
+//! build a scratch internally and are bit-identical to the `_with` forms.
 
-use crate::mapping::soft_demap_symbols;
+use crate::mapping::soft_demap_symbols_into;
 use crate::ofdm::{
     carrier_to_bin, demodulate_symbol, pilot_polarity, DATA_CARRIERS, PILOT_CARRIERS, PILOT_VALUES,
 };
 use crate::plcp::{Signal, SignalError};
 use crate::preamble::{long_symbol, ltf_carrier};
-use crate::rates::Modulation;
+use crate::rates::{Mcs, Modulation};
 use crate::{FFT_SIZE, N_DATA_CARRIERS, PREAMBLE_LEN, SYMBOL_LEN};
-use freerider_coding::convolutional::{viterbi_decode_soft_with_metric, CodeRate};
+use freerider_coding::convolutional::{viterbi_decode_soft_scratch, CodeRate, ViterbiScratch};
 use freerider_coding::interleaver::Interleaver;
 use freerider_coding::scrambler::Scrambler;
 use freerider_dsp::{bits, corr, db, Complex};
@@ -130,6 +136,110 @@ pub struct RxPacket {
     pub end: usize,
 }
 
+impl Default for RxPacket {
+    fn default() -> Self {
+        RxPacket {
+            signal: Signal {
+                rate: Mcs::Bpsk12,
+                length: 0,
+            },
+            psdu: Vec::new(),
+            fcs_valid: false,
+            data_bits: Vec::new(),
+            equalized: Vec::new(),
+            rssi_dbm: f64::NEG_INFINITY,
+            cfo: 0.0,
+            start: 0,
+            end: 0,
+        }
+    }
+}
+
+/// Reusable per-receiver working memory.
+///
+/// Every buffer the receive pipeline needs lives here; after the first
+/// packet warms the capacities, subsequent same-shaped packets decode
+/// without a single heap allocation. One scratch per worker thread — the
+/// sweep executor threads one through its per-worker state.
+#[derive(Debug, Clone)]
+pub struct RxScratch {
+    /// Per-sample lag-16 delay products `s[j]·conj(s[j+16])`.
+    products: Vec<Complex>,
+    /// Per-sample delayed energies `|s[j+16]|²`.
+    energies: Vec<f64>,
+    /// Lazily-extended Schmidl–Cox metric (prefix actually inspected).
+    dc: Vec<f64>,
+    /// LTF fine-timing correlation window.
+    ltf_corr: Vec<f64>,
+    /// CFO-corrected samples from LTF1 onward.
+    corrected: Vec<Complex>,
+    /// Per-data-carrier channel power gains.
+    gains: Vec<f64>,
+    /// Soft demapper output for one symbol.
+    llrs: Vec<f64>,
+    /// Deinterleaved SIGNAL-field LLRs.
+    sig_coded: Vec<f64>,
+    /// Deinterleaved LLRs for the whole DATA field.
+    coded_llrs: Vec<f64>,
+    /// SIGNAL-field interleaver (always 48×1).
+    il_signal: Interleaver,
+    /// DATA-field interleaver, rebuilt only when the rate changes.
+    il_data: Interleaver,
+    /// Viterbi decoder working memory.
+    viterbi: ViterbiScratch,
+    /// The decoded packet (buffers reused across packets).
+    packet: RxPacket,
+}
+
+impl Default for RxScratch {
+    fn default() -> Self {
+        RxScratch {
+            products: Vec::new(),
+            energies: Vec::new(),
+            dc: Vec::new(),
+            ltf_corr: Vec::new(),
+            corrected: Vec::new(),
+            gains: Vec::new(),
+            llrs: Vec::new(),
+            sig_coded: Vec::new(),
+            coded_llrs: Vec::new(),
+            il_signal: Interleaver::new(48, 1),
+            il_data: Interleaver::new(48, 1),
+            viterbi: ViterbiScratch::new(),
+            packet: RxPacket::default(),
+        }
+    }
+}
+
+impl RxScratch {
+    /// Creates an empty scratch arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Extends the lazily-evaluated delay-correlate metric so index `upto` is
+/// valid. Each value sums the same 64 products in the same order as the
+/// eager [`corr::delay_correlate`], so the prefix computed here is
+/// bit-identical to the corresponding prefix of the full metric — the
+/// plateau search just never pays for the samples it does not look at.
+fn dc_ensure(dc: &mut Vec<f64>, products: &[Complex], energies: &[f64], upto: usize) {
+    while dc.len() <= upto {
+        let n = dc.len();
+        let mut acc = Complex::ZERO;
+        let mut energy = 0.0;
+        for k in 0..64 {
+            acc += products[n + k];
+            energy += energies[n + k];
+        }
+        dc.push(if energy > 1e-30 {
+            acc.abs() / energy
+        } else {
+            0.0
+        });
+    }
+}
+
 /// The 802.11g OFDM receiver.
 #[derive(Debug, Clone)]
 pub struct Receiver {
@@ -158,15 +268,32 @@ impl Receiver {
     /// lock, as real hardware does. The *first* failure is reported if
     /// nothing in the buffer decodes.
     pub fn receive(&self, samples: &[Complex]) -> Result<RxPacket, RxError> {
+        let mut scratch = RxScratch::new();
+        self.receive_with(samples, &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.packet))
+    }
+
+    /// [`Receiver::receive`] into a caller-provided [`RxScratch`]: the
+    /// allocation-free form for hot receive loops. The decoded packet is
+    /// returned by reference into the scratch; it stays valid until the
+    /// next `_with` call reuses the arena. Results are bit-identical to
+    /// [`Receiver::receive`].
+    pub fn receive_with<'s>(
+        &self,
+        samples: &[Complex],
+        scratch: &'s mut RxScratch,
+    ) -> Result<&'s RxPacket, RxError> {
         let mut cursor = 0usize;
         let mut first_err: Option<RxError> = None;
+        let mut found = false;
         while cursor + PREAMBLE_LEN + SYMBOL_LEN <= samples.len() {
-            match self.detect(&samples[cursor..]) {
-                Ok(ltf1) => match self.decode_at(&samples[cursor..], ltf1) {
-                    Ok(mut pkt) => {
-                        pkt.start += cursor;
-                        pkt.end += cursor;
-                        return Ok(pkt);
+            match self.detect_with(&samples[cursor..], scratch) {
+                Ok(ltf1) => match self.decode_at_with(&samples[cursor..], ltf1, scratch) {
+                    Ok(()) => {
+                        scratch.packet.start += cursor;
+                        scratch.packet.end += cursor;
+                        found = true;
+                        break;
                     }
                     Err(e) => {
                         first_err.get_or_insert(e);
@@ -179,23 +306,28 @@ impl Receiver {
                 }
             }
         }
-        Err(first_err.unwrap_or(RxError::NoPreamble))
+        if found {
+            Ok(&scratch.packet)
+        } else {
+            Err(first_err.unwrap_or(RxError::NoPreamble))
+        }
     }
 
     /// Receives every decodable PPDU in the buffer, skipping undecodable
     /// regions.
     pub fn receive_all(&self, samples: &[Complex]) -> Vec<RxPacket> {
+        let mut scratch = RxScratch::new();
         let mut out = Vec::new();
         let mut cursor = 0usize;
         while cursor + PREAMBLE_LEN + SYMBOL_LEN < samples.len() {
-            match self.detect(&samples[cursor..]) {
-                Ok(ltf1) => match self.decode_at(&samples[cursor..], ltf1) {
-                    Ok(mut pkt) => {
-                        pkt.start += cursor;
-                        pkt.end += cursor;
-                        let next = pkt.end;
+            match self.detect_with(&samples[cursor..], &mut scratch) {
+                Ok(ltf1) => match self.decode_at_with(&samples[cursor..], ltf1, &mut scratch) {
+                    Ok(()) => {
+                        scratch.packet.start += cursor;
+                        scratch.packet.end += cursor;
+                        let pkt = std::mem::take(&mut scratch.packet);
+                        cursor = pkt.end;
                         out.push(pkt);
-                        cursor = next;
                     }
                     Err(_) => {
                         // Skip past this false/failed sync point.
@@ -222,31 +354,57 @@ impl Receiver {
     ///    header-detection cliff.
     /// 2. **LTF cross-correlation** for fine timing within the window the
     ///    STF trigger implies.
-    fn detect(&self, samples: &[Complex]) -> Result<usize, RxError> {
+    ///
+    /// The metric is evaluated *lazily*: the per-sample delay products are
+    /// precomputed in O(n), but the 64-term windowed sums are only formed
+    /// for the prefix the plateau search actually inspects. A packet near
+    /// the start of the buffer locks after a few hundred metric values
+    /// instead of paying the full 64× sweep.
+    fn detect_with(&self, samples: &[Complex], scratch: &mut RxScratch) -> Result<usize, RxError> {
         telemetry::count("wifi.rx.detect.calls");
         let _span = telemetry::span("wifi.rx.detect");
         let _stage = trace::stage("wifi.rx.detect");
         if samples.len() < PREAMBLE_LEN + SYMBOL_LEN {
             return Err(RxError::NoPreamble);
         }
-        let dc = corr::delay_correlate(samples, 16, 64);
+        // Delay products and energies shared by every metric value.
+        scratch.products.clear();
+        scratch.energies.clear();
+        scratch.products.extend(
+            samples[..samples.len() - 16]
+                .iter()
+                .zip(&samples[16..])
+                .map(|(&a, &b)| a * b.conj()),
+        );
+        scratch
+            .energies
+            .extend(samples[16..].iter().map(|z| z.norm_sqr()));
+        scratch.dc.clear();
+        let n_out = samples.len() - 16 - 64 + 1;
         let thr = self.config.detection_threshold;
         const SUSTAIN: usize = 40;
         let mut p = 0usize;
-        'outer: while p + SUSTAIN < dc.len() {
-            if dc[p] < thr {
+        'outer: while p + SUSTAIN < n_out {
+            dc_ensure(&mut scratch.dc, &scratch.products, &scratch.energies, p);
+            if scratch.dc[p] < thr {
                 p += 1;
                 continue;
             }
+            dc_ensure(
+                &mut scratch.dc,
+                &scratch.products,
+                &scratch.energies,
+                p + SUSTAIN - 1,
+            );
             for k in 0..SUSTAIN {
-                if dc[p + k] < thr {
+                if scratch.dc[p + k] < thr {
                     p += k + 1;
                     continue 'outer;
                 }
             }
             // STF plateau found at p. Sensitivity gate: the plateau level
             // m ≈ Pₛ/(Pₛ+Pₙ), so estimated signal = measured + 10·log₁₀ m.
-            let m: f64 = dc[p..p + SUSTAIN].iter().sum::<f64>() / SUSTAIN as f64;
+            let m: f64 = scratch.dc[p..p + SUSTAIN].iter().sum::<f64>() / SUSTAIN as f64;
             let span_end = (p + 160).min(samples.len());
             let measured = db::mean_power_dbm(&samples[p..span_end]);
             telemetry::count("wifi.rx.detect.stf_plateaus");
@@ -269,7 +427,12 @@ impl Receiver {
             if win_hi <= win_lo + 2 * FFT_SIZE {
                 return Err(RxError::NoPreamble);
             }
-            let c = corr::normalized_correlation(&samples[win_lo..win_hi], &self.ltf_ref);
+            corr::normalized_correlation_into(
+                &samples[win_lo..win_hi],
+                &self.ltf_ref,
+                &mut scratch.ltf_corr,
+            );
+            let c = &scratch.ltf_corr;
             // The LTF appears twice, 64 samples apart: score candidate
             // positions by the *pair* so we lock to LTF1, not LTF2.
             let mut best = (0usize, f64::MIN);
@@ -302,8 +465,14 @@ impl Receiver {
         Err(RxError::NoPreamble)
     }
 
-    /// Decodes a PPDU whose first long training symbol starts at `ltf1`.
-    fn decode_at(&self, samples: &[Complex], ltf1: usize) -> Result<RxPacket, RxError> {
+    /// Decodes a PPDU whose first long training symbol starts at `ltf1`,
+    /// filling `scratch.packet` on success.
+    fn decode_at_with(
+        &self,
+        samples: &[Complex],
+        ltf1: usize,
+        scratch: &mut RxScratch,
+    ) -> Result<(), RxError> {
         let _span = telemetry::span("wifi.rx.decode");
         let _stage = trace::stage("wifi.rx.decode");
         if ltf1 + 2 * FFT_SIZE + SYMBOL_LEN > samples.len() {
@@ -323,18 +492,20 @@ impl Receiver {
         trace::value_f64("wifi.rx.cfo", cfo);
 
         // CFO-correct everything from LTF1 onward.
-        let corrected: Vec<Complex> = samples[ltf1..]
-            .iter()
-            .enumerate()
-            .map(|(n, &x)| x * Complex::cis(-2.0 * std::f64::consts::PI * cfo * n as f64))
-            .collect();
+        scratch.corrected.clear();
+        scratch.corrected.extend(
+            samples[ltf1..]
+                .iter()
+                .enumerate()
+                .map(|(n, &x)| x * Complex::cis(-2.0 * std::f64::consts::PI * cfo * n as f64)),
+        );
 
         // --- Channel estimation from the two long symbols. ---
         let mut h = [Complex::ZERO; FFT_SIZE];
         for rep in 0..2 {
-            let mut f: Vec<Complex> = corrected[rep * FFT_SIZE..(rep + 1) * FFT_SIZE].to_vec();
-            // lint: allow(panic) — f.len() is FFT_SIZE = 64, a power of two
-            freerider_dsp::fft::fft(&mut f).expect("power of two");
+            let mut f = [Complex::ZERO; FFT_SIZE];
+            f.copy_from_slice(&scratch.corrected[rep * FFT_SIZE..(rep + 1) * FFT_SIZE]);
+            freerider_dsp::fft::fft64(&mut f);
             for c in -26..=26i32 {
                 let l = ltf_carrier(c);
                 if l != 0.0 {
@@ -353,8 +524,7 @@ impl Receiver {
         telemetry::count("wifi.rx.chanest.estimates");
 
         // --- SIGNAL symbol. ---
-        let data_region = &corrected[2 * FFT_SIZE..];
-        if data_region.len() < SYMBOL_LEN {
+        if scratch.corrected.len() - 2 * FFT_SIZE < SYMBOL_LEN {
             telemetry::count("wifi.rx.truncated");
             return Err(RxError::Truncated);
         }
@@ -374,16 +544,18 @@ impl Receiver {
         let wrap_pi = |x: f64| x - std::f64::consts::PI * (x / std::f64::consts::PI).round();
         // Per-carrier channel power gains (needed both for the squaring
         // estimator's matched weighting and for soft demapping).
-        let gains: Vec<f64> = DATA_CARRIERS
-            .iter()
-            .map(|&c| h[carrier_to_bin(c)].norm_sqr())
-            .collect();
+        scratch.gains.clear();
+        scratch.gains.extend(
+            DATA_CARRIERS
+                .iter()
+                .map(|&c| h[carrier_to_bin(c)].norm_sqr()),
+        );
         // Matched squaring estimator: z²·g² = r²·conj(H²), so deeply faded
         // carriers (whose equalised samples are amplified noise) are
         // weighted out instead of dominating through their squared noise —
         // without this, multipath at moderate SNR causes π cycle slips
         // that corrupt whole stretches of tag data.
-        let squaring_phase = |points: &[Complex]| -> f64 {
+        let squaring_phase = |points: &[Complex], gains: &[f64]| -> f64 {
             let acc: Complex = points
                 .iter()
                 .zip(gains.iter())
@@ -395,7 +567,7 @@ impl Receiver {
         // any multiple-of-π/2 tag rotation), yielding phase mod π/2. QPSK
         // points sit at odd multiples of 45°, so z⁴ lands at e^{jπ}·e^{j4δ};
         // negating the accumulator removes that constant π bias.
-        let quartic_phase = |points: &[Complex]| -> f64 {
+        let quartic_phase = |points: &[Complex], gains: &[f64]| -> f64 {
             let acc: Complex = points
                 .iter()
                 .zip(gains.iter())
@@ -409,25 +581,44 @@ impl Receiver {
         let wrap_half_pi =
             |x: f64| x - std::f64::consts::FRAC_PI_2 * (x / std::f64::consts::FRAC_PI_2).round();
 
-        let il_signal = Interleaver::new(48, 1);
-        let (sig_points_raw, _) = self.equalize_symbol(&data_region[..SYMBOL_LEN], &h, 0);
-        let sig_phase = squaring_phase(&sig_points_raw);
+        let mut sig_points_raw = [Complex::ZERO; N_DATA_CARRIERS];
+        self.equalize_symbol_into(
+            &scratch.corrected[2 * FFT_SIZE..2 * FFT_SIZE + SYMBOL_LEN],
+            &h,
+            0,
+            &mut sig_points_raw,
+        );
+        let sig_phase = squaring_phase(&sig_points_raw, &scratch.gains);
         prev_raw = sig_phase;
         if self.config.phase_tracking != PhaseTracking::Off {
             cum_drift += wrap_pi(sig_phase);
         }
         let derot = Complex::cis(-cum_drift);
-        let sig_points: Vec<Complex> = sig_points_raw.iter().map(|&p| p * derot).collect();
-        let sig_llrs = soft_demap_symbols(&sig_points, &gains, Modulation::Bpsk);
-        let sig_coded = il_signal.deinterleave_symbol_soft(&sig_llrs);
-        let (sig_decoded, sig_metric) = viterbi_decode_soft_with_metric(&sig_coded, CodeRate::Half);
+        let mut sig_points = [Complex::ZERO; N_DATA_CARRIERS];
+        for (d, &s) in sig_points.iter_mut().zip(sig_points_raw.iter()) {
+            *d = s * derot;
+        }
+        soft_demap_symbols_into(
+            &sig_points,
+            &scratch.gains,
+            Modulation::Bpsk,
+            &mut scratch.llrs,
+        );
+        scratch.sig_coded.clear();
+        scratch.sig_coded.resize(48, 0.0);
+        scratch
+            .il_signal
+            .deinterleave_symbol_soft_into(&scratch.llrs, &mut scratch.sig_coded);
+        let (sig_decoded, sig_metric) =
+            viterbi_decode_soft_scratch(&scratch.sig_coded, CodeRate::Half, &mut scratch.viterbi);
+        let sig_bits = sig_decoded.len();
+        let mut sig24 = [0u8; 24];
+        sig24.copy_from_slice(&sig_decoded[..24]);
         trace::value_f64("wifi.rx.signal.viterbi_metric", sig_metric);
         telemetry::count("wifi.rx.demap.symbols");
         telemetry::count("wifi.rx.deinterleave.symbols");
         telemetry::count("wifi.rx.viterbi.decodes");
-        telemetry::count_n("wifi.rx.viterbi.bits", sig_decoded.len() as u64);
-        let mut sig24 = [0u8; 24];
-        sig24.copy_from_slice(&sig_decoded[..24]);
+        telemetry::count_n("wifi.rx.viterbi.bits", sig_bits as u64);
         let signal = Signal::decode(&sig24).map_err(|e| {
             telemetry::count("wifi.rx.signal.bad");
             telemetry::event!(Debug, "wifi.rx", "SIGNAL field rejected: {e:?}");
@@ -439,20 +630,29 @@ impl Receiver {
         // --- DATA symbols. ---
         let rate = signal.rate;
         let n_sym = rate.data_symbols_for(signal.length);
-        if data_region.len() < SYMBOL_LEN * (1 + n_sym) {
+        if scratch.corrected.len() - 2 * FFT_SIZE < SYMBOL_LEN * (1 + n_sym) {
             telemetry::count("wifi.rx.truncated");
             return Err(RxError::Truncated);
         }
-        let il = Interleaver::new(
-            rate.coded_bits_per_symbol(),
-            rate.modulation().bits_per_subcarrier(),
-        );
-        let mut coded_llrs = Vec::with_capacity(n_sym * rate.coded_bits_per_symbol());
-        let mut equalized = Vec::with_capacity(n_sym);
+        let n_cbps = rate.coded_bits_per_symbol();
+        // The (N_CBPS, N_BPSC) pairs are 1:1 in 802.11g, so a matching
+        // block size means the cached permutation is the right one.
+        if scratch.il_data.block_size() != n_cbps {
+            scratch.il_data = Interleaver::new(n_cbps, rate.modulation().bits_per_subcarrier());
+        }
+        scratch.coded_llrs.clear();
+        scratch.coded_llrs.reserve(n_sym * n_cbps);
+        scratch.packet.equalized.clear();
+        scratch.packet.equalized.reserve(n_sym);
         for n in 0..n_sym {
-            let off = SYMBOL_LEN * (1 + n);
-            let (points_raw, pilot_phase) =
-                self.equalize_symbol(&data_region[off..off + SYMBOL_LEN], &h, n + 1);
+            let off = 2 * FFT_SIZE + SYMBOL_LEN * (1 + n);
+            let mut points_raw = [Complex::ZERO; N_DATA_CARRIERS];
+            let pilot_phase = self.equalize_symbol_into(
+                &scratch.corrected[off..off + SYMBOL_LEN],
+                &h,
+                n + 1,
+                &mut points_raw,
+            );
             let derot = match self.config.phase_tracking {
                 PhaseTracking::FullPilot => {
                     // Full pilot correction: erases the tag's phase
@@ -470,11 +670,11 @@ impl Receiver {
                     // BPSK pilots (mod π).
                     let (raw, delta) = match rate.modulation() {
                         Modulation::Bpsk => {
-                            let r = squaring_phase(&points_raw);
+                            let r = squaring_phase(&points_raw, &scratch.gains);
                             (r, wrap_pi(r - prev_raw))
                         }
                         Modulation::Qpsk => {
-                            let r = quartic_phase(&points_raw);
+                            let r = quartic_phase(&points_raw, &scratch.gains);
                             (r, wrap_half_pi(r - prev_raw))
                         }
                         _ => {
@@ -488,17 +688,25 @@ impl Receiver {
                 }
                 PhaseTracking::Off => Complex::ONE,
             };
-            let points: Vec<Complex> = points_raw.iter().map(|&p| p * derot).collect();
             let mut arr = [Complex::ZERO; N_DATA_CARRIERS];
-            arr.copy_from_slice(&points);
-            equalized.push(arr);
-            let llrs = soft_demap_symbols(&points, &gains, rate.modulation());
-            coded_llrs.extend(il.deinterleave_symbol_soft(&llrs));
+            for (d, &s) in arr.iter_mut().zip(points_raw.iter()) {
+                *d = s * derot;
+            }
+            scratch.packet.equalized.push(arr);
+            soft_demap_symbols_into(&arr, &scratch.gains, rate.modulation(), &mut scratch.llrs);
+            let base = scratch.coded_llrs.len();
+            scratch.coded_llrs.resize(base + n_cbps, 0.0);
+            scratch
+                .il_data
+                .deinterleave_symbol_soft_into(&scratch.llrs, &mut scratch.coded_llrs[base..]);
         }
         telemetry::count_n("wifi.rx.demap.symbols", n_sym as u64);
         telemetry::count_n("wifi.rx.deinterleave.symbols", n_sym as u64);
-        let (scrambled, path_metric) =
-            viterbi_decode_soft_with_metric(&coded_llrs, rate.code_rate());
+        let (scrambled, path_metric) = viterbi_decode_soft_scratch(
+            &scratch.coded_llrs,
+            rate.code_rate(),
+            &mut scratch.viterbi,
+        );
         trace::value_f64("wifi.rx.data.viterbi_metric", path_metric);
         telemetry::count("wifi.rx.viterbi.decodes");
         telemetry::count_n("wifi.rx.viterbi.bits", scrambled.len() as u64);
@@ -506,34 +714,35 @@ impl Receiver {
         // Per-subcarrier EVM vs the nearest constellation point, averaged
         // over all DATA symbols. Only computed while a flight-recorder
         // packet scope is live — it is a diagnostic, not a decode input.
-        if trace::in_packet() && !equalized.is_empty() {
+        if trace::in_packet() && !scratch.packet.equalized.is_empty() {
             let modulation = rate.modulation();
-            let mut evm = vec![0.0f64; N_DATA_CARRIERS];
-            for sym in &equalized {
+            let mut evm = [0.0f64; N_DATA_CARRIERS];
+            for sym in &scratch.packet.equalized {
                 for (k, &z) in sym.iter().enumerate() {
                     let ideal = crate::mapping::nearest_point(z, modulation);
                     evm[k] += (z - ideal).norm_sqr();
                 }
             }
             for e in evm.iter_mut() {
-                *e = (*e / equalized.len() as f64).sqrt();
+                *e = (*e / scratch.packet.equalized.len() as f64).sqrt();
             }
             trace::value_f64s("wifi.rx.evm", &evm);
         }
 
         // --- Descramble, recovering the seed from the SERVICE bits. ---
-        let data_bits = match Scrambler::recover_seed(&scrambled[..7]) {
-            Some(mut desc) => {
-                let mut out = vec![0u8; 7]; // SERVICE bits descramble to 0
-                out.extend(desc.scramble(&scrambled[7..]));
-                out
+        let data_bits = &mut scratch.packet.data_bits;
+        data_bits.clear();
+        data_bits.extend_from_slice(scrambled);
+        if let Some(mut desc) = Scrambler::recover_seed(&data_bits[..7]) {
+            for b in data_bits[..7].iter_mut() {
+                *b = 0; // SERVICE bits descramble to 0
             }
-            None => scrambled.clone(),
-        };
+            desc.scramble_in_place(&mut data_bits[7..]);
+        }
 
-        let psdu_bits = &data_bits[16..16 + 8 * signal.length];
-        let psdu = bits::bits_to_bytes_lsb(psdu_bits);
-        let fcs_valid = freerider_coding::crc::check_crc32(&psdu);
+        let psdu_bits = &scratch.packet.data_bits[16..16 + 8 * signal.length];
+        bits::bits_to_bytes_lsb_into(psdu_bits, &mut scratch.packet.psdu);
+        let fcs_valid = freerider_coding::crc::check_crc32(&scratch.packet.psdu);
         telemetry::count(if fcs_valid {
             "wifi.rx.fcs.ok"
         } else {
@@ -552,28 +761,26 @@ impl Receiver {
         );
 
         let end = ltf1 + 2 * FFT_SIZE + SYMBOL_LEN * (1 + n_sym);
-        Ok(RxPacket {
-            signal,
-            psdu,
-            fcs_valid,
-            data_bits,
-            equalized,
-            rssi_dbm,
-            cfo,
-            start: ltf1.saturating_sub(192),
-            end,
-        })
+        scratch.packet.signal = signal;
+        scratch.packet.fcs_valid = fcs_valid;
+        scratch.packet.rssi_dbm = rssi_dbm;
+        scratch.packet.cfo = cfo;
+        scratch.packet.start = ltf1.saturating_sub(192);
+        scratch.packet.end = end;
+        Ok(())
     }
 
-    /// Equalises one 80-sample symbol; returns the 48 *uncorrected* data
-    /// points and the raw common phase measured from the pilots. Phase
-    /// correction policy is applied by the caller (see `decode_at`).
-    fn equalize_symbol(
+    /// Equalises one 80-sample symbol into `points`; returns the raw
+    /// common phase measured from the pilots. The data points are
+    /// *uncorrected* — phase correction policy is applied by the caller
+    /// (see `decode_at_with`).
+    fn equalize_symbol_into(
         &self,
         symbol: &[Complex],
         h: &[Complex; FFT_SIZE],
         symbol_index: usize,
-    ) -> (Vec<Complex>, f64) {
+        points: &mut [Complex; N_DATA_CARRIERS],
+    ) -> f64 {
         debug_assert_eq!(symbol.len(), SYMBOL_LEN);
         telemetry::count("wifi.rx.equalize.symbols");
         telemetry::count("wifi.rx.fft.symbols");
@@ -589,19 +796,15 @@ impl Receiver {
             }
         }
         let phase_err = pe_acc.arg();
-        let points: Vec<Complex> = DATA_CARRIERS
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| {
-                let bin = carrier_to_bin(c);
-                if h[bin].norm_sqr() > 1e-12 {
-                    carriers.data[i] / h[bin]
-                } else {
-                    Complex::ZERO
-                }
-            })
-            .collect();
-        (points, phase_err)
+        for (i, &c) in DATA_CARRIERS.iter().enumerate() {
+            let bin = carrier_to_bin(c);
+            points[i] = if h[bin].norm_sqr() > 1e-12 {
+                carriers.data[i] / h[bin]
+            } else {
+                Complex::ZERO
+            };
+        }
+        phase_err
     }
 }
 
@@ -758,6 +961,52 @@ mod tests {
         for (i, p) in pkts.iter().enumerate() {
             assert_eq!(p.psdu[0], i as u8);
             assert!(p.fcs_valid);
+        }
+    }
+
+    #[test]
+    fn warm_scratch_reuse_is_bit_identical() {
+        // A scratch reused across packets of different rates and lengths
+        // must produce exactly the packets a fresh receive() does —
+        // including every f64 (the repro harness depends on it).
+        let rx = Receiver::new(RxConfig {
+            sensitivity_dbm: -200.0,
+            ..RxConfig::default()
+        });
+        let mut scratch = RxScratch::new();
+        for (rate, len, noise_seed) in [
+            (Mcs::Bpsk12, 120usize, 1u64),
+            (Mcs::Qam16Half, 300, 2),
+            (Mcs::Bpsk12, 40, 3),
+            (Mcs::Qpsk34, 200, 4),
+        ] {
+            let tx = Transmitter::new(TxConfig {
+                rate,
+                ..TxConfig::default()
+            });
+            let mut framed = vec![0xA5u8; len];
+            freerider_coding::crc::append_crc32(&mut framed);
+            let mut buf = vec![Complex::ZERO; 120];
+            buf.extend(tx.transmit(&framed).unwrap());
+            buf.extend(vec![Complex::ZERO; 80]);
+            NoiseSource::new(noise_seed, 0.02).add_to(&mut buf);
+            let fresh = rx.receive(&buf).unwrap();
+            let warm = rx.receive_with(&buf, &mut scratch).unwrap();
+            assert_eq!(warm.psdu, fresh.psdu);
+            assert_eq!(warm.data_bits, fresh.data_bits);
+            assert_eq!(warm.fcs_valid, fresh.fcs_valid);
+            assert_eq!(warm.signal, fresh.signal);
+            assert_eq!(warm.start, fresh.start);
+            assert_eq!(warm.end, fresh.end);
+            assert_eq!(warm.cfo.to_bits(), fresh.cfo.to_bits());
+            assert_eq!(warm.rssi_dbm.to_bits(), fresh.rssi_dbm.to_bits());
+            assert_eq!(warm.equalized.len(), fresh.equalized.len());
+            for (a, b) in warm.equalized.iter().zip(fresh.equalized.iter()) {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert_eq!(x.re.to_bits(), y.re.to_bits());
+                    assert_eq!(x.im.to_bits(), y.im.to_bits());
+                }
+            }
         }
     }
 

@@ -81,8 +81,15 @@ print(f"trace OK: {len(events)} events, {len(packets)} packet spans, "
       f"{forensic_packets} forensic packets")
 EOF
 
+echo "==> planned-FFT selftest (bit-identical to reference)"
+./target/release/bench-baseline --selftest-fft
+
 echo "==> bench baseline (diff vs benchmarks/latest.json)"
-./target/release/bench-baseline --quick --out /tmp/freerider_bench_new.json >/dev/null
-python3 scripts/bench_diff.py benchmarks/latest.json /tmp/freerider_bench_new.json
+# Full mode, not --quick: the committed baseline is a full run, and the
+# kernel rows of bench_diff fail hard, so the comparison must be
+# like-for-like. --warn-only downgrades only the experiment wall-clock
+# rows, which are scheduling-noise-dominated on shared machines.
+./target/release/bench-baseline --out /tmp/freerider_bench_new.json >/dev/null
+python3 scripts/bench_diff.py --warn-only benchmarks/latest.json /tmp/freerider_bench_new.json
 
 echo "verify: OK"
