@@ -103,6 +103,57 @@ fn selftest_fft() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One `net/serve_fanout_N` measurement: each iteration submits a tiny
+/// streaming job to an in-process loopback server and drains every
+/// subscriber's stream to its end. Returns the timing summary and the
+/// frame count of one run (for the frames/sec derivation).
+fn serve_fanout(
+    label: &'static str,
+    subs: usize,
+    budget: Duration,
+    max_iters: u32,
+) -> (Summary, u64) {
+    use freerider_net::{Deployment, SimConfig};
+    use freerider_serve::{Client, JobSpec, Loopback, ServeConfig};
+
+    let server = Loopback::new(&ServeConfig {
+        threads: 1,
+        ..ServeConfig::default()
+    });
+    let mut d = Deployment::open_plan().with_receiver(4.0, 0.0);
+    for i in 0..30 {
+        d = d.with_tag((i % 6) as f64 * 0.8 - 2.0, (i / 6) as f64 * 0.8 - 2.0);
+    }
+    let spec = JobSpec {
+        config: SimConfig {
+            rounds: 10,
+            seed: 7,
+            ..SimConfig::default()
+        },
+        deployment: d,
+        stream: true,
+        snapshot_every: 5,
+    };
+    let run = || {
+        let mut submitter = Client::over(server.connect());
+        let job = submitter.submit(&spec).unwrap();
+        let mut watchers: Vec<_> = (1..subs)
+            .map(|_| {
+                let mut w = Client::over(server.connect());
+                w.subscribe(job).unwrap();
+                w
+            })
+            .collect();
+        let mut frames = submitter.drain_stream().unwrap().len() as u64;
+        for w in watchers.iter_mut() {
+            frames += w.drain_stream().unwrap().len() as u64;
+        }
+        frames
+    };
+    let frames_per_run = run();
+    (bench(label, budget, max_iters, run), frames_per_run)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--selftest-fft") {
@@ -200,6 +251,29 @@ fn main() -> ExitCode {
         }),
         bytes: 1000,
     });
+
+    // Serve fan-out: one tiny streaming job through the in-process
+    // loopback service, drained by 1 / 4 / 16 subscribers. Measures the
+    // full path — frame encode, per-subscriber queue clone, protocol
+    // write/read — per job; the printed frames/sec is the derived
+    // stream throughput at that fan-out.
+    for subs in [1usize, 4, 16] {
+        let name: &'static str = match subs {
+            1 => "net/serve_fanout_1",
+            4 => "net/serve_fanout_4",
+            _ => "net/serve_fanout_16",
+        };
+        let (summary, frames_per_run) = serve_fanout(name, subs, budget, max_iters.min(200));
+        if summary.median.as_nanos() > 0 {
+            let fps = frames_per_run as f64 / summary.median.as_secs_f64();
+            println!("{name}: ~{frames_per_run} frames/job, {fps:.0} frames/s");
+        }
+        kernels.push(KernelResult {
+            name,
+            summary,
+            bytes: 0,
+        });
+    }
 
     // Flight-recorder overhead triad on the WiFi RX path. The A/A repeat
     // with tracing off bounds the disabled-path hook cost together with

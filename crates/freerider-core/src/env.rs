@@ -47,6 +47,31 @@ pub const REGISTRY: &[EnvKnob] = &[
               Diagnostics only — never feeds deterministic output.",
     },
     EnvKnob {
+        name: "FREERIDER_SERVE_ADDR",
+        consumer: "freerider-serve::server",
+        default: "127.0.0.1:7973",
+        doc: "Listen address for the freerider-serve deployment-simulation \
+              service. Port 0 binds an ephemeral port (printed on startup, \
+              used by the verify-gate smoke test).",
+    },
+    EnvKnob {
+        name: "FREERIDER_SERVE_MAX_SUBS",
+        consumer: "freerider-serve::server",
+        default: "64",
+        doc: "Per-job subscriber cap for the serve streaming channel. \
+              Additional Subscribe requests are refused with an Error \
+              frame. Subscribers never affect simulation results.",
+    },
+    EnvKnob {
+        name: "FREERIDER_SERVE_QUEUE",
+        consumer: "freerider-serve::server",
+        default: "256 (frames)",
+        doc: "Per-subscriber stream queue capacity. A full queue evicts \
+              its oldest frame (drop-oldest backpressure) so slow readers \
+              lose history, never freshness; evictions are counted in \
+              telemetry as serve.sub.evictions.",
+    },
+    EnvKnob {
         name: "FREERIDER_THREADS",
         consumer: "freerider-rt::executor",
         default: "all cores",

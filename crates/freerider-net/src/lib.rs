@@ -16,7 +16,10 @@
 //! * [`deployment`] — the scene: site geometry, exciter, receivers, tags.
 //! * [`link`] — geometric link budgets → PRR/rate response curves.
 //! * [`sim`] — the multi-round network simulator (PLM reach, Framed
-//!   Slotted Aloha, best-receiver decoding, latency accounting).
+//!   Slotted Aloha, best-receiver decoding, latency accounting), with
+//!   per-round sharding over the `freerider-rt` executor, streamed
+//!   progress/snapshot observation, and cooperative cancellation — the
+//!   job engine `freerider-serve` hosts as a long-running service.
 //! * [`coverage`] — tag-placement coverage maps with ASCII rendering.
 
 #![forbid(unsafe_code)]
@@ -29,4 +32,4 @@ pub mod sim;
 
 pub use deployment::{Deployment, Exciter, ReceiverNode, TagNode};
 pub use link::LinkModel;
-pub use sim::{DeploymentReport, DeploymentSim};
+pub use sim::{DeploymentReport, DeploymentSim, RoundProgress, SimConfig, SimEvent, TagReport};

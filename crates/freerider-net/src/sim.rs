@@ -1,15 +1,28 @@
 //! The deployment simulator: Framed-Slotted-Aloha rounds over a 2D scene
 //! with per-tag PLM reach, per-link PRR, and report-latency accounting.
+//!
+//! # Sharding and determinism
+//!
+//! Each round runs in two phases. Phase A draws every tag's per-round
+//! randomness (announcement decode, slot choice, delivery) from a stream
+//! derived per `(round, tag)` — tags are independent, so the draws shard
+//! over a [`freerider_rt::Executor`] and are bit-identical for any worker
+//! count. Phase B merges serially in tag order: it resolves slot
+//! collisions (capture draws come from a per-round merge stream), applies
+//! deliveries, and advances the MAC coordinator. The result is therefore
+//! **byte-identical** whether the simulation runs serially, sharded over
+//! N threads, or inside a server with any number of subscribers attached
+//! — observers only *read* state between rounds.
 
 use crate::deployment::Deployment;
 use crate::link::LinkModel;
-use freerider_mac::aloha::{run_round, summarize, SlotOutcome};
+use freerider_mac::aloha::RoundOutcome;
 use freerider_mac::messages::MESSAGE_BITS;
 use freerider_mac::Coordinator;
-use freerider_rt::Rng64;
+use freerider_rt::{derive_seed, CancelToken, Executor, Rng64};
 
 /// Simulator configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Rounds to run.
     pub rounds: usize,
@@ -45,14 +58,15 @@ impl Default for SimConfig {
 }
 
 /// Per-tag results.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TagReport {
     /// Bits delivered.
     pub delivered_bits: u64,
     /// Reports completely delivered.
     pub reports_delivered: usize,
-    /// Mean report delivery latency, seconds (NaN if none delivered).
-    pub mean_latency_s: f64,
+    /// Mean report delivery latency, seconds (`None` when no report was
+    /// delivered — `None`, not NaN, so serializations stay valid JSON).
+    pub mean_latency_s: Option<f64>,
     /// Whether the tag was servable at all (powered + a receiver in range).
     pub servable: bool,
     /// Fraction of round announcements this tag decoded (PLM reach).
@@ -60,7 +74,7 @@ pub struct TagReport {
 }
 
 /// Whole-deployment results.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentReport {
     /// Per-tag results, in deployment order.
     pub tags: Vec<TagReport>,
@@ -70,6 +84,57 @@ pub struct DeploymentReport {
     pub fairness: f64,
     /// Total simulated time, seconds.
     pub total_time_s: f64,
+}
+
+/// Progress of one completed round, streamed to observers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundProgress {
+    /// 0-based index of the round just completed.
+    pub round: usize,
+    /// Total rounds configured.
+    pub rounds: usize,
+    /// Simulated time elapsed, seconds.
+    pub time_s: f64,
+    /// Slots the coordinator scheduled this round.
+    pub n_slots: u16,
+    /// Tags that contended this round.
+    pub participants: usize,
+    /// Slots that delivered data this round (success + salvaged capture
+    /// whose best receiver decoded the burst).
+    pub delivered_slots: usize,
+    /// Cumulative bits delivered across all tags.
+    pub delivered_bits: u64,
+    /// Cumulative reports fully delivered across all tags.
+    pub reports_delivered: u64,
+}
+
+/// One observation emitted by [`DeploymentSim::run_observed`].
+#[derive(Debug)]
+pub enum SimEvent<'a> {
+    /// A round completed.
+    Round(RoundProgress),
+    /// A periodic per-tag snapshot (every `snapshot_every` rounds).
+    Tags {
+        /// 0-based index of the round just completed.
+        round: usize,
+        /// Current per-tag state, in deployment order.
+        tags: &'a [TagReport],
+    },
+}
+
+/// Stream id for the serial merge draws of a round (collision capture).
+/// Tag streams use the tag index, which is always far below this.
+const MERGE_STREAM: u64 = freerider_rt::stream::MAC;
+
+/// One tag's pre-drawn randomness for a round (phase A output).
+#[derive(Debug, Clone, Copy, Default)]
+struct TagDraw {
+    /// Decoded the round announcement.
+    heard: bool,
+    /// Chosen slot (uniform over the round's frame).
+    slot: u16,
+    /// Would the best receiver decode this tag's burst?
+    deliver: bool,
 }
 
 /// The deployment simulator.
@@ -89,6 +154,11 @@ impl DeploymentSim {
         }
     }
 
+    /// The configuration this simulator runs.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
     /// PLM announcement decode probability for a tag, from the excitation
     /// power at the tag (the Fig. 4 mechanism, condensed: solid when the
     /// tag is comfortably powered, collapsing near the front-end floor).
@@ -97,11 +167,36 @@ impl DeploymentSim {
         (0.72 * (1.0 / (1.0 + (-margin / 2.0).exp()))).clamp(0.0, 1.0) / 0.72 * 0.97
     }
 
-    /// Runs the simulation.
+    /// Runs the simulation serially with no observer.
     pub fn run(&self) -> DeploymentReport {
+        match self.run_observed(&Executor::serial(), &CancelToken::new(), 0, &mut |_| {}) {
+            Some(r) => r,
+            // A fresh token can never be cancelled.
+            None => unreachable!("uncancellable run reported cancellation"),
+        }
+    }
+
+    /// Runs the simulation, sharding per-round tag draws over `exec` and
+    /// reporting progress to `observer`.
+    ///
+    /// * After every round the observer receives [`SimEvent::Round`].
+    /// * Every `snapshot_every` rounds (and never for `0`) it additionally
+    ///   receives [`SimEvent::Tags`] with the current per-tag state.
+    /// * `cancel` is checked once per round; a cancelled run returns
+    ///   `None` after completing the in-flight round.
+    ///
+    /// The returned report is **byte-identical** for any `exec` worker
+    /// count and any observer behaviour — observers see state, they never
+    /// steer it.
+    pub fn run_observed(
+        &self,
+        exec: &Executor,
+        cancel: &CancelToken,
+        snapshot_every: usize,
+        observer: &mut dyn FnMut(SimEvent<'_>),
+    ) -> Option<DeploymentReport> {
         let cfg = &self.config;
         let d = &self.deployment;
-        let mut rng = Rng64::new(cfg.seed);
         let n = d.tags.len();
 
         // Precompute per-tag service parameters.
@@ -129,31 +224,78 @@ impl DeploymentSim {
         let mut plm_heard = vec![0usize; n];
         // Each tag's current report: (bits remaining, generation time).
         let mut pending: Vec<(usize, f64)> = (0..n).map(|_| (cfg.report_bits, 0.0)).collect();
+        let tag_ids: Vec<u32> = (0..n as u32).collect();
+        let mut tag_reports: Vec<TagReport> = Vec::new();
 
-        for _ in 0..cfg.rounds {
+        for round in 0..cfg.rounds {
+            if cancel.is_cancelled() {
+                return None;
+            }
             let n_slots = coordinator.n_slots();
-            // Every servable tag listens for the announcement; only those
-            // that heard it *and* have a report waiting (born in the past)
-            // contend for a slot.
-            let mut participants = Vec::new();
+            let round_seed = derive_seed(cfg.seed, round as u64);
+
+            // Phase A — per-tag draws, sharded. Every tag draws from its
+            // own `(round, tag)` stream, so the result is independent of
+            // scheduling and worker count.
+            let draws: Vec<TagDraw> = exec.map(&tag_ids, |i, _| {
+                if !servable[i] {
+                    return TagDraw::default();
+                }
+                let mut rng = Rng64::derive(round_seed, i as u64);
+                TagDraw {
+                    heard: rng.bernoulli(plm[i]),
+                    slot: rng.index(n_slots as usize) as u16,
+                    deliver: rng.bernoulli(prr[i]),
+                }
+            });
+
+            // Phase B — serial merge in tag order. Tags that decoded the
+            // announcement *and* have a report waiting contend for their
+            // chosen slot.
+            let mut slots: Vec<Vec<usize>> = vec![Vec::new(); n_slots as usize];
+            let mut participants = 0usize;
             for i in 0..n {
                 if !servable[i] {
                     continue;
                 }
-                if rng.bernoulli(plm[i]) {
+                if draws[i].heard {
                     plm_heard[i] += 1;
                     if pending[i].1 <= time {
-                        participants.push(i);
+                        slots[draws[i].slot as usize].push(i);
+                        participants += 1;
                     }
                 }
             }
-            let slots = run_round(&participants, n_slots, cfg.capture_prob, &mut rng);
+            let mut merge_rng = Rng64::derive(round_seed, MERGE_STREAM);
+            let mut outcome = RoundOutcome::default();
             let round_dur = control_airtime + n_slots as f64 * cfg.slot_s;
-            for s in &slots {
-                if let SlotOutcome::Success(i) | SlotOutcome::Capture(i) = s {
-                    let i = *i;
+            let mut delivered_slots = 0usize;
+            for occupants in &slots {
+                let winner = match occupants.len() {
+                    0 => {
+                        outcome.empty += 1;
+                        None
+                    }
+                    1 => {
+                        outcome.success += 1;
+                        Some(occupants[0])
+                    }
+                    _ => {
+                        if merge_rng.bernoulli(cfg.capture_prob) {
+                            // The "strongest" tag wins; with i.i.d.
+                            // placement any occupant is equally likely.
+                            outcome.capture += 1;
+                            Some(occupants[merge_rng.index(occupants.len())])
+                        } else {
+                            outcome.collision += 1;
+                            None
+                        }
+                    }
+                };
+                if let Some(i) = winner {
                     // The slot delivers if the best receiver decodes it.
-                    if rng.bernoulli(prr[i]) {
+                    if draws[i].deliver {
+                        delivered_slots += 1;
                         delivered[i] += cfg.bits_per_slot as u64;
                         let (remaining, born) = &mut pending[i];
                         if *remaining <= cfg.bits_per_slot {
@@ -169,34 +311,81 @@ impl DeploymentSim {
                     }
                 }
             }
-            coordinator.adapt(&summarize(&slots));
+            coordinator.adapt(&outcome);
             time += round_dur;
+
+            observer(SimEvent::Round(RoundProgress {
+                round,
+                rounds: cfg.rounds,
+                time_s: time,
+                n_slots,
+                participants,
+                delivered_slots,
+                delivered_bits: delivered.iter().sum(),
+                reports_delivered: reports_done.iter().map(|&r| r as u64).sum(),
+            }));
+            if snapshot_every > 0 && (round + 1) % snapshot_every == 0 {
+                build_reports(
+                    &mut tag_reports,
+                    &delivered,
+                    &reports_done,
+                    &latency_acc,
+                    &servable,
+                    &plm_heard,
+                    round + 1,
+                );
+                observer(SimEvent::Tags {
+                    round,
+                    tags: &tag_reports,
+                });
+            }
         }
 
         let served: Vec<f64> = (0..n)
             .filter(|&i| servable[i])
             .map(|i| delivered[i] as f64)
             .collect();
-        let tags = (0..n)
-            .map(|i| TagReport {
-                delivered_bits: delivered[i],
-                reports_delivered: reports_done[i],
-                mean_latency_s: if reports_done[i] > 0 {
-                    latency_acc[i] / reports_done[i] as f64
-                } else {
-                    f64::NAN
-                },
-                servable: servable[i],
-                plm_reach: plm_heard[i] as f64 / cfg.rounds as f64,
-            })
-            .collect();
-        DeploymentReport {
-            tags,
+        build_reports(
+            &mut tag_reports,
+            &delivered,
+            &reports_done,
+            &latency_acc,
+            &servable,
+            &plm_heard,
+            cfg.rounds,
+        );
+        Some(DeploymentReport {
+            tags: tag_reports,
             aggregate_bps: delivered.iter().sum::<u64>() as f64 / time.max(1e-12),
             fairness: freerider_mac::fairness::jain_index(&served),
             total_time_s: time,
-        }
+        })
     }
+}
+
+/// Rebuilds the per-tag report vector from the running accumulators.
+#[allow(clippy::too_many_arguments)]
+fn build_reports(
+    out: &mut Vec<TagReport>,
+    delivered: &[u64],
+    reports_done: &[usize],
+    latency_acc: &[f64],
+    servable: &[bool],
+    plm_heard: &[usize],
+    rounds_elapsed: usize,
+) {
+    out.clear();
+    out.extend((0..delivered.len()).map(|i| TagReport {
+        delivered_bits: delivered[i],
+        reports_delivered: reports_done[i],
+        mean_latency_s: if reports_done[i] > 0 {
+            Some(latency_acc[i] / reports_done[i] as f64)
+        } else {
+            None
+        },
+        servable: servable[i],
+        plm_reach: plm_heard[i] as f64 / rounds_elapsed.max(1) as f64,
+    }));
 }
 
 #[cfg(test)]
@@ -244,7 +433,7 @@ mod tests {
         // Latency at light load is a handful of rounds, far under the
         // 1 s reporting interval.
         for t in &r.tags {
-            assert!(t.mean_latency_s < 0.5, "latency {}", t.mean_latency_s);
+            assert!(t.mean_latency_s.unwrap() < 0.5, "latency {t:?}");
         }
     }
 
@@ -256,6 +445,7 @@ mod tests {
         let last = r.tags.last().unwrap();
         assert!(!last.servable);
         assert_eq!(last.delivered_bits, 0);
+        assert_eq!(last.mean_latency_s, None);
     }
 
     #[test]
@@ -283,9 +473,9 @@ mod tests {
         let r = sim.run();
         for t in &r.tags {
             assert!(t.reports_delivered > 0);
-            assert!(t.mean_latency_s.is_finite());
-            assert!(t.mean_latency_s > 0.0);
-            assert!(t.mean_latency_s < r.total_time_s);
+            let lat = t.mean_latency_s.unwrap();
+            assert!(lat > 0.0);
+            assert!(lat < r.total_time_s);
         }
     }
 
@@ -298,6 +488,66 @@ mod tests {
         assert_eq!(a.tags.len(), b.tags.len());
         for (x, y) in a.tags.iter().zip(b.tags.iter()) {
             assert_eq!(x.delivered_bits, y.delivered_bits);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_round_and_periodic_snapshots() {
+        let sim = DeploymentSim::new(small_office(), LinkModel::default(), SimConfig::default());
+        let mut rounds = 0usize;
+        let mut snapshots = 0usize;
+        let mut last_bits = 0u64;
+        let r = sim
+            .run_observed(
+                &Executor::serial(),
+                &CancelToken::new(),
+                50,
+                &mut |e| match e {
+                    SimEvent::Round(p) => {
+                        assert_eq!(p.round, rounds);
+                        assert!(p.delivered_bits >= last_bits, "bits must be cumulative");
+                        last_bits = p.delivered_bits;
+                        rounds += 1;
+                    }
+                    SimEvent::Tags { tags, .. } => {
+                        assert_eq!(tags.len(), 8);
+                        snapshots += 1;
+                    }
+                },
+            )
+            .unwrap();
+        assert_eq!(rounds, SimConfig::default().rounds);
+        assert_eq!(snapshots, SimConfig::default().rounds / 50);
+        assert_eq!(last_bits, r.tags.iter().map(|t| t.delivered_bits).sum());
+    }
+
+    #[test]
+    fn cancellation_stops_between_rounds() {
+        let sim = DeploymentSim::new(small_office(), LinkModel::default(), SimConfig::default());
+        let cancel = CancelToken::new();
+        let mut seen = 0usize;
+        let c = cancel.clone();
+        let out = sim.run_observed(&Executor::serial(), &cancel, 0, &mut |e| {
+            if let SimEvent::Round(p) = e {
+                seen = p.round + 1;
+                if p.round == 9 {
+                    c.cancel();
+                }
+            }
+        });
+        assert!(out.is_none());
+        assert_eq!(seen, 10, "cancel lands at the next round boundary");
+    }
+
+    #[test]
+    fn sharded_run_is_byte_identical_to_serial() {
+        let sim = DeploymentSim::new(small_office(), LinkModel::default(), SimConfig::default());
+        let serial = sim.run();
+        for threads in [2, 4] {
+            let par = sim
+                .run_observed(&Executor::new(threads), &CancelToken::new(), 0, &mut |_| {})
+                .unwrap();
+            assert_eq!(serial, par, "threads={threads}");
         }
     }
 }

@@ -1,0 +1,64 @@
+//! The sharded simulator's determinism contract, checked from outside
+//! the crate: the final per-tag report set is **byte-identical** (full
+//! structural equality, including every float bit via `PartialEq`)
+//! across executor widths 1 and 4, and regardless of how many observers
+//! watch the run. This is the property `freerider-serve` builds on — a
+//! served job may legally run at any `FREERIDER_THREADS` width with any
+//! number of subscribers and must still return the same answer.
+
+use freerider_net::{Deployment, DeploymentSim, LinkModel, SimConfig, SimEvent};
+use freerider_rt::{CancelToken, Executor};
+
+fn sim() -> DeploymentSim {
+    let mut d = Deployment::open_plan()
+        .with_receiver(5.0, 1.0)
+        .with_receiver(-5.0, -1.0);
+    for i in 0..60 {
+        let x = (i % 10) as f64 * 0.9 - 4.5;
+        let y = (i / 10) as f64 * 1.1 - 3.3;
+        d = d.with_tag(x, y);
+    }
+    DeploymentSim::new(
+        d,
+        LinkModel::default(),
+        SimConfig {
+            rounds: 120,
+            seed: 0xD15EA5E,
+            ..SimConfig::default()
+        },
+    )
+}
+
+fn run_with(width: usize, observers: usize) -> freerider_net::DeploymentReport {
+    let exec = Executor::new(width);
+    let cancel = CancelToken::new();
+    // Observers only count events; they must not perturb the run.
+    let mut rounds_seen = 0usize;
+    let mut snapshots_seen = 0usize;
+    let snapshot_every = if observers > 0 { 7 } else { 0 };
+    let report = sim()
+        .run_observed(&exec, &cancel, snapshot_every, &mut |e| match e {
+            SimEvent::Round(_) => rounds_seen += 1,
+            SimEvent::Tags { .. } => snapshots_seen += 1,
+        })
+        .expect("not cancelled");
+    assert_eq!(rounds_seen, 120);
+    if observers > 0 {
+        assert_eq!(snapshots_seen, 120 / 7);
+    }
+    report
+}
+
+#[test]
+fn final_reports_are_identical_across_widths_and_observers() {
+    let serial = sim().run();
+    for width in [1usize, 4] {
+        for observers in [0usize, 3] {
+            let r = run_with(width, observers);
+            assert_eq!(
+                r, serial,
+                "width {width} / {observers} observers diverged from the serial run"
+            );
+        }
+    }
+}

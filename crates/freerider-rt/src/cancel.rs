@@ -1,0 +1,86 @@
+//! Cooperative cancellation for long-running deterministic work.
+//!
+//! A [`CancelToken`] is a cheap clonable flag shared between the party
+//! that owns a computation (a server's job manager, a CLI signal handler)
+//! and the computation itself. Work checks [`CancelToken::is_cancelled`]
+//! at natural checkpoint boundaries — a simulation round, a sweep point —
+//! and unwinds cleanly by *returning*, never by panicking, so partial
+//! results stay well-formed.
+//!
+//! Cancellation is deliberately coarse: it never interrupts a checkpoint
+//! mid-flight, so everything produced *before* the flag was observed is
+//! still bit-identical to the uncancelled run's prefix. That keeps the
+//! workspace determinism contract intact — a cancelled job's streamed
+//! output is a prefix of the complete job's output, not a third timeline.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag.
+///
+/// Clones observe the same flag; once [`cancel`](CancelToken::cancel) is
+/// called the token stays cancelled forever (there is no reset — reuse
+/// means a fresh token).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent and safe to call from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been raised.
+    ///
+    /// A relaxed-acquire load — cheap enough to call once per simulation
+    /// round or sweep point without measurable cost.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clear_and_latches() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        u.cancel();
+        assert!(t.is_cancelled());
+        // A fresh token is independent.
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        let h = std::thread::spawn(move || {
+            while !u.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        t.cancel();
+        assert!(h.join().unwrap());
+    }
+}

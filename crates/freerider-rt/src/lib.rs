@@ -17,6 +17,10 @@
 //!   from its own derived stream, parallel results are **bit-identical** to
 //!   serial ones regardless of scheduling; `FREERIDER_THREADS=1` forces the
 //!   serial path.
+//! * [`CancelToken`] — a clonable cooperative-cancellation flag checked at
+//!   checkpoint boundaries (simulation rounds, sweep points), so
+//!   long-running jobs hosted by a service can be stopped cleanly without
+//!   perturbing the deterministic prefix already produced.
 //!
 //! The crate's only dependency is `freerider-telemetry` (itself
 //! dependency-free), so the whole repository still builds and tests with
@@ -35,10 +39,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod executor;
 pub mod rng;
 pub mod sweep;
 
+pub use cancel::CancelToken;
 pub use executor::Executor;
 pub use rng::{derive_seed, Rng64};
 pub use sweep::Sweep;

@@ -1,0 +1,46 @@
+//! # freerider-serve
+//!
+//! The deployment simulator as a long-running service: a zero-dependency
+//! framed TCP protocol hosting `freerider-net`'s Monte-Carlo engine, so
+//! an operator can submit deployment studies, watch per-round progress
+//! and per-tag snapshots stream in, and cancel what stopped being
+//! interesting — without relinking or re-launching anything.
+//!
+//! ## Protocol
+//!
+//! Every message is one frame: `[version:u8][type:u8][len:u32 BE]` then
+//! a UTF-8 JSON payload ([`frame`]). Requests are `SubmitJob`,
+//! `JobStatus`, `CancelJob`, `ListJobs`, `Subscribe`, `Shutdown`;
+//! streams carry `Progress`, `TagSnapshot`, `JobResult`, `StreamEnd`
+//! frames. Payload codecs live in [`wire`].
+//!
+//! ## Guarantees
+//!
+//! * **Determinism** — a job's final `JobResult` payload is byte-
+//!   identical to encoding the report of the same `SimConfig` +
+//!   `Deployment` run directly in-process, regardless of
+//!   `FREERIDER_THREADS` and regardless of how many subscribers watch.
+//! * **Bounded memory** — each subscriber owns a bounded [`queue`] with
+//!   drop-oldest backpressure; a slow reader loses history, never
+//!   freshness, and never stalls the simulation or other subscribers.
+//! * **No sockets needed** — [`server::Loopback`] serves the identical
+//!   dispatch path over an in-process [`pipe`], which is how the
+//!   integration tests and the `net/serve_fanout` benchmarks run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod job;
+pub mod pipe;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, StreamEvent};
+pub use frame::{Frame, FrameError, FrameType};
+pub use job::{JobId, JobManager, JobState};
+pub use queue::SubQueue;
+pub use server::{Loopback, ServeConfig, Server};
+pub use wire::{JobSpec, StatusInfo, WireError};

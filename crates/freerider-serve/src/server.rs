@@ -1,0 +1,309 @@
+//! The service: session dispatch, the TCP accept loop, and the
+//! in-process loopback used by tests and benchmarks.
+//!
+//! A session is strictly turn-based: the client sends one request frame,
+//! the server answers with one response frame — except for streams
+//! (`SubmitJob` with `stream: true`, or `Subscribe`), where the response
+//! is followed by `0x2_` frames until `StreamEnd`, after which the
+//! connection is again free for requests. The dispatcher is generic over
+//! `Read + Write`, so the identical code path serves TCP sockets and the
+//! [`crate::pipe`] loopback.
+
+use crate::frame::{read_frame, write_frame, Frame, FrameType};
+use crate::job::JobManager;
+use crate::pipe::{duplex, PipeEnd};
+use crate::queue::SubQueue;
+use crate::wire;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Listen address knob.
+pub const ADDR_ENV: &str = "FREERIDER_SERVE_ADDR";
+/// Per-job subscriber cap knob.
+pub const MAX_SUBS_ENV: &str = "FREERIDER_SERVE_MAX_SUBS";
+/// Per-subscriber queue capacity knob.
+pub const QUEUE_ENV: &str = "FREERIDER_SERVE_QUEUE";
+
+/// Default listen address.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7973";
+/// Default per-job subscriber cap.
+pub const DEFAULT_MAX_SUBS: usize = 64;
+/// Default per-subscriber queue capacity, in frames.
+pub const DEFAULT_QUEUE: usize = 256;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 binds an ephemeral port).
+    pub addr: String,
+    /// Per-job subscriber cap.
+    pub max_subs: usize,
+    /// Per-subscriber stream queue capacity, in frames.
+    pub queue_cap: usize,
+    /// Executor width for job threads (0 = honour `FREERIDER_THREADS`).
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: DEFAULT_ADDR.to_string(),
+            max_subs: DEFAULT_MAX_SUBS,
+            queue_cap: DEFAULT_QUEUE,
+            threads: 0,
+        }
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+impl ServeConfig {
+    /// Reads `FREERIDER_SERVE_ADDR` / `_MAX_SUBS` / `_QUEUE`; unset or
+    /// unparsable values fall back to the defaults.
+    pub fn from_env() -> Self {
+        ServeConfig {
+            addr: std::env::var(ADDR_ENV).unwrap_or_else(|_| DEFAULT_ADDR.to_string()),
+            max_subs: env_usize(MAX_SUBS_ENV, DEFAULT_MAX_SUBS),
+            queue_cap: env_usize(QUEUE_ENV, DEFAULT_QUEUE),
+            threads: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session dispatch (transport-agnostic).
+
+/// Serves one connection until the peer hangs up or asks for shutdown.
+/// `on_shutdown` is invoked when a `Shutdown` frame is honoured, after
+/// the `ShuttingDown` acknowledgement is on the wire.
+pub fn handle_session<S: Read + Write, F: Fn()>(mut stream: S, mgr: &JobManager, on_shutdown: F) {
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(_) => return, // clean hangup and torn frames end alike
+        };
+        let keep_going = match frame.kind {
+            FrameType::SubmitJob => on_submit(&mut stream, mgr, &frame.payload),
+            FrameType::JobStatus => on_status(&mut stream, mgr, &frame.payload),
+            FrameType::CancelJob => on_cancel(&mut stream, mgr, &frame.payload),
+            FrameType::ListJobs => send(
+                &mut stream,
+                Frame::new(FrameType::Jobs, wire::encode_jobs(&mgr.list())),
+            ),
+            FrameType::Subscribe => on_subscribe(&mut stream, mgr, &frame.payload),
+            FrameType::Shutdown => {
+                send(&mut stream, Frame::bare(FrameType::ShuttingDown));
+                on_shutdown();
+                return;
+            }
+            other => send_error(
+                &mut stream,
+                &format!("frame type {other:?} is not a request"),
+            ),
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+fn send<S: Write>(stream: &mut S, frame: Frame) -> bool {
+    write_frame(stream, &frame).is_ok()
+}
+
+fn send_error<S: Write>(stream: &mut S, msg: &str) -> bool {
+    send(
+        stream,
+        Frame::new(FrameType::Error, wire::encode_error(msg)),
+    )
+}
+
+/// Drains a subscriber queue onto the wire until it closes (the final
+/// frame is always `StreamEnd`). Returns `false` when the peer is gone.
+fn pump<S: Write>(stream: &mut S, q: &SubQueue) -> bool {
+    while let Some(frame) = q.pop() {
+        if !send(stream, frame) {
+            // Writer gone: close so the job thread stops cloning frames
+            // into a queue nobody will ever drain.
+            q.close();
+            return false;
+        }
+    }
+    true
+}
+
+fn on_submit<S: Read + Write>(stream: &mut S, mgr: &JobManager, payload: &[u8]) -> bool {
+    let spec = match wire::decode_submit(payload) {
+        Ok(s) => s,
+        Err(e) => return send_error(stream, &e.to_string()),
+    };
+    if spec.stream {
+        // Attach the subscriber *before* the job thread starts so the
+        // submitting connection observes every frame from round zero.
+        let q = Arc::new(SubQueue::new(mgr.queue_cap()));
+        let id = mgr.submit(spec, Some(Arc::clone(&q)));
+        if !send(
+            stream,
+            Frame::new(FrameType::JobAccepted, wire::encode_job_id(id)),
+        ) {
+            q.close();
+            return false;
+        }
+        pump(stream, &q)
+    } else {
+        let id = mgr.submit(spec, None);
+        send(
+            stream,
+            Frame::new(FrameType::JobAccepted, wire::encode_job_id(id)),
+        )
+    }
+}
+
+fn on_status<S: Read + Write>(stream: &mut S, mgr: &JobManager, payload: &[u8]) -> bool {
+    let id = match wire::decode_job_id(payload) {
+        Ok(id) => id,
+        Err(e) => return send_error(stream, &e.to_string()),
+    };
+    match mgr.get(id) {
+        Some(job) => send(
+            stream,
+            Frame::new(FrameType::Status, wire::encode_status(&job.status())),
+        ),
+        None => send_error(stream, &format!("no such job {id}")),
+    }
+}
+
+fn on_cancel<S: Read + Write>(stream: &mut S, mgr: &JobManager, payload: &[u8]) -> bool {
+    let id = match wire::decode_job_id(payload) {
+        Ok(id) => id,
+        Err(e) => return send_error(stream, &e.to_string()),
+    };
+    match mgr.cancel(id) {
+        Some(landed) => send(
+            stream,
+            Frame::new(FrameType::Cancelled, wire::encode_cancelled(id, landed)),
+        ),
+        None => send_error(stream, &format!("no such job {id}")),
+    }
+}
+
+fn on_subscribe<S: Read + Write>(stream: &mut S, mgr: &JobManager, payload: &[u8]) -> bool {
+    let id = match wire::decode_job_id(payload) {
+        Ok(id) => id,
+        Err(e) => return send_error(stream, &e.to_string()),
+    };
+    match mgr.subscribe(id) {
+        Ok(q) => pump(stream, &q),
+        Err(e) => send_error(stream, &e),
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP server.
+
+/// A bound, not-yet-running TCP server.
+pub struct Server {
+    listener: TcpListener,
+    mgr: Arc<JobManager>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the configured address. Port 0 picks an ephemeral port —
+    /// read it back with [`Server::local_addr`].
+    pub fn bind(cfg: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        Ok(Server {
+            listener,
+            mgr: Arc::new(JobManager::new(cfg.threads, cfg.queue_cap, cfg.max_subs)),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actual bound address.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections until a client sends `Shutdown`. Each session
+    /// runs on its own thread; on shutdown all sessions are joined and
+    /// every unfinished job is cancelled.
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        loop {
+            let (socket, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(_) if self.stop.load(Ordering::Acquire) => break,
+                Err(e) => return Err(e),
+            };
+            if self.stop.load(Ordering::Acquire) {
+                break; // the self-connect that unblocked accept()
+            }
+            freerider_telemetry::count("serve.sessions");
+            let mgr = Arc::clone(&self.mgr);
+            let stop = Arc::clone(&self.stop);
+            let handle = std::thread::spawn(move || {
+                handle_session(socket, &mgr, || {
+                    stop.store(true, Ordering::Release);
+                    // Unblock the accept loop so it notices the flag.
+                    let _ = TcpStream::connect(addr);
+                });
+            });
+            lock(&sessions).push(handle);
+        }
+        self.mgr.shutdown();
+        for h in std::mem::take(&mut *lock(&sessions)) {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loopback (in-process) serving.
+
+/// An in-process server: same dispatcher, no sockets. Each
+/// [`Loopback::connect`] opens a fresh session over a [`crate::pipe`]
+/// duplex, served by its own thread against the shared [`JobManager`].
+pub struct Loopback {
+    mgr: Arc<JobManager>,
+}
+
+impl Loopback {
+    /// A loopback server with the given configuration (`addr` unused).
+    pub fn new(cfg: &ServeConfig) -> Loopback {
+        Loopback {
+            mgr: Arc::new(JobManager::new(cfg.threads, cfg.queue_cap, cfg.max_subs)),
+        }
+    }
+
+    /// Opens a session; the returned end speaks the frame protocol.
+    /// Dropping it hangs the session up.
+    pub fn connect(&self) -> PipeEnd {
+        let (client_end, server_end) = duplex();
+        let mgr = Arc::clone(&self.mgr);
+        std::thread::spawn(move || {
+            handle_session(server_end, &mgr, || {});
+        });
+        client_end
+    }
+
+    /// Direct access to the job manager (tests assert on job state).
+    pub fn manager(&self) -> &JobManager {
+        &self.mgr
+    }
+}

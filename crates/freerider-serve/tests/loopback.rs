@@ -1,0 +1,236 @@
+//! End-to-end protocol tests over the in-process loopback transport —
+//! plus one real-TCP smoke test.
+//!
+//! The headline assertion: a 1000-tag job submitted through the service
+//! streams ≥ 10 progress frames and a final `JobResult` whose payload is
+//! **byte-identical** to encoding the report of the same `SimConfig` +
+//! `Deployment` run directly in-process — at executor widths 1 and 4,
+//! and with 0 or 3 extra subscribers watching.
+
+use freerider_net::{Deployment, DeploymentSim, LinkModel, SimConfig};
+use freerider_serve::client::StreamEvent;
+use freerider_serve::server::Loopback;
+use freerider_serve::wire::{self, JobSpec};
+use freerider_serve::{Client, ClientError, ServeConfig};
+
+/// A 1000-tag office: tags on a 40 × 25 grid around the exciter.
+fn thousand_tag_deployment() -> Deployment {
+    let mut d = Deployment::open_plan()
+        .with_receiver(6.0, 0.0)
+        .with_receiver(-6.0, 0.0);
+    for gy in 0..25 {
+        for gx in 0..40 {
+            let x = (gx as f64) * 0.3 - 6.0;
+            let y = (gy as f64) * 0.4 - 4.8;
+            d = d.with_tag(x, y);
+        }
+    }
+    assert_eq!(d.tags.len(), 1000);
+    d
+}
+
+fn spec(rounds: usize, stream: bool, snapshot_every: usize) -> JobSpec {
+    JobSpec {
+        config: SimConfig {
+            rounds,
+            seed: 0xFEED_F00D,
+            ..SimConfig::default()
+        },
+        deployment: thousand_tag_deployment(),
+        stream,
+        snapshot_every,
+    }
+}
+
+fn loopback(threads: usize) -> Loopback {
+    Loopback::new(&ServeConfig {
+        threads,
+        ..ServeConfig::default()
+    })
+}
+
+/// The reference: run the same job in-process and encode its report.
+fn direct_bytes(s: &JobSpec) -> Vec<u8> {
+    let report =
+        DeploymentSim::new(s.deployment.clone(), LinkModel::default(), s.config.clone()).run();
+    wire::encode_report(&report)
+}
+
+fn wait_done(client: &mut Client<freerider_serve::pipe::PipeEnd>, job: u64) {
+    for _ in 0..20_000 {
+        let s = client.status(job).expect("status");
+        if s.state == "done" || s.state == "cancelled" || s.state == "failed" {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    panic!("job {job} never finished");
+}
+
+#[test]
+fn streamed_1000_tag_job_matches_in_process_run_at_widths_1_and_4() {
+    let s = spec(40, true, 10);
+    let reference = direct_bytes(&s);
+    let mut served = Vec::new();
+
+    for threads in [1usize, 4] {
+        let server = loopback(threads);
+        let mut client = Client::over(server.connect());
+        let job = client.submit(&s).expect("submit");
+        let events = client.drain_stream().expect("stream");
+
+        let progress = events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Progress(_)))
+            .count();
+        assert!(
+            progress >= 10,
+            "want ≥ 10 progress frames, got {progress} (threads={threads})"
+        );
+        let snapshots = events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Tags { .. }))
+            .count();
+        assert_eq!(snapshots, 4, "40 rounds / snapshot_every 10");
+
+        let raw = events
+            .iter()
+            .find_map(|e| match e {
+                StreamEvent::Result { raw, .. } => Some(raw.clone()),
+                _ => None,
+            })
+            .expect("stream must carry a JobResult frame");
+        assert_eq!(
+            raw, reference,
+            "served result differs from the in-process run (threads={threads})"
+        );
+        assert!(matches!(events.last(), Some(StreamEvent::End { job: j }) if *j == job));
+        served.push(raw);
+    }
+    assert_eq!(served[0], served[1], "executor width changed the bytes");
+}
+
+#[test]
+fn result_is_identical_with_zero_and_three_subscribers() {
+    let s_quiet = spec(30, false, 0);
+    let reference = direct_bytes(&s_quiet);
+
+    // Zero subscribers: nobody watches the run; the result is replayed
+    // to a late subscriber after completion.
+    let server = loopback(2);
+    let mut client = Client::over(server.connect());
+    let job = client.submit(&s_quiet).expect("submit");
+    wait_done(&mut client, job);
+    let mut sub = Client::over(server.connect());
+    sub.subscribe(job).expect("subscribe");
+    let events = sub.drain_stream().expect("replay");
+    let quiet_raw = events
+        .iter()
+        .find_map(|e| match e {
+            StreamEvent::Result { raw, .. } => Some(raw.clone()),
+            _ => None,
+        })
+        .expect("late subscriber must replay the result");
+    assert_eq!(quiet_raw, reference, "0-subscriber run diverged");
+
+    // Three subscribers: the submitting stream plus two attached over
+    // separate connections while the job runs (or replayed if it beat
+    // them — either way the bytes must match).
+    let s_live = spec(30, true, 5);
+    let server = loopback(2);
+    let mut submitter = Client::over(server.connect());
+    let job = submitter.submit(&s_live).expect("submit");
+    let mut watchers: Vec<_> = (0..2)
+        .map(|_| {
+            let mut w = Client::over(server.connect());
+            w.subscribe(job).expect("subscribe");
+            w
+        })
+        .collect();
+    let mut raws = vec![extract_result(submitter.drain_stream().expect("stream"))];
+    for w in watchers.iter_mut() {
+        raws.push(extract_result(w.drain_stream().expect("watch")));
+    }
+    for raw in &raws {
+        assert_eq!(raw, &reference, "a subscriber saw different bytes");
+    }
+}
+
+fn extract_result(events: Vec<StreamEvent>) -> Vec<u8> {
+    events
+        .into_iter()
+        .find_map(|e| match e {
+            StreamEvent::Result { raw, .. } => Some(raw),
+            _ => None,
+        })
+        .expect("stream must carry a JobResult frame")
+}
+
+#[test]
+fn cancel_status_and_list_over_the_wire() {
+    let server = loopback(1);
+    let mut client = Client::over(server.connect());
+
+    // A job big enough that the cancel lands mid-run.
+    let job = client.submit(&spec(500_000, false, 0)).expect("submit");
+    let st = client.status(job).expect("status");
+    assert!(st.state == "queued" || st.state == "running");
+    assert_eq!(st.rounds, 500_000);
+    assert_eq!(st.tags, 1000);
+
+    assert!(client.cancel(job).expect("cancel"), "cancel should land");
+    wait_done(&mut client, job);
+    assert_eq!(client.status(job).expect("status").state, "cancelled");
+
+    // Its stream replays a bare StreamEnd — no result was produced.
+    let mut sub = Client::over(server.connect());
+    sub.subscribe(job).expect("subscribe");
+    let events = sub.drain_stream().expect("replay");
+    assert!(events
+        .iter()
+        .all(|e| !matches!(e, StreamEvent::Result { .. })));
+    assert!(matches!(events.last(), Some(StreamEvent::End { .. })));
+
+    let jobs = client.list().expect("list");
+    assert_eq!(jobs.len(), 1);
+    assert_eq!(jobs[0].job, job);
+
+    // Unknown ids and invalid submissions come back as server errors.
+    assert!(matches!(client.status(999), Err(ClientError::Server(_))));
+    assert!(matches!(client.cancel(999), Err(ClientError::Server(_))));
+    let mut bad = spec(10, false, 0);
+    bad.config.rounds = 0;
+    assert!(matches!(client.submit(&bad), Err(ClientError::Server(_))));
+}
+
+#[test]
+fn tcp_round_trip_with_shutdown() {
+    use freerider_serve::server::{ServeConfig, Server};
+
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let runner = std::thread::spawn(move || server.run());
+
+    let s = spec(12, true, 0);
+    let reference = direct_bytes(&s);
+    let mut client = Client::<std::net::TcpStream>::connect(addr).expect("connect");
+    client.submit(&s).expect("submit");
+    let events = client.drain_stream().expect("stream");
+    let raw = extract_result(events.clone());
+    assert_eq!(raw, reference, "TCP-served result diverged");
+    assert!(
+        events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Progress(_)))
+            .count()
+            >= 10
+    );
+
+    client.shutdown().expect("shutdown");
+    runner.join().expect("join").expect("server run");
+}

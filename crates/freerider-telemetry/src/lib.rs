@@ -11,7 +11,9 @@
 //! - **Event log** — leveled stderr logging gated by `FREERIDER_LOG`
 //!   ([`event!`]).
 //! - **JSON** — a hand-rolled RFC 8259 writer ([`JsonWriter`]) used by
-//!   `repro --json` for machine-readable results.
+//!   `repro --json` for machine-readable results, and its inverse, a
+//!   zero-dependency parser ([`JsonValue`]) used by the `freerider-serve`
+//!   wire protocol to consume those documents.
 //! - **Flight recorder** — per-packet trace scopes gated by
 //!   `FREERIDER_TRACE` ([`trace`]), with a deterministic failure-forensics
 //!   dump and a Chrome `trace_event` exporter ([`chrome`]).
@@ -36,6 +38,7 @@
 pub mod chrome;
 pub mod hist;
 pub mod json;
+pub mod jsonv;
 pub mod log;
 pub mod registry;
 pub mod snapshot;
@@ -45,6 +48,7 @@ pub mod trace;
 pub use chrome::chrome_trace_json;
 pub use hist::{bin_index, bin_lower_bound, LogHistogram, BINS};
 pub use json::JsonWriter;
+pub use jsonv::{JsonError, JsonValue};
 pub use log::{Level, LOG_ENV};
 pub use registry::{count, count_n, record, record_span_ns, reset, snapshot, span};
 pub use snapshot::Snapshot;

@@ -79,10 +79,9 @@ fn main() {
             if t.servable { "yes" } else { "NO " },
             t.delivered_bits,
             t.reports_delivered,
-            if t.mean_latency_s.is_finite() {
-                format!("{:.0}", t.mean_latency_s * 1e3)
-            } else {
-                "—".to_string()
+            match t.mean_latency_s {
+                Some(lat) => format!("{:.0}", lat * 1e3),
+                None => "—".to_string(),
             },
             t.plm_reach * 100.0
         );

@@ -84,6 +84,30 @@ EOF
 echo "==> planned-FFT selftest (bit-identical to reference)"
 ./target/release/bench-baseline --selftest-fft
 
+echo "==> freerider-serve smoke (ephemeral port, streamed job, clean shutdown)"
+SERVE_LOG=/tmp/freerider_serve_smoke.log
+./target/release/freerider serve --addr 127.0.0.1:0 --threads 1 >"$SERVE_LOG" &
+SERVE_PID=$!
+# Wait for the startup line that carries the ephemeral port.
+SERVE_ADDR=""
+for _ in $(seq 1 50); do
+    SERVE_ADDR=$(sed -n 's/^freerider-serve listening on //p' "$SERVE_LOG")
+    [ -n "$SERVE_ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$SERVE_ADDR" ] || { echo "serve smoke: server never announced its port"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+./target/release/freerider-client --addr "$SERVE_ADDR" \
+    submit --tags 50 --rounds 25 --snapshot-every 10 --watch \
+    >/tmp/freerider_serve_stream.log
+PROGRESS=$(grep -c '^progress ' /tmp/freerider_serve_stream.log)
+SNAPSHOTS=$(grep -c '^snapshot ' /tmp/freerider_serve_stream.log)
+[ "$PROGRESS" -ge 10 ] || { echo "serve smoke: only $PROGRESS progress frames (want >= 10)"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+[ "$SNAPSHOTS" -ge 2 ] || { echo "serve smoke: only $SNAPSHOTS snapshots (want >= 2)"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+grep -q '^result: ' /tmp/freerider_serve_stream.log || { echo "serve smoke: no final result line"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+./target/release/freerider-client --addr "$SERVE_ADDR" shutdown >/dev/null
+wait "$SERVE_PID"
+echo "serve smoke OK: $PROGRESS progress frames, $SNAPSHOTS snapshots, clean shutdown"
+
 echo "==> bench baseline (diff vs benchmarks/latest.json)"
 # Full mode, not --quick: the committed baseline is a full run, and the
 # kernel rows of bench_diff fail hard, so the comparison must be

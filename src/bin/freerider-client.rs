@@ -1,0 +1,234 @@
+//! `freerider-client` — drive a running `freerider serve` instance.
+//!
+//! ```sh
+//! freerider-client --addr 127.0.0.1:7973 submit --tags 100 --rounds 400 --watch
+//! freerider-client --addr 127.0.0.1:7973 status 1
+//! freerider-client --addr 127.0.0.1:7973 list
+//! freerider-client --addr 127.0.0.1:7973 cancel 1
+//! freerider-client --addr 127.0.0.1:7973 shutdown
+//! ```
+//!
+//! `submit` builds a square-grid deployment of `--tags` tags around the
+//! exciter with two flanking receivers — enough to exercise a server
+//! end-to-end without a scene file. `--watch` streams per-round progress
+//! lines (and per-tag snapshots with `--snapshot-every N`) until the
+//! final report arrives.
+
+use freerider::net::{Deployment, SimConfig};
+use freerider::serve::client::StreamEvent;
+use freerider::serve::server::DEFAULT_ADDR;
+use freerider::serve::wire::JobSpec;
+use freerider::serve::Client;
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+/// Minimal `--flag value` parser (mirrors the `freerider` bin's).
+#[derive(Debug, Default)]
+struct Args {
+    positional: Vec<String>,
+    flags: BTreeMap<String, Vec<String>>,
+}
+
+impl Args {
+    fn parse<I: Iterator<Item = String>>(iter: I) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut iter = iter.peekable();
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if name == "watch" {
+                    out.flags
+                        .entry(name.to_string())
+                        .or_default()
+                        .push(String::new());
+                    continue;
+                }
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                out.flags.entry(name.to_string()).or_default().push(value);
+            } else {
+                out.positional.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name).and_then(|v| v.last()) {
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse `{s}`")),
+            None => Ok(default),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    fn job_id(&self, cmd: &str) -> Result<u64, String> {
+        self.positional
+            .get(1)
+            .ok_or_else(|| format!("usage: freerider-client {cmd} <job-id>"))?
+            .parse()
+            .map_err(|_| "job id must be an integer".to_string())
+    }
+}
+
+/// `--tags N` tags on a near-square grid, 0.4 m pitch, centred on the
+/// exciter, with receivers 6 m to either side.
+fn grid_deployment(tags: usize) -> Deployment {
+    let mut d = Deployment::open_plan()
+        .with_receiver(6.0, 0.0)
+        .with_receiver(-6.0, 0.0);
+    let cols = (tags as f64).sqrt().ceil() as usize;
+    for i in 0..tags {
+        let x = (i % cols) as f64 * 0.4 - cols as f64 * 0.2;
+        let y = (i / cols) as f64 * 0.4 - (tags / cols) as f64 * 0.2;
+        d = d.with_tag(x, y);
+    }
+    d
+}
+
+fn cmd_submit(client: &mut Client<TcpStream>, a: &Args) -> Result<(), String> {
+    let tags = a.get("tags", 100usize)?;
+    if tags == 0 {
+        return Err("--tags must be positive".to_string());
+    }
+    let watch = a.has("watch");
+    let spec = JobSpec {
+        config: SimConfig {
+            rounds: a.get("rounds", 400usize)?,
+            seed: a.get("seed", 1u64)?,
+            ..SimConfig::default()
+        },
+        deployment: grid_deployment(tags),
+        stream: watch,
+        snapshot_every: a.get("snapshot-every", 0usize)?,
+    };
+    let job = client.submit(&spec).map_err(|e| e.to_string())?;
+    println!(
+        "job {job} accepted ({tags} tags, {} rounds)",
+        spec.config.rounds
+    );
+    if !watch {
+        return Ok(());
+    }
+    loop {
+        match client.next_event().map_err(|e| e.to_string())? {
+            StreamEvent::Progress(p) => println!(
+                "progress round {}/{} t={:.2}s slots={} participants={} delivered={} bits={} reports={}",
+                p.round + 1,
+                p.rounds,
+                p.time_s,
+                p.n_slots,
+                p.participants,
+                p.delivered_slots,
+                p.delivered_bits,
+                p.reports_delivered
+            ),
+            StreamEvent::Tags { round, tags } => {
+                let served = tags.iter().filter(|t| t.reports_delivered > 0).count();
+                println!(
+                    "snapshot round {}: {served}/{} tags have delivered reports",
+                    round + 1,
+                    tags.len()
+                );
+            }
+            StreamEvent::Result { report, .. } => {
+                let servable = report.tags.iter().filter(|t| t.servable).count();
+                println!(
+                    "result: {}/{} servable tags, aggregate {:.2} kbps, fairness {:.3}, {:.1} s simulated",
+                    servable,
+                    report.tags.len(),
+                    report.aggregate_bps / 1e3,
+                    report.fairness,
+                    report.total_time_s
+                );
+            }
+            StreamEvent::End { job } => {
+                println!("stream end (job {job})");
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let a = Args::parse(std::env::args().skip(1))?;
+    let addr = a.get("addr", DEFAULT_ADDR.to_string())?;
+    let cmd = a.positional.first().map(String::as_str).unwrap_or("");
+    if matches!(cmd, "" | "help" | "--help") {
+        println!("{}", usage());
+        return Ok(());
+    }
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    match cmd {
+        "submit" => cmd_submit(&mut client, &a),
+        "status" => {
+            let s = client
+                .status(a.job_id("status")?)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "job {} {} round {}/{} tags {}",
+                s.job, s.state, s.rounds_done, s.rounds, s.tags
+            );
+            Ok(())
+        }
+        "cancel" => {
+            let id = a.job_id("cancel")?;
+            let landed = client.cancel(id).map_err(|e| e.to_string())?;
+            println!(
+                "job {id} {}",
+                if landed {
+                    "cancelled"
+                } else {
+                    "already finished"
+                }
+            );
+            Ok(())
+        }
+        "list" => {
+            let jobs = client.list().map_err(|e| e.to_string())?;
+            if jobs.is_empty() {
+                println!("no jobs");
+            }
+            for s in jobs {
+                println!(
+                    "job {} {} round {}/{} tags {}",
+                    s.job, s.state, s.rounds_done, s.rounds, s.tags
+                );
+            }
+            Ok(())
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server shutting down");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn usage() -> &'static str {
+    "freerider-client — drive a running `freerider serve`\n\
+     \n\
+     USAGE:\n\
+       freerider-client [--addr host:port] submit [--tags N] [--rounds N] [--seed S]\n\
+                        [--snapshot-every N] [--watch]\n\
+       freerider-client [--addr host:port] status <job-id>\n\
+       freerider-client [--addr host:port] cancel <job-id>\n\
+       freerider-client [--addr host:port] list\n\
+       freerider-client [--addr host:port] shutdown\n"
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

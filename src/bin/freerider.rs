@@ -18,6 +18,7 @@ use freerider::core::link::{BleLink, LinkConfig, WifiLink, ZigbeeLink};
 use freerider::dsp::trace::IqTrace;
 use freerider::net::coverage::coverage_map;
 use freerider::net::{Deployment, LinkModel};
+use freerider::serve::server::{ServeConfig, Server};
 use freerider::tag::power::{PowerModel, TranslatorKind};
 use std::process::ExitCode;
 
@@ -255,6 +256,23 @@ fn cmd_trace(a: &args::Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(a: &args::Args) -> Result<(), String> {
+    let mut cfg = ServeConfig::from_env();
+    if let Some(addr) = a.flags.get("addr").and_then(|v| v.last()) {
+        cfg.addr = addr.clone();
+    }
+    cfg.max_subs = a.get("max-subs", cfg.max_subs)?;
+    cfg.queue_cap = a.get("queue", cfg.queue_cap)?;
+    cfg.threads = a.get("threads", cfg.threads)?;
+    let server = Server::bind(&cfg).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // The smoke test parses this line to learn the ephemeral port.
+    println!("freerider-serve listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| e.to_string())
+}
+
 fn cmd_power(_a: &args::Args) -> Result<(), String> {
     let m = PowerModel::default();
     println!("FreeRider tag power budget (§3.3):");
@@ -276,7 +294,11 @@ fn usage() -> &'static str {
        freerider survey [wifi|zigbee|ble] [--distances 2,6,10] [--packets N] [--payload B]\n\
        freerider coverage --rx x,y [--rx x,y ...] [--exciter x,y] [--power dBm] [--grid CxR] [--cell M]\n\
        freerider trace <file.friq>\n\
-       freerider power\n"
+       freerider power\n\
+       freerider serve [--addr host:port] [--max-subs N] [--queue N] [--threads N]\n\
+     \n\
+     `freerider serve` hosts the deployment simulator as a framed-TCP\n\
+     service; drive it with the `freerider-client` binary.\n"
 }
 
 fn main() -> ExitCode {
@@ -294,6 +316,7 @@ fn main() -> ExitCode {
         "coverage" => cmd_coverage(&parsed),
         "trace" => cmd_trace(&parsed),
         "power" => cmd_power(&parsed),
+        "serve" => cmd_serve(&parsed),
         "" | "help" | "--help" => {
             println!("{}", usage());
             Ok(())

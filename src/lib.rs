@@ -21,6 +21,7 @@
 //! | [`tag`] | `freerider-tag` | the tag: envelope detector, PLM, codeword translators, power model |
 //! | [`mac`] | `freerider-mac` | Framed-Slotted-Aloha MAC + coordinator + Fig. 17 simulator |
 //! | [`net`] | `freerider-net` | deployment-scale simulation: 2D sites, coverage maps, latency |
+//! | [`serve`] | `freerider-serve` | the deployment simulator as a streaming framed-TCP service |
 //! | [`core`] | `freerider-core` | end-to-end links, XOR decoding, every §4 experiment |
 //! | [`rt`] | `freerider-rt` | deterministic RNG streams + parallel sweep executor |
 //! | [`telemetry`] | `freerider-telemetry` | counters, histograms, span timers, event log, JSON output |
@@ -55,6 +56,7 @@ pub use freerider_dsp as dsp;
 pub use freerider_mac as mac;
 pub use freerider_net as net;
 pub use freerider_rt as rt;
+pub use freerider_serve as serve;
 pub use freerider_tag as tag;
 pub use freerider_telemetry as telemetry;
 pub use freerider_wifi as wifi;
