@@ -11,7 +11,10 @@
 //! determinism contract, see `freerider-net::sim`).
 //!
 //! Completed jobs keep their final `JobResult` + `StreamEnd` frames so a
-//! late subscriber still receives the result instead of a silent hangup.
+//! late subscriber still receives the result instead of a silent hangup —
+//! up to [`MAX_RETAINED_FINISHED`] of them; older finished jobs are
+//! pruned on submission so a long-running server never grows without
+//! bound.
 
 use crate::frame::{Frame, FrameType};
 use crate::queue::SubQueue;
@@ -24,6 +27,18 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Job identifier: dense, ascending, never reused within a server run.
 pub type JobId = u64;
+
+/// Finished jobs retained for late `JobStatus`/`Subscribe` queries.
+/// Beyond this the oldest finished jobs — and their terminal frames,
+/// which can run to megabytes for large deployments — are dropped at the
+/// next submission, so a long-running server's memory stays bounded.
+pub const MAX_RETAINED_FINISHED: usize = 64;
+
+/// Smallest per-subscriber queue capacity the manager will hand out. A
+/// stream ends with up to two terminal frames (`JobResult`/`Error` +
+/// `StreamEnd`); with a smaller queue, drop-oldest eviction could evict
+/// the result itself and a streaming client would never see it.
+pub const MIN_QUEUE_CAP: usize = 4;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -163,14 +178,15 @@ pub struct JobManager {
 
 impl JobManager {
     /// A manager with the given executor width (0 = from env), queue
-    /// capacity, and per-job subscriber cap.
+    /// capacity (clamped to [`MIN_QUEUE_CAP`]), and per-job subscriber
+    /// cap.
     pub fn new(threads: usize, queue_cap: usize, max_subs: usize) -> Self {
         JobManager {
             jobs: Mutex::new(BTreeMap::new()),
             workers: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
             threads,
-            queue_cap,
+            queue_cap: queue_cap.max(MIN_QUEUE_CAP),
             max_subs: max_subs.max(1),
         }
     }
@@ -180,10 +196,43 @@ impl JobManager {
         self.queue_cap
     }
 
+    /// Joins worker threads that have already exited. Submission is the
+    /// natural hook: handle count only grows when jobs are submitted.
+    fn reap_workers(&self) {
+        let mut workers = lock(&self.workers);
+        let mut i = 0;
+        while i < workers.len() {
+            if workers[i].is_finished() {
+                let _ = workers.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Drops the oldest finished jobs past [`MAX_RETAINED_FINISHED`].
+    /// Unfinished jobs are never touched, so ids stay dense and live
+    /// streams are unaffected.
+    fn prune_finished(&self) {
+        let mut jobs = lock(&self.jobs);
+        let finished: Vec<JobId> = jobs
+            .iter()
+            .filter(|(_, j)| lock(&j.meta).state.finished())
+            .map(|(id, _)| *id)
+            .collect();
+        if finished.len() > MAX_RETAINED_FINISHED {
+            for id in &finished[..finished.len() - MAX_RETAINED_FINISHED] {
+                jobs.remove(id);
+            }
+        }
+    }
+
     /// Accepts a job and spawns its worker thread. When `initial_sub` is
     /// given it is attached *before* the thread starts, so that
     /// subscriber observes every stream frame from round zero.
     pub fn submit(&self, spec: JobSpec, initial_sub: Option<Arc<SubQueue>>) -> JobId {
+        self.reap_workers();
+        self.prune_finished();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let job = Arc::new(Job {
             id,
@@ -407,6 +456,57 @@ mod tests {
         assert!(mgr.subscribe(id).is_err());
         mgr.cancel(id);
         mgr.shutdown();
+    }
+
+    #[test]
+    fn queue_cap_is_clamped_and_tiny_caps_still_deliver_the_result() {
+        // FREERIDER_SERVE_QUEUE=1 used to let drop-oldest eviction push
+        // the JobResult out of the queue behind StreamEnd.
+        let mgr = JobManager::new(1, 1, 8);
+        assert_eq!(mgr.queue_cap(), MIN_QUEUE_CAP);
+        let sub = Arc::new(SubQueue::new(mgr.queue_cap()));
+        let id = mgr.submit(tiny_spec(20), Some(Arc::clone(&sub)));
+        // Don't drain until the job is done, so eviction definitely ran.
+        for _ in 0..20_000 {
+            let done = mgr
+                .get(id)
+                .map(|j| lock(&j.meta).state.finished())
+                .unwrap_or(false);
+            if done {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let frames = drain(&sub);
+        assert!(sub.evicted() >= 16, "evicted only {}", sub.evicted());
+        assert!(frames.iter().any(|f| f.kind == FrameType::JobResult));
+        assert_eq!(frames.last().map(|f| f.kind), Some(FrameType::StreamEnd));
+    }
+
+    #[test]
+    fn finished_jobs_are_pruned_beyond_the_retention_cap() {
+        let mgr = JobManager::new(1, 16, 8);
+        let first = {
+            let sub = Arc::new(SubQueue::new(16));
+            let id = mgr.submit(tiny_spec(1), Some(Arc::clone(&sub)));
+            drain(&sub); // StreamEnd popped ⇒ the job is finished
+            id
+        };
+        let mut newest = first;
+        for _ in 0..MAX_RETAINED_FINISHED + 5 {
+            let sub = Arc::new(SubQueue::new(16));
+            newest = mgr.submit(tiny_spec(1), Some(Arc::clone(&sub)));
+            drain(&sub);
+        }
+        mgr.shutdown();
+        let ids: Vec<u64> = mgr.list().iter().map(|s| s.job).collect();
+        assert!(
+            ids.len() <= MAX_RETAINED_FINISHED + 1,
+            "{} jobs retained",
+            ids.len()
+        );
+        assert!(ids.contains(&newest));
+        assert!(!ids.contains(&first), "oldest finished job not pruned");
     }
 
     #[test]

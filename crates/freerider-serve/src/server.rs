@@ -17,13 +17,15 @@ use crate::wire;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 /// Listen address knob.
 pub const ADDR_ENV: &str = "FREERIDER_SERVE_ADDR";
 /// Per-job subscriber cap knob.
 pub const MAX_SUBS_ENV: &str = "FREERIDER_SERVE_MAX_SUBS";
-/// Per-subscriber queue capacity knob.
+/// Per-subscriber queue capacity knob. Values below
+/// [`crate::job::MIN_QUEUE_CAP`] are clamped there, so eviction can
+/// never discard a stream's terminal `JobResult`/`StreamEnd` frames.
 pub const QUEUE_ENV: &str = "FREERIDER_SERVE_QUEUE";
 
 /// Default listen address.
@@ -32,10 +34,6 @@ pub const DEFAULT_ADDR: &str = "127.0.0.1:7973";
 pub const DEFAULT_MAX_SUBS: usize = 64;
 /// Default per-subscriber queue capacity, in frames.
 pub const DEFAULT_QUEUE: usize = 256;
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -238,12 +236,15 @@ impl Server {
     }
 
     /// Accepts connections until a client sends `Shutdown`. Each session
-    /// runs on its own thread; on shutdown all sessions are joined and
-    /// every unfinished job is cancelled.
+    /// runs on its own thread; on shutdown every unfinished job is
+    /// cancelled, every session socket is shut down (so a session parked
+    /// in a blocking read on an idle connection wakes up instead of
+    /// pinning the server forever), and all session threads are joined.
     pub fn run(self) -> io::Result<()> {
         let addr = self.listener.local_addr()?;
-        let sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        // Per live session: a socket clone (to unblock its read on
+        // shutdown) and the thread handle (to join).
+        let mut sessions: Vec<(Option<TcpStream>, std::thread::JoinHandle<()>)> = Vec::new();
         loop {
             let (socket, _) = match self.listener.accept() {
                 Ok(pair) => pair,
@@ -253,7 +254,19 @@ impl Server {
             if self.stop.load(Ordering::Acquire) {
                 break; // the self-connect that unblocked accept()
             }
+            // Reap finished sessions so a long-running server does not
+            // accumulate one handle per connection it ever served.
+            let mut i = 0;
+            while i < sessions.len() {
+                if sessions[i].1.is_finished() {
+                    let (_, h) = sessions.swap_remove(i);
+                    let _ = h.join();
+                } else {
+                    i += 1;
+                }
+            }
             freerider_telemetry::count("serve.sessions");
+            let peer = socket.try_clone().ok();
             let mgr = Arc::clone(&self.mgr);
             let stop = Arc::clone(&self.stop);
             let handle = std::thread::spawn(move || {
@@ -263,10 +276,18 @@ impl Server {
                     let _ = TcpStream::connect(addr);
                 });
             });
-            lock(&sessions).push(handle);
+            sessions.push((peer, handle));
         }
+        // Order matters: finish the jobs first (closing stream queues, so
+        // any session inside `pump` drains out), then shut the sockets so
+        // sessions parked in `read_frame` fail their read, then join.
         self.mgr.shutdown();
-        for h in std::mem::take(&mut *lock(&sessions)) {
+        for (sock, _) in &sessions {
+            if let Some(s) = sock {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        for (_, h) in sessions {
             let _ = h.join();
         }
         Ok(())

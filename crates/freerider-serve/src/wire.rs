@@ -393,7 +393,8 @@ pub fn decode_progress(payload: &[u8]) -> Result<RoundProgress, WireError> {
         round: need_usize(&v, "round")?,
         rounds: need_usize(&v, "rounds")?,
         time_s: need_f64(&v, "time_s")?,
-        n_slots: need_u64(&v, "n_slots")? as u16,
+        n_slots: u16::try_from(need_u64(&v, "n_slots")?)
+            .map_err(|_| WireError::new("`n_slots` out of range for u16"))?,
         participants: need_usize(&v, "participants")?,
         delivered_slots: need_usize(&v, "delivered_slots")?,
         delivered_bits: need_u64(&v, "delivered_bits")?,
@@ -624,6 +625,17 @@ mod tests {
         let (round, back) = decode_tags(&encode_tags(7, &tags)).unwrap();
         assert_eq!(round, 7);
         assert_eq!(back, tags);
+    }
+
+    #[test]
+    fn progress_rejects_out_of_range_n_slots() {
+        // A mismatched or malicious server could claim more slots than
+        // `u16` holds; that must be a decode error, not a truncation.
+        let payload = br#"{"round":1,"rounds":2,"time_s":0.1,"n_slots":70000,
+            "participants":1,"delivered_slots":1,"delivered_bits":1,
+            "reports_delivered":1}"#;
+        let err = decode_progress(payload).unwrap_err();
+        assert!(err.msg.contains("n_slots"), "unexpected error: {err}");
     }
 
     #[test]

@@ -234,3 +234,26 @@ fn tcp_round_trip_with_shutdown() {
     client.shutdown().expect("shutdown");
     runner.join().expect("join").expect("server run");
 }
+
+#[test]
+fn shutdown_completes_with_an_idle_connection_open() {
+    use freerider_serve::server::{ServeConfig, Server};
+
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let runner = std::thread::spawn(move || server.run());
+
+    // An idle session: connected, never sends a frame. Its thread parks
+    // in a blocking read; shutdown used to join it and hang forever.
+    let idle = std::net::TcpStream::connect(addr).expect("idle connect");
+
+    let mut client = Client::<std::net::TcpStream>::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    runner.join().expect("join").expect("server run");
+    drop(idle);
+}

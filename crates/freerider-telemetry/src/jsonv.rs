@@ -11,8 +11,18 @@
 //! emits (`u64`s above 2^53 would lose precision, but the workspace never
 //! writes counters that large into wire payloads; [`JsonValue::as_u64`]
 //! rejects non-integral values rather than truncating).
+//!
+//! Container nesting is capped at [`MAX_DEPTH`] levels: the parser is
+//! recursive-descent (one stack frame per level) and its inputs are
+//! network-supplied frame payloads, so unbounded `[[[[…` input would
+//! otherwise overflow the parsing thread's stack.
 
 use std::fmt;
+
+/// Maximum object/array nesting depth; deeper input is a [`JsonError`],
+/// not a stack overflow. Every document the workspace's writer produces
+/// is a handful of levels deep, so 128 is purely a safety margin.
+pub const MAX_DEPTH: usize = 128;
 
 /// A parsed JSON document node.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +64,7 @@ impl JsonValue {
         let mut p = Parser {
             bytes: s.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -123,6 +134,7 @@ impl JsonValue {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -163,8 +175,19 @@ impl<'a> Parser<'a> {
 
     fn value(&mut self) -> Result<JsonValue, JsonError> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(c @ (b'{' | b'[')) => {
+                if self.depth >= MAX_DEPTH {
+                    return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+                }
+                self.depth += 1;
+                let v = if c == b'{' {
+                    self.object()
+                } else {
+                    self.array()
+                };
+                self.depth -= 1;
+                v
+            }
             Some(b'"') => Ok(JsonValue::Str(self.string()?)),
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
@@ -432,6 +455,23 @@ mod tests {
         ] {
             assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // A network peer can send megabytes of `[[[[…`; the parser must
+        // fail cleanly instead of exhausting the thread stack.
+        for open in ["[", "{\"k\":"] {
+            let bomb = open.repeat(100_000);
+            let e = JsonValue::parse(&bomb).unwrap_err();
+            assert!(e.msg.contains("nesting"), "unexpected error: {e}");
+        }
+        // Exactly MAX_DEPTH levels still parse…
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(JsonValue::parse(&ok).is_ok());
+        // …one more does not.
+        let over = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(JsonValue::parse(&over).is_err());
     }
 
     #[test]
