@@ -154,6 +154,63 @@ fn serve_fanout(
     (bench(label, budget, max_iters, run), frames_per_run)
 }
 
+/// The serve-path metrics-hook A/A pair: two identical fan-out-1
+/// kernels whose samples are *interleaved*, so both medians see the
+/// same machine noise. Two back-to-back batched runs can diverge
+/// wildly when a contention window lands inside one batch;
+/// interleaving makes the A/B delta a genuine bound on the
+/// (unremovable) registry hook cost plus per-sample jitter.
+fn serve_stats_aa(budget: Duration, max_iters: u32) -> (Summary, Summary) {
+    use freerider_net::{Deployment, SimConfig};
+    use freerider_serve::{Client, JobSpec, Loopback, ServeConfig};
+    use std::hint::black_box;
+
+    let server = Loopback::new(&ServeConfig {
+        threads: 1,
+        ..ServeConfig::default()
+    });
+    let mut d = Deployment::open_plan().with_receiver(4.0, 0.0);
+    for i in 0..30 {
+        d = d.with_tag((i % 6) as f64 * 0.8 - 2.0, (i / 6) as f64 * 0.8 - 2.0);
+    }
+    let spec = JobSpec {
+        config: SimConfig {
+            rounds: 10,
+            seed: 7,
+            ..SimConfig::default()
+        },
+        deployment: d,
+        stream: true,
+        snapshot_every: 5,
+    };
+    let run = || {
+        let mut submitter = Client::over(server.connect());
+        submitter.submit(&spec).unwrap();
+        submitter.drain_stream().unwrap().len() as u64
+    };
+    black_box(run()); // warm-up
+    let mut a: Vec<Duration> = Vec::new();
+    let mut b: Vec<Duration> = Vec::new();
+    let start = Instant::now();
+    while a.len() < 3 || (start.elapsed() < budget * 2 && (a.len() as u32) < max_iters) {
+        let t0 = Instant::now();
+        black_box(run());
+        a.push(t0.elapsed());
+        let t0 = Instant::now();
+        black_box(run());
+        b.push(t0.elapsed());
+    }
+    let summarize = |mut v: Vec<Duration>| {
+        v.sort_unstable();
+        Summary {
+            iters: v.len() as u32,
+            median: v[v.len() / 2],
+            mean: v.iter().sum::<Duration>() / v.len() as u32,
+        }
+    };
+    (summarize(a), summarize(b))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--selftest-fft") {
@@ -305,6 +362,30 @@ fn main() -> ExitCode {
     println!(
         "trace overhead: disabled-path {disabled_pct:+.2}% (A/A), recording {recording_pct:+.2}%"
     );
+
+    // Server-metrics hook overhead on the serve path. The registry's
+    // relaxed-atomic hooks cannot be compiled out, so — like the trace
+    // triad above — an A/A pair of the same fan-out-1 kernel bounds
+    // their cost together with harness noise; bench_diff.py then holds
+    // both rows to the kernel regression threshold across baselines.
+    let (stats_a, stats_b) = serve_stats_aa(budget, max_iters.min(200));
+    let stats_aa_pct = pct(stats_b.median, stats_a.median);
+    println!(
+        "serve/stats_overhead_{{a,b}}: {} vs {} median ({} iters each), A/A delta {stats_aa_pct:+.2}%",
+        freerider_bench::micro::format_duration(stats_a.median),
+        freerider_bench::micro::format_duration(stats_b.median),
+        stats_a.iters
+    );
+    kernels.push(KernelResult {
+        name: "serve/stats_overhead_a",
+        summary: stats_a,
+        bytes: 0,
+    });
+    kernels.push(KernelResult {
+        name: "serve/stats_overhead_b",
+        summary: stats_b,
+        bytes: 0,
+    });
 
     // Per-experiment wall-clock (quick workloads keep this step short).
     let mut experiments: Vec<(&'static str, f64)> = Vec::new();

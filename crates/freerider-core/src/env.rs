@@ -72,6 +72,16 @@ pub const REGISTRY: &[EnvKnob] = &[
               telemetry as serve.sub.evictions.",
     },
     EnvKnob {
+        name: "FREERIDER_SERVE_STATS_EVERY",
+        consumer: "freerider-serve::server",
+        default: "0 (off)",
+        doc: "Broadcast a Stats metrics snapshot frame to every stream \
+              subscriber after each this-many completed simulation rounds. \
+              0 disables the push; GetStats polling always works. Enabling \
+              it makes byte/frame counters timing-dependent — the counters \
+              determinism contract holds only at 0.",
+    },
+    EnvKnob {
         name: "FREERIDER_THREADS",
         consumer: "freerider-rt::executor",
         default: "all cores",

@@ -8,6 +8,7 @@
 //! byte-identity against an in-process run.
 
 use crate::frame::{read_frame, write_frame, Frame, FrameError, FrameType};
+use crate::metrics::{HealthInfo, StatsReport};
 use crate::wire::{self, JobSpec, StatusInfo, WireError};
 use freerider_net::{DeploymentReport, RoundProgress, TagReport};
 use std::fmt;
@@ -71,6 +72,8 @@ pub enum StreamEvent {
         /// The decoded report.
         report: DeploymentReport,
     },
+    /// A periodic server metrics snapshot (`FREERIDER_SERVE_STATS_EVERY`).
+    Stats(StatsReport),
     /// End of the stream.
     End {
         /// The job whose stream ended.
@@ -147,6 +150,7 @@ impl<S: Read + Write> Client<S> {
                     report,
                 }
             }
+            FrameType::Stats => StreamEvent::Stats(wire::decode_stats(&f.payload)?),
             FrameType::StreamEnd => StreamEvent::End {
                 job: wire::decode_job_id(&f.payload)?,
             },
@@ -200,6 +204,24 @@ impl<S: Read + Write> Client<S> {
             &Frame::new(FrameType::Subscribe, wire::encode_job_id(job)),
         )?;
         Ok(())
+    }
+
+    /// The server's full metrics snapshot, decoded. For byte-identity
+    /// assertions use [`Client::stats_raw`] instead.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        Ok(wire::decode_stats(&self.stats_raw()?)?)
+    }
+
+    /// The raw `Stats` payload bytes exactly as served.
+    pub fn stats_raw(&mut self) -> Result<Vec<u8>, ClientError> {
+        let f = self.request(Frame::bare(FrameType::GetStats), FrameType::Stats)?;
+        Ok(f.payload)
+    }
+
+    /// The server's liveness/readiness probe.
+    pub fn health(&mut self) -> Result<HealthInfo, ClientError> {
+        let f = self.request(Frame::bare(FrameType::GetHealth), FrameType::Health)?;
+        Ok(wire::decode_health(&f.payload)?)
     }
 
     /// Asks the server to shut down; resolves once acknowledged.

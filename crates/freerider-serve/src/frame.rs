@@ -44,6 +44,10 @@ pub enum FrameType {
     Subscribe = 0x05,
     /// Request: shut the server down.
     Shutdown = 0x06,
+    /// Request: full server metrics snapshot.
+    GetStats = 0x07,
+    /// Request: cheap liveness/readiness probe.
+    GetHealth = 0x08,
 
     /// Response: job accepted, payload carries the id.
     JobAccepted = 0x10,
@@ -57,6 +61,13 @@ pub enum FrameType {
     Error = 0x14,
     /// Response: shutdown acknowledged.
     ShuttingDown = 0x15,
+    /// Response *and* stream: server metrics snapshot
+    /// (schema `freerider-serve-stats/1`). Sent in answer to
+    /// [`FrameType::GetStats`], and pushed into subscriber streams every
+    /// `FREERIDER_SERVE_STATS_EVERY` rounds when that knob is set.
+    Stats = 0x16,
+    /// Response: liveness/readiness probe result.
+    Health = 0x17,
 
     /// Stream: per-round progress.
     Progress = 0x20,
@@ -67,6 +78,32 @@ pub enum FrameType {
     /// Stream: end of stream (job finished or was cancelled).
     StreamEnd = 0x23,
 }
+
+/// Every frame type, in wire-byte order. [`crate::metrics::ServerMetrics`]
+/// indexes its per-type counters by position in this list, and the stats
+/// snapshot iterates it so counter names come out in a fixed order.
+pub const ALL_TYPES: [FrameType; 20] = [
+    FrameType::SubmitJob,
+    FrameType::JobStatus,
+    FrameType::CancelJob,
+    FrameType::ListJobs,
+    FrameType::Subscribe,
+    FrameType::Shutdown,
+    FrameType::GetStats,
+    FrameType::GetHealth,
+    FrameType::JobAccepted,
+    FrameType::Status,
+    FrameType::Jobs,
+    FrameType::Cancelled,
+    FrameType::Error,
+    FrameType::ShuttingDown,
+    FrameType::Stats,
+    FrameType::Health,
+    FrameType::Progress,
+    FrameType::TagSnapshot,
+    FrameType::JobResult,
+    FrameType::StreamEnd,
+];
 
 impl FrameType {
     /// Decodes a wire byte.
@@ -79,18 +116,92 @@ impl FrameType {
             0x04 => ListJobs,
             0x05 => Subscribe,
             0x06 => Shutdown,
+            0x07 => GetStats,
+            0x08 => GetHealth,
             0x10 => JobAccepted,
             0x11 => Status,
             0x12 => Jobs,
             0x13 => Cancelled,
             0x14 => Error,
             0x15 => ShuttingDown,
+            0x16 => Stats,
+            0x17 => Health,
             0x20 => Progress,
             0x21 => TagSnapshot,
             0x22 => JobResult,
             0x23 => StreamEnd,
             _ => return None,
         })
+    }
+
+    /// A stable lower-snake name, used in metric keys
+    /// (`serve.frames.rx.<name>`) and trace scopes (`serve.frame.<name>`).
+    pub fn name(self) -> &'static str {
+        use FrameType::*;
+        match self {
+            SubmitJob => "submit_job",
+            JobStatus => "job_status",
+            CancelJob => "cancel_job",
+            ListJobs => "list_jobs",
+            Subscribe => "subscribe",
+            Shutdown => "shutdown",
+            GetStats => "get_stats",
+            GetHealth => "get_health",
+            JobAccepted => "job_accepted",
+            Status => "status",
+            Jobs => "jobs",
+            Cancelled => "cancelled",
+            Error => "error",
+            ShuttingDown => "shutting_down",
+            Stats => "stats",
+            Health => "health",
+            Progress => "progress",
+            TagSnapshot => "tag_snapshot",
+            JobResult => "job_result",
+            StreamEnd => "stream_end",
+        }
+    }
+
+    /// The flight-recorder scope for frames of this type. Trace scopes
+    /// must be `&'static str`, so the `serve.frame.` prefix is baked in
+    /// here rather than formatted at runtime.
+    pub fn trace_scope(self) -> &'static str {
+        use FrameType::*;
+        match self {
+            SubmitJob => "serve.frame.submit_job",
+            JobStatus => "serve.frame.job_status",
+            CancelJob => "serve.frame.cancel_job",
+            ListJobs => "serve.frame.list_jobs",
+            Subscribe => "serve.frame.subscribe",
+            Shutdown => "serve.frame.shutdown",
+            GetStats => "serve.frame.get_stats",
+            GetHealth => "serve.frame.get_health",
+            JobAccepted => "serve.frame.job_accepted",
+            Status => "serve.frame.status",
+            Jobs => "serve.frame.jobs",
+            Cancelled => "serve.frame.cancelled",
+            Error => "serve.frame.error",
+            ShuttingDown => "serve.frame.shutting_down",
+            Stats => "serve.frame.stats",
+            Health => "serve.frame.health",
+            Progress => "serve.frame.progress",
+            TagSnapshot => "serve.frame.tag_snapshot",
+            JobResult => "serve.frame.job_result",
+            StreamEnd => "serve.frame.stream_end",
+        }
+    }
+
+    /// Position of this type in [`ALL_TYPES`] — a dense index for
+    /// per-type counter arrays.
+    pub fn index(self) -> usize {
+        // ALL_TYPES is wire-byte ordered: requests 0x01..=0x08 first,
+        // then responses 0x10..=0x17, then stream frames 0x20..=0x23.
+        let b = self as u8;
+        match b {
+            0x01..=0x08 => (b - 0x01) as usize,
+            0x10..=0x17 => (b - 0x10) as usize + 8,
+            _ => (b - 0x20) as usize + 16,
+        }
     }
 }
 
@@ -267,27 +378,30 @@ mod tests {
 
     #[test]
     fn every_type_round_trips_its_byte() {
-        use FrameType::*;
-        for t in [
-            SubmitJob,
-            JobStatus,
-            CancelJob,
-            ListJobs,
-            Subscribe,
-            Shutdown,
-            JobAccepted,
-            Status,
-            Jobs,
-            Cancelled,
-            Error,
-            ShuttingDown,
-            Progress,
-            TagSnapshot,
-            JobResult,
-            StreamEnd,
-        ] {
+        for t in ALL_TYPES {
             assert_eq!(FrameType::from_byte(t as u8), Some(t));
         }
         assert_eq!(FrameType::from_byte(0x00), None);
+    }
+
+    #[test]
+    fn index_is_dense_and_matches_all_types_order() {
+        for (i, t) in ALL_TYPES.iter().enumerate() {
+            assert_eq!(t.index(), i, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_wire_safe() {
+        let mut names: Vec<&str> = ALL_TYPES.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate frame-type name");
+        for n in names {
+            assert!(n
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit()));
+        }
     }
 }

@@ -17,10 +17,12 @@
 //! bound.
 
 use crate::frame::{Frame, FrameType};
+use crate::metrics::ServerMetrics;
 use crate::queue::SubQueue;
 use crate::wire::{self, JobSpec, StatusInfo};
 use freerider_net::{DeploymentSim, LinkModel, SimEvent};
 use freerider_rt::{CancelToken, Executor};
+use freerider_telemetry::trace;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -174,12 +176,18 @@ pub struct JobManager {
     queue_cap: usize,
     /// Subscriber cap per job.
     max_subs: usize,
+    /// Push a `Stats` frame into streams every this many rounds (0 = off).
+    stats_every: usize,
+    /// This server's observability registry; shared with every session
+    /// and every queue the manager hands out.
+    metrics: Arc<ServerMetrics>,
 }
 
 impl JobManager {
     /// A manager with the given executor width (0 = from env), queue
     /// capacity (clamped to [`MIN_QUEUE_CAP`]), and per-job subscriber
-    /// cap.
+    /// cap. Periodic stats pushes start off; see
+    /// [`JobManager::with_stats_every`].
     pub fn new(threads: usize, queue_cap: usize, max_subs: usize) -> Self {
         JobManager {
             jobs: Mutex::new(BTreeMap::new()),
@@ -188,12 +196,36 @@ impl JobManager {
             threads,
             queue_cap: queue_cap.max(MIN_QUEUE_CAP),
             max_subs: max_subs.max(1),
+            stats_every: 0,
+            metrics: Arc::new(ServerMetrics::new()),
         }
+    }
+
+    /// Enables periodic `Stats` stream frames: one is broadcast to every
+    /// subscriber after each `every` completed rounds (0 disables). With
+    /// pushes enabled, byte counters become timing-dependent — the
+    /// determinism contract on the counters section only holds at 0.
+    pub fn with_stats_every(mut self, every: usize) -> Self {
+        self.stats_every = every;
+        self
     }
 
     /// The per-subscriber queue capacity this manager hands out.
     pub fn queue_cap(&self) -> usize {
         self.queue_cap
+    }
+
+    /// This server's metrics registry.
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
+    }
+
+    /// A fresh subscriber queue wired into this server's metrics.
+    pub fn new_queue(&self) -> Arc<SubQueue> {
+        Arc::new(SubQueue::with_metrics(
+            self.queue_cap,
+            Some(Arc::clone(&self.metrics)),
+        ))
     }
 
     /// Joins worker threads that have already exited. Submission is the
@@ -251,9 +283,15 @@ impl JobManager {
         });
         lock(&self.jobs).insert(id, Arc::clone(&job));
         freerider_telemetry::count("serve.jobs.submitted");
+        self.metrics.job_submitted();
+        if job.has_subs() {
+            self.metrics.sub_attached();
+        }
 
         let threads = self.threads;
-        let handle = std::thread::spawn(move || run_job(job, spec, threads));
+        let stats_every = self.stats_every;
+        let metrics = Arc::clone(&self.metrics);
+        let handle = std::thread::spawn(move || run_job(job, spec, threads, metrics, stats_every));
         lock(&self.workers).push(handle);
         id
     }
@@ -263,13 +301,14 @@ impl JobManager {
     /// its subscriber cap is an error.
     pub fn subscribe(&self, id: JobId) -> Result<Arc<SubQueue>, String> {
         let job = self.get(id).ok_or_else(|| format!("no such job {id}"))?;
-        let q = Arc::new(SubQueue::new(self.queue_cap));
+        let q = self.new_queue();
         let mut subs = lock(&job.subs);
         if subs.finished {
             for f in subs.terminal.iter() {
                 q.push(f.clone());
             }
             q.close();
+            self.metrics.sub_attached();
             return Ok(q);
         }
         if subs.queues.len() >= self.max_subs {
@@ -279,6 +318,7 @@ impl JobManager {
             ));
         }
         subs.queues.push(Arc::clone(&q));
+        self.metrics.sub_attached();
         Ok(q)
     }
 
@@ -322,8 +362,18 @@ impl Drop for JobManager {
 }
 
 /// The worker thread body: runs the simulation, streaming to subscribers.
-fn run_job(job: Arc<Job>, spec: JobSpec, threads: usize) {
+fn run_job(
+    job: Arc<Job>,
+    spec: JobSpec,
+    threads: usize,
+    metrics: Arc<ServerMetrics>,
+    stats_every: usize,
+) {
+    let _scope = trace::packet("serve.job", job.id);
+    trace::value_u64("rounds", spec.config.rounds as u64);
+    trace::value_u64("tags", spec.deployment.tags.len() as u64);
     lock(&job.meta).state = JobState::Running;
+    metrics.job_started();
     let exec = if threads == 0 {
         Executor::from_env()
     } else {
@@ -332,16 +382,29 @@ fn run_job(job: Arc<Job>, spec: JobSpec, threads: usize) {
     let sim = DeploymentSim::new(spec.deployment, LinkModel::default(), spec.config);
     let cancel = job.cancel.clone();
     let job_obs = Arc::clone(&job);
+    let metrics_obs = Arc::clone(&metrics);
     let snapshot_every = spec.snapshot_every;
 
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         sim.run_observed(&exec, &cancel, snapshot_every, &mut |event| match event {
             SimEvent::Round(p) => {
-                lock(&job_obs.meta).rounds_done = p.round as u64 + 1;
+                let round_done = p.round as u64 + 1;
+                lock(&job_obs.meta).rounds_done = round_done;
                 // Encode once, clone per subscriber; skip the encode
                 // entirely when nobody is listening.
                 if job_obs.has_subs() {
                     job_obs.broadcast(Frame::new(FrameType::Progress, wire::encode_progress(&p)));
+                    // The FREERIDER_SERVE_STATS_EVERY periodic snapshot:
+                    // subscribers watching a long job see server load
+                    // evolve without polling GetStats on a second
+                    // connection.
+                    if stats_every > 0 && round_done.is_multiple_of(stats_every as u64) {
+                        metrics_obs.stats_push();
+                        job_obs.broadcast(Frame::new(
+                            FrameType::Stats,
+                            wire::encode_stats(&metrics_obs.report()),
+                        ));
+                    }
                 }
             }
             SimEvent::Tags { round, tags } => {
@@ -356,15 +419,24 @@ fn run_job(job: Arc<Job>, spec: JobSpec, threads: usize) {
     }));
 
     let end = Frame::new(FrameType::StreamEnd, wire::encode_job_id(job.id));
+    // Record the terminal transition *before* broadcasting the terminal
+    // frames: a client that saw `StreamEnd` must find the job already
+    // counted as finished in its next `Stats` snapshot.
     match outcome {
         Ok(Some(report)) => {
             let result = Frame::new(FrameType::JobResult, wire::encode_report(&report));
+            metrics.job_finished(JobState::Done);
             job.finish(JobState::Done, vec![result, end]);
             freerider_telemetry::count("serve.jobs.completed");
         }
-        Ok(None) => job.finish(JobState::Cancelled, vec![end]),
+        Ok(None) => {
+            metrics.job_finished(JobState::Cancelled);
+            job.finish(JobState::Cancelled, vec![end]);
+        }
         Err(_) => {
+            trace::fail("job worker panicked");
             let err = Frame::new(FrameType::Error, wire::encode_error("job worker panicked"));
+            metrics.job_finished(JobState::Failed);
             job.finish(JobState::Failed, vec![err, end]);
         }
     }

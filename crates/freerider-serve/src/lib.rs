@@ -10,9 +10,10 @@
 //!
 //! Every message is one frame: `[version:u8][type:u8][len:u32 BE]` then
 //! a UTF-8 JSON payload ([`frame`]). Requests are `SubmitJob`,
-//! `JobStatus`, `CancelJob`, `ListJobs`, `Subscribe`, `Shutdown`;
-//! streams carry `Progress`, `TagSnapshot`, `JobResult`, `StreamEnd`
-//! frames. Payload codecs live in [`wire`].
+//! `JobStatus`, `CancelJob`, `ListJobs`, `Subscribe`, `Shutdown`,
+//! `GetStats`, `GetHealth`; streams carry `Progress`, `TagSnapshot`,
+//! `JobResult`, `StreamEnd` (and, with `FREERIDER_SERVE_STATS_EVERY`
+//! set, periodic `Stats`) frames. Payload codecs live in [`wire`].
 //!
 //! ## Guarantees
 //!
@@ -26,6 +27,11 @@
 //! * **No sockets needed** — [`server::Loopback`] serves the identical
 //!   dispatch path over an in-process [`pipe`], which is how the
 //!   integration tests and the `net/serve_fanout` benchmarks run.
+//! * **Observable** — every server owns a [`metrics::ServerMetrics`]
+//!   registry (frames by type, bytes, sessions, jobs, evictions,
+//!   latency percentiles) served over `GetStats`/`GetHealth`; the
+//!   counters section is byte-identical across `FREERIDER_THREADS`,
+//!   per the workspace determinism contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +39,7 @@
 pub mod client;
 pub mod frame;
 pub mod job;
+pub mod metrics;
 pub mod pipe;
 pub mod queue;
 pub mod server;
@@ -41,6 +48,7 @@ pub mod wire;
 pub use client::{Client, ClientError, StreamEvent};
 pub use frame::{Frame, FrameError, FrameType};
 pub use job::{JobId, JobManager, JobState};
+pub use metrics::{HealthInfo, LatencySummary, ServerMetrics, StatsReport, STATS_SCHEMA};
 pub use queue::SubQueue;
 pub use server::{Loopback, ServeConfig, Server};
 pub use wire::{JobSpec, StatusInfo, WireError};

@@ -10,9 +10,10 @@
 //! backpressure engaged.
 
 use crate::frame::Frame;
+use crate::metrics::ServerMetrics;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Locks a mutex, recovering from poisoning.
 ///
@@ -32,12 +33,23 @@ pub struct SubQueue {
     inner: Mutex<Inner>,
     ready: Condvar,
     cap: usize,
+    pushed: AtomicU64,
     evicted: AtomicU64,
+    /// The owning server's registry, when this queue was handed out by a
+    /// [`crate::job::JobManager`]; bare `SubQueue::new` queues (unit
+    /// tests) have none and only feed the process-global telemetry.
+    metrics: Option<Arc<ServerMetrics>>,
 }
 
 impl SubQueue {
     /// A queue holding at most `cap` frames (`cap` ≥ 1 is enforced).
     pub fn new(cap: usize) -> Self {
+        SubQueue::with_metrics(cap, None)
+    }
+
+    /// A queue that additionally reports evictions and depth high-water
+    /// marks into a server's [`ServerMetrics`].
+    pub fn with_metrics(cap: usize, metrics: Option<Arc<ServerMetrics>>) -> Self {
         SubQueue {
             inner: Mutex::new(Inner {
                 frames: VecDeque::new(),
@@ -45,7 +57,9 @@ impl SubQueue {
             }),
             ready: Condvar::new(),
             cap: cap.max(1),
+            pushed: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            metrics,
         }
     }
 
@@ -60,9 +74,16 @@ impl SubQueue {
             g.frames.pop_front();
             self.evicted.fetch_add(1, Ordering::Relaxed);
             freerider_telemetry::count("serve.sub.evictions");
+            if let Some(m) = &self.metrics {
+                m.sub_evicted();
+            }
         }
         g.frames.push_back(frame);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
         freerider_telemetry::record("serve.sub.queue_depth", g.frames.len() as u64);
+        if let Some(m) = &self.metrics {
+            m.sub_frame_pushed(g.frames.len() as u64);
+        }
         drop(g);
         self.ready.notify_one();
     }
@@ -95,6 +116,13 @@ impl SubQueue {
     /// How many frames were evicted by backpressure so far.
     pub fn evicted(&self) -> u64 {
         self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// How many frames were accepted (enqueued) so far. Pushes dropped
+    /// because the queue was already closed are *not* counted, so the
+    /// books always balance: `pushed == popped + evicted + still-queued`.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
     }
 }
 
@@ -143,6 +171,36 @@ mod tests {
         let popper = std::thread::spawn(move || q2.pop());
         q.push(tagged(7));
         assert_eq!(popper.join().unwrap(), Some(tagged(7)));
+    }
+
+    #[test]
+    fn pushed_counter_balances_pops_and_evictions() {
+        let q = SubQueue::new(3);
+        for n in 1..=7 {
+            q.push(tagged(n));
+        }
+        q.close();
+        q.push(tagged(99)); // closed: dropped, not counted as pushed
+        let mut popped = 0u64;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(q.pushed(), 7);
+        assert_eq!(q.pushed(), popped + q.evicted());
+    }
+
+    #[test]
+    fn metrics_hook_sees_evictions_and_depth() {
+        let m = Arc::new(ServerMetrics::new());
+        let q = SubQueue::with_metrics(2, Some(Arc::clone(&m)));
+        for n in 1..=5 {
+            q.push(tagged(n));
+        }
+        let r = m.report();
+        assert_eq!(r.counter("subs.evictions"), 3);
+        assert_eq!(r.counter("subs.evictions"), q.evicted());
+        assert_eq!(r.counter("subs.broadcast"), 5);
+        assert_eq!(r.gauge("queue.depth_hwm"), 2);
     }
 
     #[test]

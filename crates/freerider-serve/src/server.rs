@@ -9,11 +9,13 @@
 //! `Read + Write`, so the identical code path serves TCP sockets and the
 //! [`crate::pipe`] loopback.
 
-use crate::frame::{read_frame, write_frame, Frame, FrameType};
+use crate::frame::{read_frame, write_frame, Frame, FrameError, FrameType};
 use crate::job::JobManager;
+use crate::metrics::ServerMetrics;
 use crate::pipe::{duplex, PipeEnd};
 use crate::queue::SubQueue;
 use crate::wire;
+use freerider_telemetry::{trace, Stopwatch};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,6 +29,9 @@ pub const MAX_SUBS_ENV: &str = "FREERIDER_SERVE_MAX_SUBS";
 /// [`crate::job::MIN_QUEUE_CAP`] are clamped there, so eviction can
 /// never discard a stream's terminal `JobResult`/`StreamEnd` frames.
 pub const QUEUE_ENV: &str = "FREERIDER_SERVE_QUEUE";
+/// Periodic stats-push knob: broadcast a `Stats` frame to every
+/// subscriber after each this-many completed rounds (unset/0 = off).
+pub const STATS_EVERY_ENV: &str = "FREERIDER_SERVE_STATS_EVERY";
 
 /// Default listen address.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7973";
@@ -46,6 +51,10 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Executor width for job threads (0 = honour `FREERIDER_THREADS`).
     pub threads: usize,
+    /// Broadcast a `Stats` frame to subscribers every this many rounds
+    /// (0 = never). Enabling this makes the byte/frame counters
+    /// timing-dependent; the counters determinism contract holds at 0.
+    pub stats_every: usize,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +64,7 @@ impl Default for ServeConfig {
             max_subs: DEFAULT_MAX_SUBS,
             queue_cap: DEFAULT_QUEUE,
             threads: 0,
+            stats_every: 0,
         }
     }
 }
@@ -68,15 +78,22 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 impl ServeConfig {
-    /// Reads `FREERIDER_SERVE_ADDR` / `_MAX_SUBS` / `_QUEUE`; unset or
-    /// unparsable values fall back to the defaults.
+    /// Reads `FREERIDER_SERVE_ADDR` / `_MAX_SUBS` / `_QUEUE` /
+    /// `_STATS_EVERY`; unset or unparsable values fall back to the
+    /// defaults.
     pub fn from_env() -> Self {
         ServeConfig {
             addr: std::env::var(ADDR_ENV).unwrap_or_else(|_| DEFAULT_ADDR.to_string()),
             max_subs: env_usize(MAX_SUBS_ENV, DEFAULT_MAX_SUBS),
             queue_cap: env_usize(QUEUE_ENV, DEFAULT_QUEUE),
             threads: 0,
+            stats_every: env_usize(STATS_EVERY_ENV, 0),
         }
+    }
+
+    fn manager(&self) -> JobManager {
+        JobManager::new(self.threads, self.queue_cap, self.max_subs)
+            .with_stats_every(self.stats_every)
     }
 }
 
@@ -86,53 +103,105 @@ impl ServeConfig {
 /// Serves one connection until the peer hangs up or asks for shutdown.
 /// `on_shutdown` is invoked when a `Shutdown` frame is honoured, after
 /// the `ShuttingDown` acknowledgement is on the wire.
+///
+/// Every decoded frame is counted (by type and bytes) in the server's
+/// [`ServerMetrics`]; malformed framing (bad version/type/over-cap
+/// length) is counted separately before the session hangs up. With
+/// `FREERIDER_TRACE` active, the session runs under a `serve.session`
+/// trace packet and each request under a nested `serve.frame.<type>`
+/// packet, so a failed or slow request is forensically reconstructable.
 pub fn handle_session<S: Read + Write, F: Fn()>(mut stream: S, mgr: &JobManager, on_shutdown: F) {
+    let metrics = Arc::clone(mgr.metrics());
+    let session = metrics.session_opened();
+    let _session_scope = trace::packet("serve.session", session);
+    let mut seq = 0u64;
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(f) => f,
-            Err(_) => return, // clean hangup and torn frames end alike
+            Err(FrameError::Closed) | Err(FrameError::Io(_)) => break,
+            Err(e) => {
+                // The peer's framing is broken — bad version, unknown
+                // type, or an over-cap length. Count it, tell the peer
+                // if the pipe still works, and hang up: resynchronizing
+                // a misaligned byte stream is not possible.
+                metrics.malformed();
+                trace::fail("malformed frame");
+                send_error(&mut stream, &metrics, &e.to_string());
+                break;
+            }
         };
+        metrics.frame_rx(frame.kind, frame.payload.len());
+        seq += 1;
+        let _frame_scope = trace::packet(frame.kind.trace_scope(), seq);
+        let clock = Stopwatch::start();
+        // Streaming arms record their own handling latency (response
+        // sent, before the open-ended pump); every other arm is timed
+        // here, after dispatch.
+        let self_timed = matches!(frame.kind, FrameType::SubmitJob | FrameType::Subscribe);
         let keep_going = match frame.kind {
-            FrameType::SubmitJob => on_submit(&mut stream, mgr, &frame.payload),
+            FrameType::SubmitJob => on_submit(&mut stream, mgr, &frame.payload, &clock),
             FrameType::JobStatus => on_status(&mut stream, mgr, &frame.payload),
             FrameType::CancelJob => on_cancel(&mut stream, mgr, &frame.payload),
             FrameType::ListJobs => send(
                 &mut stream,
+                &metrics,
                 Frame::new(FrameType::Jobs, wire::encode_jobs(&mgr.list())),
             ),
-            FrameType::Subscribe => on_subscribe(&mut stream, mgr, &frame.payload),
+            FrameType::Subscribe => on_subscribe(&mut stream, mgr, &frame.payload, &clock),
+            FrameType::GetStats => {
+                // Snapshot first, send second: the Stats frame's own tx
+                // accounting lands *after* the snapshot, so a snapshot
+                // never (self-referentially) counts itself.
+                let payload = wire::encode_stats(&metrics.report());
+                send(&mut stream, &metrics, Frame::new(FrameType::Stats, payload))
+            }
+            FrameType::GetHealth => send(
+                &mut stream,
+                &metrics,
+                Frame::new(FrameType::Health, wire::encode_health(&metrics.health())),
+            ),
             FrameType::Shutdown => {
-                send(&mut stream, Frame::bare(FrameType::ShuttingDown));
+                send(&mut stream, &metrics, Frame::bare(FrameType::ShuttingDown));
                 on_shutdown();
-                return;
+                false
             }
             other => send_error(
                 &mut stream,
+                &metrics,
                 &format!("frame type {other:?} is not a request"),
             ),
         };
+        if !self_timed {
+            metrics.frame_handled_ns(clock.elapsed_ns());
+        }
         if !keep_going {
-            return;
+            break;
         }
     }
+    metrics.session_closed();
 }
 
-fn send<S: Write>(stream: &mut S, frame: Frame) -> bool {
-    write_frame(stream, &frame).is_ok()
+fn send<S: Write>(stream: &mut S, metrics: &ServerMetrics, frame: Frame) -> bool {
+    let ok = write_frame(stream, &frame).is_ok();
+    if ok {
+        metrics.frame_tx(frame.kind, frame.payload.len());
+    }
+    ok
 }
 
-fn send_error<S: Write>(stream: &mut S, msg: &str) -> bool {
+fn send_error<S: Write>(stream: &mut S, metrics: &ServerMetrics, msg: &str) -> bool {
     send(
         stream,
+        metrics,
         Frame::new(FrameType::Error, wire::encode_error(msg)),
     )
 }
 
 /// Drains a subscriber queue onto the wire until it closes (the final
 /// frame is always `StreamEnd`). Returns `false` when the peer is gone.
-fn pump<S: Write>(stream: &mut S, q: &SubQueue) -> bool {
+fn pump<S: Write>(stream: &mut S, metrics: &ServerMetrics, q: &SubQueue) -> bool {
     while let Some(frame) = q.pop() {
-        if !send(stream, frame) {
+        if !send(stream, metrics, frame) {
             // Writer gone: close so the job thread stops cloning frames
             // into a queue nobody will ever drain.
             q.close();
@@ -142,69 +211,94 @@ fn pump<S: Write>(stream: &mut S, q: &SubQueue) -> bool {
     true
 }
 
-fn on_submit<S: Read + Write>(stream: &mut S, mgr: &JobManager, payload: &[u8]) -> bool {
+fn on_submit<S: Read + Write>(
+    stream: &mut S,
+    mgr: &JobManager,
+    payload: &[u8],
+    clock: &Stopwatch,
+) -> bool {
+    let metrics = mgr.metrics();
     let spec = match wire::decode_submit(payload) {
         Ok(s) => s,
-        Err(e) => return send_error(stream, &e.to_string()),
+        Err(e) => return send_error(stream, metrics, &e.to_string()),
     };
     if spec.stream {
         // Attach the subscriber *before* the job thread starts so the
         // submitting connection observes every frame from round zero.
-        let q = Arc::new(SubQueue::new(mgr.queue_cap()));
+        let q = mgr.new_queue();
         let id = mgr.submit(spec, Some(Arc::clone(&q)));
-        if !send(
+        let accepted = send(
             stream,
+            metrics,
             Frame::new(FrameType::JobAccepted, wire::encode_job_id(id)),
-        ) {
+        );
+        metrics.frame_handled_ns(clock.elapsed_ns());
+        if !accepted {
             q.close();
             return false;
         }
-        pump(stream, &q)
+        pump(stream, metrics, &q)
     } else {
         let id = mgr.submit(spec, None);
-        send(
+        let ok = send(
             stream,
+            metrics,
             Frame::new(FrameType::JobAccepted, wire::encode_job_id(id)),
-        )
+        );
+        metrics.frame_handled_ns(clock.elapsed_ns());
+        ok
     }
 }
 
 fn on_status<S: Read + Write>(stream: &mut S, mgr: &JobManager, payload: &[u8]) -> bool {
+    let metrics = mgr.metrics();
     let id = match wire::decode_job_id(payload) {
         Ok(id) => id,
-        Err(e) => return send_error(stream, &e.to_string()),
+        Err(e) => return send_error(stream, metrics, &e.to_string()),
     };
     match mgr.get(id) {
         Some(job) => send(
             stream,
+            metrics,
             Frame::new(FrameType::Status, wire::encode_status(&job.status())),
         ),
-        None => send_error(stream, &format!("no such job {id}")),
+        None => send_error(stream, metrics, &format!("no such job {id}")),
     }
 }
 
 fn on_cancel<S: Read + Write>(stream: &mut S, mgr: &JobManager, payload: &[u8]) -> bool {
+    let metrics = mgr.metrics();
     let id = match wire::decode_job_id(payload) {
         Ok(id) => id,
-        Err(e) => return send_error(stream, &e.to_string()),
+        Err(e) => return send_error(stream, metrics, &e.to_string()),
     };
     match mgr.cancel(id) {
         Some(landed) => send(
             stream,
+            metrics,
             Frame::new(FrameType::Cancelled, wire::encode_cancelled(id, landed)),
         ),
-        None => send_error(stream, &format!("no such job {id}")),
+        None => send_error(stream, metrics, &format!("no such job {id}")),
     }
 }
 
-fn on_subscribe<S: Read + Write>(stream: &mut S, mgr: &JobManager, payload: &[u8]) -> bool {
+fn on_subscribe<S: Read + Write>(
+    stream: &mut S,
+    mgr: &JobManager,
+    payload: &[u8],
+    clock: &Stopwatch,
+) -> bool {
+    let metrics = mgr.metrics();
     let id = match wire::decode_job_id(payload) {
         Ok(id) => id,
-        Err(e) => return send_error(stream, &e.to_string()),
+        Err(e) => return send_error(stream, metrics, &e.to_string()),
     };
     match mgr.subscribe(id) {
-        Ok(q) => pump(stream, &q),
-        Err(e) => send_error(stream, &e),
+        Ok(q) => {
+            metrics.frame_handled_ns(clock.elapsed_ns());
+            pump(stream, metrics, &q)
+        }
+        Err(e) => send_error(stream, metrics, &e),
     }
 }
 
@@ -225,9 +319,15 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         Ok(Server {
             listener,
-            mgr: Arc::new(JobManager::new(cfg.threads, cfg.queue_cap, cfg.max_subs)),
+            mgr: Arc::new(cfg.manager()),
             stop: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// The server's metrics registry (tests and the serve binary read
+    /// it after `run` returns).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(self.mgr.metrics())
     }
 
     /// The actual bound address.
@@ -282,7 +382,12 @@ impl Server {
         // any session inside `pump` drains out), then shut the sockets so
         // sessions parked in `read_frame` fail their read, then join.
         self.mgr.shutdown();
-        for (sock, _) in &sessions {
+        for (sock, h) in &sessions {
+            if !h.is_finished() {
+                // Still parked in a blocking read with no work pending:
+                // this shutdown is tearing down an idle connection.
+                self.mgr.metrics().session_idle_shutdown();
+            }
             if let Some(s) = sock {
                 let _ = s.shutdown(std::net::Shutdown::Both);
             }
@@ -308,7 +413,7 @@ impl Loopback {
     /// A loopback server with the given configuration (`addr` unused).
     pub fn new(cfg: &ServeConfig) -> Loopback {
         Loopback {
-            mgr: Arc::new(JobManager::new(cfg.threads, cfg.queue_cap, cfg.max_subs)),
+            mgr: Arc::new(cfg.manager()),
         }
     }
 

@@ -10,6 +10,7 @@
 //! a report encodes as `null`, never NaN — NaN is not representable in
 //! JSON and would poison the document.
 
+use crate::metrics::{HealthInfo, LatencySummary, StatsReport, STATS_SCHEMA};
 use freerider_channel::geometry::{Point, Site, Wall};
 use freerider_channel::PathLoss;
 use freerider_net::deployment::{Exciter, ReceiverNode, TagNode};
@@ -477,6 +478,139 @@ pub fn encode_report(r: &DeploymentReport) -> Vec<u8> {
     w.finish().into_bytes()
 }
 
+// ---------------------------------------------------------------------
+// Server observability: Stats and Health.
+
+fn need_object<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [(String, JsonValue)], WireError> {
+    match need(v, key)? {
+        JsonValue::Object(members) => Ok(members),
+        _ => Err(WireError::new(format!("`{key}` must be an object"))),
+    }
+}
+
+fn write_u64_map(w: &mut JsonWriter, entries: &[(String, u64)]) {
+    w.begin_object();
+    for (k, v) in entries {
+        w.key(k).u64(*v);
+    }
+    w.end_object();
+}
+
+fn read_u64_map(
+    members: &[(String, JsonValue)],
+    what: &str,
+) -> Result<Vec<(String, u64)>, WireError> {
+    members
+        .iter()
+        .map(|(k, v)| {
+            v.as_u64().map(|n| (k.clone(), n)).ok_or_else(|| {
+                WireError::new(format!("`{what}.{k}` must be a non-negative integer"))
+            })
+        })
+        .collect()
+}
+
+/// Encodes just the `counters` object of a [`StatsReport`] — the
+/// deterministic subset. Loopback tests pin these bytes across
+/// `FREERIDER_THREADS`; gauges and latency are deliberately excluded.
+pub fn encode_stats_counters(r: &StatsReport) -> Vec<u8> {
+    let mut w = JsonWriter::new();
+    write_u64_map(&mut w, &r.counters);
+    w.finish().into_bytes()
+}
+
+/// Encodes a [`StatsReport`] as the `Stats` payload
+/// (schema [`STATS_SCHEMA`]).
+pub fn encode_stats(r: &StatsReport) -> Vec<u8> {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema").string(STATS_SCHEMA);
+    w.key("counters");
+    write_u64_map(&mut w, &r.counters);
+    w.key("gauges");
+    write_u64_map(&mut w, &r.gauges);
+    w.key("latency").begin_object();
+    for (k, l) in &r.latency {
+        w.key(k).begin_object();
+        w.key("count").u64(l.count);
+        w.key("sum").u64(l.sum);
+        w.key("min").u64(l.min);
+        w.key("max").u64(l.max);
+        w.key("p50").u64(l.p50);
+        w.key("p90").u64(l.p90);
+        w.key("p99").u64(l.p99);
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    w.finish().into_bytes()
+}
+
+/// Decodes a `Stats` payload, rejecting unknown schemas.
+pub fn decode_stats(payload: &[u8]) -> Result<StatsReport, WireError> {
+    let v = parse_payload(payload)?;
+    let schema = need(&v, "schema")?
+        .as_str()
+        .ok_or_else(|| WireError::new("`schema` must be a string"))?;
+    if schema != STATS_SCHEMA {
+        return Err(WireError::new(format!(
+            "unknown stats schema `{schema}` (this peer speaks `{STATS_SCHEMA}`)"
+        )));
+    }
+    let counters = read_u64_map(need_object(&v, "counters")?, "counters")?;
+    let gauges = read_u64_map(need_object(&v, "gauges")?, "gauges")?;
+    let latency = need_object(&v, "latency")?
+        .iter()
+        .map(|(k, l)| {
+            Ok((
+                k.clone(),
+                LatencySummary {
+                    count: need_u64(l, "count")?,
+                    sum: need_u64(l, "sum")?,
+                    min: need_u64(l, "min")?,
+                    max: need_u64(l, "max")?,
+                    p50: need_u64(l, "p50")?,
+                    p90: need_u64(l, "p90")?,
+                    p99: need_u64(l, "p99")?,
+                },
+            ))
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(StatsReport {
+        counters,
+        gauges,
+        latency,
+    })
+}
+
+/// Encodes a [`HealthInfo`] as the `Health` payload. Deliberately tiny
+/// and uptime-free: monotonic totals only, no wall-clock anywhere.
+pub fn encode_health(h: &HealthInfo) -> Vec<u8> {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("ok").bool(h.ok);
+    w.key("jobs_queued").u64(h.jobs_queued);
+    w.key("jobs_running").u64(h.jobs_running);
+    w.key("sessions_active").u64(h.sessions_active);
+    w.key("frames_rx").u64(h.frames_rx);
+    w.key("frames_tx").u64(h.frames_tx);
+    w.end_object();
+    w.finish().into_bytes()
+}
+
+/// Decodes a `Health` payload.
+pub fn decode_health(payload: &[u8]) -> Result<HealthInfo, WireError> {
+    let v = parse_payload(payload)?;
+    Ok(HealthInfo {
+        ok: need_bool(&v, "ok")?,
+        jobs_queued: need_u64(&v, "jobs_queued")?,
+        jobs_running: need_u64(&v, "jobs_running")?,
+        sessions_active: need_u64(&v, "sessions_active")?,
+        frames_rx: need_u64(&v, "frames_rx")?,
+        frames_tx: need_u64(&v, "frames_tx")?,
+    })
+}
+
 /// Decodes a `JobResult` payload.
 pub fn decode_report(payload: &[u8]) -> Result<DeploymentReport, WireError> {
     let v = parse_payload(payload)?;
@@ -660,5 +794,65 @@ mod tests {
             (9, true)
         );
         assert_eq!(decode_error(&encode_error("nope")).unwrap(), "nope");
+    }
+
+    #[test]
+    fn stats_round_trips_and_pins_the_schema() {
+        let r = StatsReport {
+            counters: vec![
+                ("bytes.rx".to_string(), 123),
+                ("frames.rx.submit_job".to_string(), 1),
+            ],
+            gauges: vec![
+                ("jobs.running".to_string(), 0),
+                ("sessions.active".to_string(), 2),
+            ],
+            latency: vec![(
+                "frame.handle_ns".to_string(),
+                LatencySummary {
+                    count: 4,
+                    sum: 4000,
+                    min: 500,
+                    max: 2000,
+                    p50: 900,
+                    p90: 1800,
+                    p99: 2000,
+                },
+            )],
+        };
+        let bytes = encode_stats(&r);
+        let text = std::str::from_utf8(&bytes).unwrap();
+        assert!(
+            text.starts_with(r#"{"schema":"freerider-serve-stats/1""#),
+            "{text}"
+        );
+        let back = decode_stats(&bytes).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(encode_stats(&back), bytes);
+        // The counters-only encoding is a strict prefix-free subset.
+        assert_eq!(
+            encode_stats_counters(&r),
+            br#"{"bytes.rx":123,"frames.rx.submit_job":1}"#.to_vec()
+        );
+        // Unknown schema must be rejected, not silently misread.
+        let other = text.replace("freerider-serve-stats/1", "somebody-else/9");
+        assert!(decode_stats(other.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn health_round_trips() {
+        let h = HealthInfo {
+            ok: true,
+            jobs_queued: 1,
+            jobs_running: 2,
+            sessions_active: 3,
+            frames_rx: 40,
+            frames_tx: 50,
+        };
+        let bytes = encode_health(&h);
+        assert_eq!(decode_health(&bytes).unwrap(), h);
+        assert!(std::str::from_utf8(&bytes)
+            .unwrap()
+            .starts_with(r#"{"ok":true"#));
     }
 }

@@ -236,6 +236,140 @@ fn tcp_round_trip_with_shutdown() {
 }
 
 #[test]
+fn stats_and_health_report_live_activity() {
+    let server = loopback(2);
+    let mut client = Client::over(server.connect());
+    let job = client.submit(&spec(20, true, 0)).expect("submit");
+    let events = client.drain_stream().expect("stream");
+    assert!(matches!(events.last(), Some(StreamEvent::End { job: j }) if *j == job));
+
+    // The raw payload must be valid JSON (round-trips through jsonv)
+    // and decode into a report that reflects the traffic just made.
+    let raw = client.stats_raw().expect("stats raw");
+    let text = std::str::from_utf8(&raw).expect("stats payload is UTF-8");
+    freerider_telemetry::jsonv::JsonValue::parse(text).expect("stats payload is JSON");
+    let stats = wire::decode_stats(&raw).expect("decode stats");
+
+    assert_eq!(stats.counter("frames.rx.submit_job"), 1);
+    assert_eq!(stats.counter("frames.tx.job_accepted"), 1);
+    assert!(stats.counter("frames.tx.progress") >= 10);
+    assert_eq!(stats.counter("frames.tx.job_result"), 1);
+    assert_eq!(stats.counter("sessions.accepted"), 1);
+    assert_eq!(stats.counter("jobs.submitted"), 1);
+    assert_eq!(stats.counter("jobs.completed"), 1);
+    assert_eq!(stats.counter("subs.attached"), 1);
+    assert!(stats.counter("bytes.rx") > 0);
+    assert!(stats.counter("bytes.tx") > 0);
+    assert_eq!(stats.gauge("jobs.running"), 0);
+    assert_eq!(stats.gauge("jobs.queued"), 0);
+    assert_eq!(stats.gauge("sessions.active"), 1, "this session is open");
+    assert_eq!(stats.counter("frames.malformed"), 0);
+    // Frame handling latency was measured for every request frame.
+    let (name, lat) = &stats.latency[0];
+    assert_eq!(name, "frame.handle_ns");
+    // The snapshot is taken before its own frame's latency lands, so
+    // at minimum the submit has been measured.
+    assert!(lat.count >= 1, "submit at minimum, got {}", lat.count);
+
+    let h = client.health().expect("health");
+    assert!(h.ok);
+    assert_eq!(h.jobs_running, 0);
+    assert_eq!(h.sessions_active, 1);
+    assert!(h.frames_rx >= 3 && h.frames_tx > h.frames_rx);
+}
+
+#[test]
+fn stats_counters_are_byte_identical_across_executor_widths() {
+    // The acceptance pin: the deterministic counter subset of a Stats
+    // snapshot must not depend on FREERIDER_THREADS. Identical request
+    // sequence, fresh server each time, widths 1 and 4.
+    let s = spec(40, true, 10);
+    let mut payloads = Vec::new();
+    for threads in [1usize, 4] {
+        let server = loopback(threads);
+        let mut client = Client::over(server.connect());
+        client.submit(&s).expect("submit");
+        client.drain_stream().expect("stream");
+        let report = client.stats().expect("stats");
+        payloads.push(wire::encode_stats_counters(&report));
+    }
+    assert!(
+        payloads[0]
+            .windows(b"frames.rx.submit_job".len())
+            .any(|w| w == b"frames.rx.submit_job"),
+        "snapshot must carry the session's traffic"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&payloads[0]),
+        String::from_utf8_lossy(&payloads[1]),
+        "counter subset diverged between executor widths 1 and 4"
+    );
+}
+
+#[test]
+fn eviction_counters_match_dropped_frames_through_the_clamp() {
+    use freerider_serve::job::MIN_QUEUE_CAP;
+    use std::sync::Arc;
+
+    // queue_cap 1 is clamped to MIN_QUEUE_CAP by the manager; a
+    // subscriber that never pops retains exactly that many frames and
+    // evicts every earlier one — and the metrics registry must agree
+    // with the per-queue counters frame-for-frame.
+    let server = Loopback::new(&ServeConfig {
+        threads: 2,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    });
+    let mgr = server.manager();
+    assert_eq!(mgr.queue_cap(), MIN_QUEUE_CAP, "clamp engaged");
+
+    let lazy = mgr.new_queue();
+    let job = mgr.submit(spec(50, false, 0), Some(Arc::clone(&lazy)));
+    let mut client = Client::over(server.connect());
+    wait_done(&mut client, job);
+
+    // 50 progress + JobResult + StreamEnd were pushed; cap survive.
+    let expected_pushed = 50 + 2;
+    assert_eq!(lazy.pushed(), expected_pushed);
+    assert_eq!(lazy.evicted(), expected_pushed - MIN_QUEUE_CAP as u64);
+
+    // A post-completion subscriber replays only the terminal frames —
+    // too few to evict — so the registry total stays the lazy queue's.
+    let replay = mgr.subscribe(job).expect("replay subscribe");
+    let mut replayed = 0u64;
+    while replay.pop().is_some() {
+        replayed += 1;
+    }
+    assert_eq!(replayed, 2, "JobResult + StreamEnd");
+    assert_eq!(replay.evicted(), 0);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.counter("subs.evictions"),
+        lazy.evicted() + replay.evicted()
+    );
+    assert_eq!(
+        stats.counter("subs.broadcast"),
+        lazy.pushed() + replay.pushed()
+    );
+    assert_eq!(
+        stats.gauge("queue.depth_hwm"),
+        MIN_QUEUE_CAP as u64,
+        "high-water mark is the clamped capacity"
+    );
+
+    // The books balance exactly: every accepted frame was either
+    // popped, evicted, or is still queued (here: still queued = cap).
+    lazy.close();
+    let mut popped = 0u64;
+    while lazy.pop().is_some() {
+        popped += 1;
+    }
+    assert_eq!(popped, MIN_QUEUE_CAP as u64);
+    assert_eq!(lazy.pushed(), popped + lazy.evicted());
+}
+
+#[test]
 fn shutdown_completes_with_an_idle_connection_open() {
     use freerider_serve::server::{ServeConfig, Server};
 

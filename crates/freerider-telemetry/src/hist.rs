@@ -146,6 +146,26 @@ impl LogHistogram {
         self.percentile(99.0)
     }
 
+    /// Writes the histogram as the workspace's standard JSON object:
+    /// `{"count":…,"sum":…,"min":…,"max":…,"bins":[[lo,count]…]}`, with
+    /// `min` reported as 0 while empty. Integer fields only and bins in
+    /// value order, so the bytes are deterministic — this is the shape
+    /// both `Snapshot::write_metrics` and the `freerider-serve` stats
+    /// frame emit.
+    pub fn write_json(&self, w: &mut crate::json::JsonWriter) {
+        w.begin_object();
+        w.key("count").u64(self.count);
+        w.key("sum").u64(self.sum);
+        w.key("min").u64(if self.is_empty() { 0 } else { self.min });
+        w.key("max").u64(self.max);
+        w.key("bins").begin_array();
+        for (lo, c) in self.nonzero_bins() {
+            w.begin_array().u64(lo).u64(c).end_array();
+        }
+        w.end_array();
+        w.end_object();
+    }
+
     /// `(bin lower bound, count)` for every non-empty bin, in value order.
     pub fn nonzero_bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.bins

@@ -52,5 +52,5 @@ pub use jsonv::{JsonError, JsonValue};
 pub use log::{Level, LOG_ENV};
 pub use registry::{count, count_n, record, record_span_ns, reset, snapshot, span};
 pub use snapshot::Snapshot;
-pub use timer::{Span, TimerStat};
+pub use timer::{Span, Stopwatch, TimerStat};
 pub use trace::{PacketRecord, TraceMode, TRACE_ENV};

@@ -98,17 +98,8 @@ impl Snapshot {
         w.end_object();
         w.key("histograms").begin_object();
         for (&k, h) in &self.histograms {
-            w.key(k).begin_object();
-            w.key("count").u64(h.count);
-            w.key("sum").u64(h.sum);
-            w.key("min").u64(if h.is_empty() { 0 } else { h.min });
-            w.key("max").u64(h.max);
-            w.key("bins").begin_array();
-            for (lo, c) in h.nonzero_bins() {
-                w.begin_array().u64(lo).u64(c).end_array();
-            }
-            w.end_array();
-            w.end_object();
+            w.key(k);
+            h.write_json(w);
         }
         w.end_object();
         w.end_object();

@@ -44,6 +44,35 @@ impl TimerStat {
     }
 }
 
+/// A raw monotonic stopwatch — the sanctioned way for other crates to
+/// read elapsed wall-clock time without naming `Instant` themselves
+/// (keeping the `wallclock` lint's exemption confined to this file).
+/// Unlike [`Span`] it records nothing on drop; the caller decides where
+/// the reading goes (e.g. a per-server latency histogram).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`] (saturating).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
 /// An RAII span: created by [`crate::span`], records its elapsed
 /// wall-clock time into the thread's collector when dropped.
 #[derive(Debug)]

@@ -104,9 +104,30 @@ SNAPSHOTS=$(grep -c '^snapshot ' /tmp/freerider_serve_stream.log)
 [ "$PROGRESS" -ge 10 ] || { echo "serve smoke: only $PROGRESS progress frames (want >= 10)"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
 [ "$SNAPSHOTS" -ge 2 ] || { echo "serve smoke: only $SNAPSHOTS snapshots (want >= 2)"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
 grep -q '^result: ' /tmp/freerider_serve_stream.log || { echo "serve smoke: no final result line"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+# Stats smoke: the raw Stats payload must carry the right schema and
+# nonzero counters for the traffic the streamed job just generated.
+./target/release/freerider-client --addr "$SERVE_ADDR" stats --json \
+    >/tmp/freerider_serve_stats.json \
+    || { echo "serve smoke: stats request failed"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+python3 - <<'EOF' || { kill "$SERVE_PID" 2>/dev/null; exit 1; }
+import json
+with open("/tmp/freerider_serve_stats.json") as f:
+    doc = json.load(f)
+assert doc["schema"] == "freerider-serve-stats/1", doc.get("schema")
+c = doc["counters"]
+assert c.get("frames.rx.submit_job", 0) >= 1, c
+assert c.get("jobs.completed", 0) >= 1, c
+assert c.get("sessions.accepted", 0) >= 1, c
+assert c.get("bytes.tx", 0) > 0, c
+assert "gauges" in doc and "latency" in doc, sorted(doc)
+print(f"stats JSON OK: {len(c)} counters, "
+      f"{c['frames.rx.submit_job']} submit(s), {c['jobs.completed']} job(s) done")
+EOF
+./target/release/freerider-client --addr "$SERVE_ADDR" health >/dev/null \
+    || { echo "serve smoke: health request failed"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
 ./target/release/freerider-client --addr "$SERVE_ADDR" shutdown >/dev/null
 wait "$SERVE_PID"
-echo "serve smoke OK: $PROGRESS progress frames, $SNAPSHOTS snapshots, clean shutdown"
+echo "serve smoke OK: $PROGRESS progress frames, $SNAPSHOTS snapshots, stats + health served, clean shutdown"
 
 echo "==> bench baseline (diff vs benchmarks/latest.json)"
 # Full mode, not --quick: the committed baseline is a full run, and the

@@ -5,6 +5,8 @@
 //! freerider-client --addr 127.0.0.1:7973 status 1
 //! freerider-client --addr 127.0.0.1:7973 list
 //! freerider-client --addr 127.0.0.1:7973 cancel 1
+//! freerider-client --addr 127.0.0.1:7973 stats --json
+//! freerider-client --addr 127.0.0.1:7973 top --interval 1
 //! freerider-client --addr 127.0.0.1:7973 shutdown
 //! ```
 //!
@@ -36,7 +38,8 @@ impl Args {
         let mut iter = iter.peekable();
         while let Some(a) = iter.next() {
             if let Some(name) = a.strip_prefix("--") {
-                if name == "watch" {
+                // Value-less boolean flags.
+                if matches!(name, "watch" | "json") {
                     out.flags
                         .entry(name.to_string())
                         .or_default()
@@ -147,11 +150,98 @@ fn cmd_submit(client: &mut Client<TcpStream>, a: &Args) -> Result<(), String> {
                     report.total_time_s
                 );
             }
+            StreamEvent::Stats(s) => println!(
+                "server stats: jobs running={} queued={} frames rx={} tx={} evictions={}",
+                s.gauge("jobs.running"),
+                s.gauge("jobs.queued"),
+                s.counter("frames.rx.submit_job"),
+                s.counter("frames.tx.progress"),
+                s.counter("subs.evictions")
+            ),
             StreamEvent::End { job } => {
                 println!("stream end (job {job})");
                 return Ok(());
             }
         }
+    }
+}
+
+/// Renders one metrics snapshot as an aligned table.
+fn render_stats(stats: &freerider::serve::StatsReport) -> String {
+    let mut out = String::new();
+    let width = stats
+        .counters
+        .iter()
+        .map(|(k, _)| k.len())
+        .chain(stats.gauges.iter().map(|(k, _)| k.len()))
+        .max()
+        .unwrap_or(12)
+        .max(12);
+    out.push_str("counters (deterministic, monotonic):\n");
+    if stats.counters.is_empty() {
+        out.push_str("  (none yet)\n");
+    }
+    for (k, v) in &stats.counters {
+        out.push_str(&format!("  {k:<width$}  {v:>12}\n"));
+    }
+    out.push_str("gauges (point-in-time):\n");
+    for (k, v) in &stats.gauges {
+        out.push_str(&format!("  {k:<width$}  {v:>12}\n"));
+    }
+    out.push_str("latency (wall-clock):\n");
+    for (k, l) in &stats.latency {
+        out.push_str(&format!(
+            "  {k:<width$}  n={} p50={} p90={} p99={} max={} (ns)\n",
+            l.count, l.p50, l.p90, l.p99, l.max
+        ));
+    }
+    out
+}
+
+fn cmd_stats(client: &mut Client<TcpStream>, a: &Args) -> Result<(), String> {
+    if a.has("json") {
+        // The exact payload bytes as served — what the verify-gate smoke
+        // test and scripted consumers parse.
+        let raw = client.stats_raw().map_err(|e| e.to_string())?;
+        let text = String::from_utf8(raw).map_err(|_| "stats payload not UTF-8".to_string())?;
+        println!("{text}");
+        return Ok(());
+    }
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    print!("{}", render_stats(&stats));
+    Ok(())
+}
+
+fn cmd_top(client: &mut Client<TcpStream>, a: &Args) -> Result<(), String> {
+    let interval: f64 = a.get("interval", 2.0)?;
+    if !interval.is_finite() || interval <= 0.0 {
+        return Err("--interval must be positive".to_string());
+    }
+    let iters: usize = a.get("iters", 0usize)?; // 0 = until interrupted
+    let mut done = 0usize;
+    loop {
+        let h = client.health().map_err(|e| e.to_string())?;
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        // Clear screen + home, like top(1); harmless when redirected.
+        print!("\x1b[2J\x1b[H");
+        println!(
+            "freerider-serve  {}  sessions={} jobs: queued={} running={}  frames: rx={} tx={}",
+            if h.ok { "up" } else { "DOWN" },
+            h.sessions_active,
+            h.jobs_queued,
+            h.jobs_running,
+            h.frames_rx,
+            h.frames_tx
+        );
+        println!();
+        print!("{}", render_stats(&stats));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        done += 1;
+        if iters > 0 && done >= iters {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
     }
 }
 
@@ -202,6 +292,21 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "stats" => cmd_stats(&mut client, &a),
+        "health" => {
+            let h = client.health().map_err(|e| e.to_string())?;
+            println!(
+                "{} jobs_queued={} jobs_running={} sessions_active={} frames_rx={} frames_tx={}",
+                if h.ok { "ok" } else { "DOWN" },
+                h.jobs_queued,
+                h.jobs_running,
+                h.sessions_active,
+                h.frames_rx,
+                h.frames_tx
+            );
+            Ok(())
+        }
+        "top" => cmd_top(&mut client, &a),
         "shutdown" => {
             client.shutdown().map_err(|e| e.to_string())?;
             println!("server shutting down");
@@ -220,7 +325,13 @@ fn usage() -> &'static str {
        freerider-client [--addr host:port] status <job-id>\n\
        freerider-client [--addr host:port] cancel <job-id>\n\
        freerider-client [--addr host:port] list\n\
-       freerider-client [--addr host:port] shutdown\n"
+       freerider-client [--addr host:port] stats [--json]\n\
+       freerider-client [--addr host:port] health\n\
+       freerider-client [--addr host:port] top [--interval SECS] [--iters N]\n\
+       freerider-client [--addr host:port] shutdown\n\
+     \n\
+     `stats` prints one server metrics snapshot (--json emits the raw\n\
+     Stats payload); `top` polls it live, like top(1).\n"
 }
 
 fn main() -> ExitCode {

@@ -264,13 +264,34 @@ fn cmd_serve(a: &args::Args) -> Result<(), String> {
     cfg.max_subs = a.get("max-subs", cfg.max_subs)?;
     cfg.queue_cap = a.get("queue", cfg.queue_cap)?;
     cfg.threads = a.get("threads", cfg.threads)?;
+    cfg.stats_every = a.get("stats-every", cfg.stats_every)?;
+    let trace_out: String = a.get("trace-out", String::new())?;
     let server = Server::bind(&cfg).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     // The smoke test parses this line to learn the ephemeral port.
     println!("freerider-serve listening on {addr}");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    server.run().map_err(|e| e.to_string())
+    server.run().map_err(|e| e.to_string())?;
+    // After an orderly shutdown, export whatever the FREERIDER_TRACE
+    // flight recorder captured (serve.session / serve.frame.* /
+    // serve.job packets) as a Chrome trace for chrome://tracing.
+    if !trace_out.is_empty() {
+        let records = freerider::telemetry::trace::drain();
+        let mut groups: std::collections::BTreeMap<&str, Vec<freerider::telemetry::PacketRecord>> =
+            std::collections::BTreeMap::new();
+        for r in records {
+            groups.entry(r.scope).or_default().push(r);
+        }
+        let refs: Vec<(&str, &[freerider::telemetry::PacketRecord])> = groups
+            .iter()
+            .map(|(scope, rs)| (*scope, rs.as_slice()))
+            .collect();
+        let json = freerider::telemetry::chrome_trace_json(&refs);
+        std::fs::write(&trace_out, json).map_err(|e| format!("write {trace_out}: {e}"))?;
+        println!("wrote server trace to {trace_out}");
+    }
+    Ok(())
 }
 
 fn cmd_power(_a: &args::Args) -> Result<(), String> {
@@ -296,9 +317,14 @@ fn usage() -> &'static str {
        freerider trace <file.friq>\n\
        freerider power\n\
        freerider serve [--addr host:port] [--max-subs N] [--queue N] [--threads N]\n\
+                       [--stats-every N] [--trace-out PATH]\n\
      \n\
      `freerider serve` hosts the deployment simulator as a framed-TCP\n\
-     service; drive it with the `freerider-client` binary.\n"
+     service; drive it with the `freerider-client` binary. With\n\
+     --stats-every N it broadcasts a Stats snapshot to stream\n\
+     subscribers every N rounds; with --trace-out PATH (and\n\
+     FREERIDER_TRACE set) it writes a Chrome trace of the session/\n\
+     frame/job flight-recorder packets on shutdown.\n"
 }
 
 fn main() -> ExitCode {
