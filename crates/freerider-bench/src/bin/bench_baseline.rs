@@ -28,6 +28,7 @@
 use freerider_bench::micro::{bench, Summary};
 use freerider_coding::convolutional::{encode, viterbi_decode, CodeRate};
 use freerider_dsp::{fft, Complex};
+use freerider_telemetry::profile;
 use freerider_telemetry::trace::{self, TraceMode};
 use freerider_telemetry::JsonWriter;
 use freerider_wifi::{Receiver, RxConfig, Transmitter, TxConfig};
@@ -239,9 +240,11 @@ fn main() -> ExitCode {
     };
     let t_all = Instant::now();
 
-    // Kernel timings. Tracing is pinned off so baselines measure the
-    // production path regardless of the ambient FREERIDER_TRACE.
+    // Kernel timings. Tracing and profiling are pinned off so baselines
+    // measure the production path regardless of the ambient
+    // FREERIDER_TRACE / FREERIDER_PROFILE.
     trace::set_mode(TraceMode::Off);
+    profile::set_enabled(false);
     let mut kernels: Vec<KernelResult> = Vec::new();
 
     let data: Vec<Complex> = (0..64).map(|i| Complex::cis(i as f64 * 0.3)).collect();
@@ -363,6 +366,43 @@ fn main() -> ExitCode {
         "trace overhead: disabled-path {disabled_pct:+.2}% (A/A), recording {recording_pct:+.2}%"
     );
 
+    // Stage-profiler overhead triad on the same WiFi RX path, same
+    // A/A-bounded design as the trace triad above: the profiler's scope
+    // hooks are one relaxed atomic load when disabled, so the A/A pair
+    // bounds that cost plus harness noise, and the `on` run prices full
+    // recording (stack push/pop, Instant reads, histogram updates).
+    let prof_off_a = bench("wifi/rx_profile_off", budget, max_iters, || {
+        rx.receive(&wave).unwrap()
+    });
+    let prof_off_b = bench("wifi/rx_profile_off_repeat", budget, max_iters, || {
+        rx.receive(&wave).unwrap()
+    });
+    profile::set_enabled(true);
+    profile::reset();
+    let prof_on = bench("wifi/rx_profile_on", budget, max_iters, || {
+        rx.receive(&wave).unwrap()
+    });
+    // The attribution tree of the `on` run feeds the per-stage rows:
+    // p50 wall-clock per stage, plus the deterministic work counters.
+    let stage_report = profile::report();
+    profile::set_enabled(false);
+    profile::reset();
+    let profile_disabled_pct = pct(prof_off_b.median, prof_off_a.median);
+    let profile_recording_pct = pct(prof_on.median, prof_off_a.median);
+    println!(
+        "profile overhead: disabled-path {profile_disabled_pct:+.2}% (A/A), recording {profile_recording_pct:+.2}%"
+    );
+    kernels.push(KernelResult {
+        name: "wifi/rx_profile_off",
+        summary: prof_off_a,
+        bytes: 1000,
+    });
+    kernels.push(KernelResult {
+        name: "wifi/rx_profile_on",
+        summary: prof_on,
+        bytes: 1000,
+    });
+
     // Server-metrics hook overhead on the serve path. The registry's
     // relaxed-atomic hooks cannot be compiled out, so — like the trace
     // triad above — an A/A pair of the same fan-out-1 kernel bounds
@@ -417,6 +457,26 @@ fn main() -> ExitCode {
     w.key("wifi_rx_all_ns").u64(rx_all.median.as_nanos() as u64);
     w.key("disabled_path_pct").f64(disabled_pct);
     w.key("recording_pct").f64(recording_pct);
+    w.end_object();
+    w.key("profile_overhead").begin_object();
+    w.key("wifi_rx_off_ns")
+        .u64(prof_off_a.median.as_nanos() as u64);
+    w.key("wifi_rx_off_repeat_ns")
+        .u64(prof_off_b.median.as_nanos() as u64);
+    w.key("wifi_rx_on_ns").u64(prof_on.median.as_nanos() as u64);
+    w.key("disabled_path_pct").f64(profile_disabled_pct);
+    w.key("recording_pct").f64(profile_recording_pct);
+    w.end_object();
+    // Per-stage rows from the profile-on RX run: p50 wall-clock (gated by
+    // bench_diff.py against the previous baseline's profile-on run — a
+    // like-for-like comparison) plus invocation counts for context.
+    w.key("stages").begin_object();
+    for (path, stat) in &stage_report {
+        w.key(path).begin_object();
+        w.key("p50_ns").u64(stat.hist.p50().unwrap_or(0));
+        w.key("count").u64(stat.count);
+        w.end_object();
+    }
     w.end_object();
     w.key("experiments").begin_object();
     for (name, wall_s) in &experiments {

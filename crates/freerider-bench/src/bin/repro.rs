@@ -31,9 +31,18 @@
 //! <https://ui.perfetto.dev> to see per-packet span trees. `FREERIDER_TRACE`
 //! alone (without `--trace`) still populates the `forensics` sections of
 //! `--json` output.
+//!
+//! `--profile <path>` turns the hierarchical stage profiler on (equivalent
+//! to `FREERIDER_PROFILE=1` when the variable is unset; an explicit
+//! environment setting wins), prints a stage-attribution table to stderr
+//! after the run, and writes the full report (schema `freerider-profile/1`)
+//! to `<path>`. The report's `work` counters are deterministic —
+//! byte-identical across `FREERIDER_THREADS` — while its `timing` section
+//! is wall-clock.
 
 use freerider_bench::micro::format_duration;
 use freerider_rt::Executor;
+use freerider_telemetry::profile;
 use freerider_telemetry::trace::{self, PacketRecord, TraceMode};
 use freerider_telemetry::{chrome_trace_json, JsonWriter, Snapshot};
 use std::process::ExitCode;
@@ -111,6 +120,7 @@ fn main() -> ExitCode {
     let metrics = args.iter().any(|a| a == "--metrics" || a == "-m");
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
     let mut targets: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -130,6 +140,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        } else if a == "--profile" {
+            match it.next() {
+                Some(p) => profile_path = Some(p.clone()),
+                None => {
+                    eprintln!("--profile requires a path");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else if !a.starts_with('-') {
             targets.push(a.as_str());
         }
@@ -139,6 +157,11 @@ fn main() -> ExitCode {
     // trace only the black box).
     if trace_path.is_some() && std::env::var(trace::TRACE_ENV).is_err() {
         trace::set_mode(TraceMode::All);
+    }
+    // --profile likewise implies the stage profiler unless the user pinned
+    // it via the environment.
+    if profile_path.is_some() && std::env::var(profile::PROFILE_ENV).is_err() {
+        profile::set_enabled(true);
     }
 
     if list {
@@ -183,6 +206,10 @@ fn main() -> ExitCode {
         freerider_rt::executor::THREADS_ENV
     );
 
+    // The profile report spans the whole run (it is not reset per
+    // experiment): the attribution tree answers "where did this invocation
+    // spend its time", across everything it ran.
+    profile::reset();
     let t_all = Instant::now();
     let mut failed = false;
     let mut results: Vec<ExperimentResult> = Vec::new();
@@ -234,6 +261,22 @@ fn main() -> ExitCode {
                 "repro: wrote {path} ({n} packet trace{}; open at ui.perfetto.dev)",
                 if n == 1 { "" } else { "s" }
             ),
+            Err(e) => {
+                eprintln!("repro: failed to write {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(path) = profile_path {
+        let report = profile::report();
+        if report.is_empty() {
+            eprintln!("repro: profile report is empty (no instrumented stage ran)");
+        } else {
+            eprint!("{}", profile::table(&report));
+        }
+        match std::fs::write(&path, profile::report_json(&report)) {
+            Ok(()) => eprintln!("repro: wrote {path} ({} stages)", report.len()),
             Err(e) => {
                 eprintln!("repro: failed to write {path}: {e}");
                 failed = true;

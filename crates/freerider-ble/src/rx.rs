@@ -11,7 +11,7 @@ use crate::{ADVERTISING_AA, DEFAULT_CHANNEL, SAMPLES_PER_BIT};
 use freerider_coding::whitening::Whitener;
 use freerider_dsp::{bits, db, Complex};
 use freerider_telemetry as telemetry;
-use freerider_telemetry::trace;
+use freerider_telemetry::{profile, trace};
 
 /// Receiver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -112,6 +112,9 @@ impl Receiver {
         telemetry::count("ble.rx.receive.calls");
         let _span = telemetry::span("ble.rx.receive");
         let _stage = trace::stage("ble.rx.receive");
+        let _prof = profile::scope("ble.rx");
+        profile::items(samples.len() as u64);
+        let prof_sync = profile::scope("sync");
         let filtered;
         let input: &[Complex] = if self.config.channel_filter {
             filtered = channel_filter().filter(samples);
@@ -160,7 +163,9 @@ impl Receiver {
             telemetry::count("ble.rx.sensitivity_drops");
             return Err(RxError::NoSync);
         }
+        drop(prof_sync);
 
+        let prof_slice = profile::scope("slice");
         // Slice PDU bits after the sync word: integrate the discriminator
         // over the central half of each bit (integrate-and-dump), then read
         // the 16-bit header to learn the length, then the rest.
@@ -187,8 +192,12 @@ impl Receiver {
         }
         let pdu_bits = Whitener::for_channel(self.config.channel).whiten(&whitened);
         telemetry::count_n("ble.rx.slice.bits", total as u64);
+        profile::work("slice.bits", total as u64);
+        drop(prof_slice);
+        let prof_crc = profile::scope("crc");
         let (packet, crc_valid, _) =
             BlePacket::parse_pdu_bits(&pdu_bits).map_err(RxError::Truncated)?;
+        drop(prof_crc);
         telemetry::count(if crc_valid {
             "ble.rx.crc.ok"
         } else {
@@ -196,6 +205,7 @@ impl Receiver {
         });
         trace::value_str("ble.rx.crc", if crc_valid { "ok" } else { "bad" });
         telemetry::count("ble.rx.packets");
+        profile::bits(8 * len as u64);
         telemetry::record("ble.rx.payload_bytes", len as u64);
         telemetry::event!(
             Debug,

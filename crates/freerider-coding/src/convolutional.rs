@@ -299,6 +299,9 @@ pub fn viterbi_decode_soft_scratch<'s>(
     if nsteps == 0 {
         return (&scratch.decoded, 0.0);
     }
+    // Deterministic profiler work counter: one add-compare-select per
+    // (trellis step, next state).
+    freerider_telemetry::profile::work("viterbi.acs_ops", (nsteps * NSTATES) as u64);
 
     const INF: f64 = f64::MAX / 4.0;
     scratch.surv.clear();

@@ -11,8 +11,15 @@
 //! drop the packet at the backscatter receiver — the workspace mirrors that
 //! by exposing validity as data rather than gating on it.
 
+use freerider_telemetry::profile;
+
+/// Deterministic profiler work counter: bytes pushed through any of the
+/// three CRC LFSRs.
+const CRC_BYTES: &str = "crc.bytes";
+
 /// Computes the IEEE 802.11 FCS (CRC-32) over `data`.
 pub fn crc32(data: &[u8]) -> u32 {
+    profile::work(CRC_BYTES, data.len() as u64);
     let mut crc: u32 = 0xFFFF_FFFF;
     for &byte in data {
         crc ^= byte as u32;
@@ -29,6 +36,7 @@ pub fn crc32(data: &[u8]) -> u32 {
 
 /// Computes the IEEE 802.15.4 FCS (CRC-16 ITU-T) over `data`.
 pub fn crc16_itu(data: &[u8]) -> u16 {
+    profile::work(CRC_BYTES, data.len() as u64);
     let mut crc: u16 = 0x0000;
     for &byte in data {
         crc ^= byte as u16;
@@ -49,6 +57,7 @@ pub fn crc16_itu(data: &[u8]) -> u16 {
 /// BLE processes bits LSB-first through the LFSR defined by
 /// x²⁴+x¹⁰+x⁹+x⁶+x⁴+x³+x+1.
 pub fn crc24_ble(data: &[u8], init: u32) -> u32 {
+    profile::work(CRC_BYTES, data.len() as u64);
     let mut crc = init & 0x00FF_FFFF;
     for &byte in data {
         for i in 0..8 {

@@ -47,6 +47,16 @@ pub const REGISTRY: &[EnvKnob] = &[
               Diagnostics only — never feeds deterministic output.",
     },
     EnvKnob {
+        name: "FREERIDER_PROFILE",
+        consumer: "freerider-telemetry::profile",
+        default: "off",
+        doc: "Hierarchical stage profiler: 1/on/true enables RAII scope \
+              trees over the RX pipelines, DSP and coding kernels. The \
+              work-counter section of the report is deterministic \
+              (byte-identical across FREERIDER_THREADS); stage timings \
+              are wall-clock and reported separately.",
+    },
+    EnvKnob {
         name: "FREERIDER_SERVE_ADDR",
         consumer: "freerider-serve::server",
         default: "127.0.0.1:7973",
@@ -128,6 +138,7 @@ mod tests {
         assert!(is_registered(freerider_rt::executor::THREADS_ENV));
         assert!(is_registered(freerider_telemetry::log::LOG_ENV));
         assert!(is_registered(freerider_telemetry::trace::TRACE_ENV));
+        assert!(is_registered(freerider_telemetry::profile::PROFILE_ENV));
     }
 
     #[test]

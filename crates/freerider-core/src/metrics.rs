@@ -348,7 +348,7 @@ mod tests {
             dec[0] ^= 1;
             s.note_decoded(&sent, &dec);
             s.note_measured_rssi(-70.0 - offset as f64);
-            s.note_productive(offset % 2 == 0);
+            s.note_productive(offset.is_multiple_of(2));
         };
         let mut whole = LinkStats::new(-60.0);
         for k in 0..6 {

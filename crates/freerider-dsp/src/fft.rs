@@ -11,7 +11,12 @@
 //! `1/N` normalisation, so `ifft(fft(x)) == x`.
 
 use crate::complex::Complex;
+use freerider_telemetry::profile;
 use std::sync::OnceLock;
+
+/// Deterministic profiler work counter: one unit per radix-2 butterfly
+/// (an `n`-point transform performs `n/2 · log₂ n`).
+const BUTTERFLIES: &str = "fft.butterflies";
 
 /// Errors from the transform entry points.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +69,7 @@ fn transform(data: &mut [Complex], inverse: bool) -> Result<(), FftError> {
     }
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
+    profile::work(BUTTERFLIES, (n as u64 / 2) * bits as u64);
     for i in 0..n {
         let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
@@ -203,6 +209,10 @@ impl FftPlan {
     }
 
     fn process(&self, data: &mut [Complex], table: &[Complex]) {
+        profile::work(
+            BUTTERFLIES,
+            (self.n as u64 / 2) * self.n.trailing_zeros() as u64,
+        );
         for &(i, j) in &self.swaps {
             data.swap(i as usize, j as usize);
         }
@@ -233,6 +243,8 @@ impl FftPlan {
     /// optimiser drops all bounds checks and unrolls the inner stages.
     fn process64(&self, data: &mut [Complex; 64], table: &[Complex]) {
         debug_assert_eq!(self.n, 64);
+        profile::work(BUTTERFLIES, 192); // 64/2 · log₂ 64
+
         for &(i, j) in &self.swaps {
             data.swap(i as usize, j as usize);
         }

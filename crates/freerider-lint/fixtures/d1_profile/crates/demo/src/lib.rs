@@ -1,0 +1,8 @@
+//! Positive half of the d1_profile fixture: the same clock reads outside
+//! the sanctioned profiler path must still be flagged.
+#![forbid(unsafe_code)]
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

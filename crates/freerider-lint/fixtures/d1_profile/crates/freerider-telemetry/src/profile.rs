@@ -1,0 +1,12 @@
+//! Negative half of the d1_profile fixture: this path matches the
+//! `WALLCLOCK_EXEMPT_FILES` entry for the stage profiler, so its clock
+//! reads must produce no findings.
+use std::time::Instant;
+
+pub fn scope_start() -> Instant {
+    Instant::now()
+}
+
+pub fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos() as u64
+}

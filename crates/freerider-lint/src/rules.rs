@@ -143,10 +143,11 @@ pub struct Analysis {
 /// Path (workspace-relative) of the central env-var registry D3 reads.
 pub const REGISTRY_PATH: &str = "crates/freerider-core/src/env.rs";
 
-/// Files D1 exempts: the telemetry timer modules are the *only* library
-/// code allowed to read the clock (their output is reported separately
-/// from the deterministic sections).
-const WALLCLOCK_EXEMPT_FILES: [&str; 2] = [
+/// Files D1 exempts: the telemetry timer/trace/profile modules are the
+/// *only* library code allowed to read the clock (their output is
+/// reported separately from the deterministic sections).
+const WALLCLOCK_EXEMPT_FILES: [&str; 3] = [
+    "crates/freerider-telemetry/src/profile.rs",
     "crates/freerider-telemetry/src/timer.rs",
     "crates/freerider-telemetry/src/trace.rs",
 ];

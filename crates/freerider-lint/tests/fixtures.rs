@@ -58,6 +58,33 @@ fn d1_wallclock_positive() {
 }
 
 #[test]
+fn d1_profile_module_is_a_sanctioned_wallclock_site() {
+    // Mixed fixture: identical clock reads in the exempt profiler path
+    // and in an ordinary crate. Only the ordinary crate may be flagged.
+    let (ok, text) = lint_fixture("d1_profile");
+    assert!(
+        !ok,
+        "d1_profile must exit non-zero (demo half trips D1):\n{text}"
+    );
+    let demo_hits = text
+        .lines()
+        .filter(|l| l.contains("crates/demo") && l.contains(": wallclock: "))
+        .count();
+    assert_eq!(
+        demo_hits, 3,
+        "demo half must trip wallclock 3 times:\n{text}"
+    );
+    let exempt_hits = text
+        .lines()
+        .filter(|l| l.contains("freerider-telemetry/src/profile.rs"))
+        .count();
+    assert_eq!(
+        exempt_hits, 0,
+        "the profiler module is exempt from D1 — no findings allowed:\n{text}"
+    );
+}
+
+#[test]
 fn d2_hash_collections_positive() {
     assert_positive("d2_bad", "hash-collections", 3);
 }

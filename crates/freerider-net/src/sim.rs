@@ -20,6 +20,7 @@ use freerider_mac::aloha::RoundOutcome;
 use freerider_mac::messages::MESSAGE_BITS;
 use freerider_mac::Coordinator;
 use freerider_rt::{derive_seed, CancelToken, Executor, Rng64};
+use freerider_telemetry::profile;
 
 /// Simulator configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -238,6 +239,10 @@ impl DeploymentSim {
             // own `(round, tag)` stream, so the result is independent of
             // scheduling and worker count.
             let draws: Vec<TagDraw> = exec.map(&tag_ids, |i, _| {
+                // A root profile scope per work item (never wrapping the
+                // dispatch itself), so the stage tree is identical for
+                // any worker count.
+                let _prof = profile::scope("net.sim.draw");
                 if !servable[i] {
                     return TagDraw::default();
                 }
@@ -252,6 +257,8 @@ impl DeploymentSim {
             // Phase B — serial merge in tag order. Tags that decoded the
             // announcement *and* have a report waiting contend for their
             // chosen slot.
+            let prof_merge = profile::scope("net.sim.merge");
+            profile::work("mac.slots", n_slots as u64);
             let mut slots: Vec<Vec<usize>> = vec![Vec::new(); n_slots as usize];
             let mut participants = 0usize;
             for i in 0..n {
@@ -311,7 +318,9 @@ impl DeploymentSim {
                     }
                 }
             }
+            profile::bits((delivered_slots * cfg.bits_per_slot) as u64);
             coordinator.adapt(&outcome);
+            drop(prof_merge);
             time += round_dur;
 
             observer(SimEvent::Round(RoundProgress {

@@ -22,7 +22,7 @@ use crate::queue::SubQueue;
 use crate::wire::{self, JobSpec, StatusInfo};
 use freerider_net::{DeploymentSim, LinkModel, SimEvent};
 use freerider_rt::{CancelToken, Executor};
-use freerider_telemetry::trace;
+use freerider_telemetry::{profile, trace};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -385,6 +385,18 @@ fn run_job(
     let metrics_obs = Arc::clone(&metrics);
     let snapshot_every = spec.snapshot_every;
 
+    // Per-job stage budget: when the profiler is on, diff the profile
+    // report around the run and feed each stage's wall-clock delta into
+    // the server's `job.stage.<path>` latency rows. The report is
+    // process-global, so overlapping jobs see each other's time — the
+    // budget is exact with one job in flight and approximate under
+    // concurrency (the common single-job deployment either way).
+    let stage_before = if profile::enabled() {
+        Some(profile::report())
+    } else {
+        None
+    };
+
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         sim.run_observed(&exec, &cancel, snapshot_every, &mut |event| match event {
             SimEvent::Round(p) => {
@@ -417,6 +429,17 @@ fn run_job(
             }
         })
     }));
+
+    if let Some(before) = stage_before {
+        let after = profile::report();
+        for (path, stat) in &after {
+            let prev = before.get(path).map(|s| s.total_ns).unwrap_or(0);
+            let delta = stat.total_ns.saturating_sub(prev);
+            if delta > 0 {
+                metrics.job_stage_ns(path, delta);
+            }
+        }
+    }
 
     let end = Frame::new(FrameType::StreamEnd, wire::encode_job_id(job.id));
     // Record the terminal transition *before* broadcasting the terminal

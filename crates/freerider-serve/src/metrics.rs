@@ -19,6 +19,7 @@
 use crate::frame::{FrameType, ALL_TYPES, HEADER_LEN};
 use crate::job::JobState;
 use freerider_telemetry::LogHistogram;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
@@ -64,8 +65,16 @@ pub struct ServerMetrics {
     jobs_running: AtomicU64,
     /// Periodic `Stats` frames pushed into streams (`stats_every`).
     stats_pushed: AtomicU64,
-    /// Per-request-frame handling time, nanoseconds.
+    /// Per-request-frame handling time, nanoseconds (all types pooled).
     frame_ns: Mutex<LogHistogram>,
+    /// Per-request-frame handling time broken out by frame type
+    /// (index = [`FrameType::index`]); feeds the `frame.handle_ns.<type>`
+    /// latency rows and the client `top` per-type columns.
+    frame_type_ns: [Mutex<LogHistogram>; N_TYPES],
+    /// Per-job stage wall-clock budget: profile-scope path → histogram of
+    /// per-job stage totals (only populated while `FREERIDER_PROFILE` is
+    /// on). Feeds the `job.stage.<path>` latency rows.
+    job_stage_ns: Mutex<BTreeMap<String, LogHistogram>>,
 }
 
 impl Default for ServerMetrics {
@@ -91,6 +100,8 @@ impl Default for ServerMetrics {
             jobs_running: AtomicU64::new(0),
             stats_pushed: AtomicU64::new(0),
             frame_ns: Mutex::new(LogHistogram::new()),
+            frame_type_ns: std::array::from_fn(|_| Mutex::new(LogHistogram::new())),
+            job_stage_ns: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -188,9 +199,19 @@ impl ServerMetrics {
         inc(&self.stats_pushed);
     }
 
-    /// Records one request frame's handling time.
-    pub fn frame_handled_ns(&self, ns: u64) {
+    /// Records one request frame's handling time, both pooled and broken
+    /// out by frame type.
+    pub fn frame_handled_ns(&self, kind: FrameType, ns: u64) {
         lock(&self.frame_ns).record(ns);
+        lock(&self.frame_type_ns[kind.index()]).record(ns);
+    }
+
+    /// Records one finished job's wall-clock spent in profile stage
+    /// `path` (a root-level scope path such as `wifi.rx`). No-op traffic
+    /// never reaches here; callers gate on `profile::enabled()`.
+    pub fn job_stage_ns(&self, path: &str, ns: u64) {
+        let mut stages = lock(&self.job_stage_ns);
+        stages.entry(path.to_string()).or_default().record(ns);
     }
 
     fn jobs_counts(&self) -> (u64, u64, u64, u64, u64) {
@@ -289,19 +310,23 @@ impl ServerMetrics {
             ),
         ];
 
-        let h = lock(&self.frame_ns);
-        let latency = vec![(
+        let mut latency = vec![(
             "frame.handle_ns".to_string(),
-            LatencySummary {
-                count: h.count,
-                sum: h.sum,
-                min: if h.is_empty() { 0 } else { h.min },
-                max: h.max,
-                p50: h.p50().unwrap_or(0),
-                p90: h.p90().unwrap_or(0),
-                p99: h.p99().unwrap_or(0),
-            },
+            summarize(&lock(&self.frame_ns)),
         )];
+        // Per-type breakouts and per-job stage budgets ride along as
+        // additional named rows: the wire format iterates `latency` as an
+        // open map, so clients that don't know these names skip them.
+        for t in ALL_TYPES {
+            let h = lock(&self.frame_type_ns[t.index()]);
+            if !h.is_empty() {
+                latency.push((format!("frame.handle_ns.{}", t.name()), summarize(&h)));
+            }
+        }
+        for (path, h) in lock(&self.job_stage_ns).iter() {
+            latency.push((format!("job.stage.{path}"), summarize(h)));
+        }
+        latency.sort_by(|a, b| a.0.cmp(&b.0));
         StatsReport {
             counters,
             gauges,
@@ -326,6 +351,19 @@ impl ServerMetrics {
             frames_rx,
             frames_tx,
         }
+    }
+}
+
+/// Summarises one histogram into the wire-facing percentile struct.
+fn summarize(h: &LogHistogram) -> LatencySummary {
+    LatencySummary {
+        count: h.count,
+        sum: h.sum,
+        min: if h.is_empty() { 0 } else { h.min },
+        max: h.max,
+        p50: h.p50().unwrap_or(0),
+        p90: h.p90().unwrap_or(0),
+        p99: h.p99().unwrap_or(0),
     }
 }
 
@@ -485,7 +523,7 @@ mod tests {
     fn latency_summary_tracks_percentiles() {
         let m = ServerMetrics::new();
         for ns in [100u64, 200, 400, 800, 100_000] {
-            m.frame_handled_ns(ns);
+            m.frame_handled_ns(FrameType::GetStats, ns);
         }
         let r = m.report();
         let (name, l) = &r.latency[0];
@@ -494,6 +532,54 @@ mod tests {
         assert_eq!(l.min, 100);
         assert_eq!(l.max, 100_000);
         assert!(l.p50 >= 100 && l.p99 <= 100_000);
+    }
+
+    #[test]
+    fn latency_breaks_out_per_frame_type() {
+        let m = ServerMetrics::new();
+        m.frame_handled_ns(FrameType::GetStats, 100);
+        m.frame_handled_ns(FrameType::GetStats, 300);
+        m.frame_handled_ns(FrameType::SubmitJob, 5_000);
+        let r = m.report();
+        let find = |n: &str| {
+            r.latency
+                .iter()
+                .find(|(k, _)| k == n)
+                .map(|(_, l)| *l)
+                .unwrap_or_else(|| panic!("missing latency row {n}"))
+        };
+        assert_eq!(find("frame.handle_ns").count, 3, "pooled row sees all");
+        assert_eq!(find("frame.handle_ns.get_stats").count, 2);
+        assert_eq!(find("frame.handle_ns.submit_job").count, 1);
+        // Types that saw no traffic are omitted entirely.
+        assert!(!r
+            .latency
+            .iter()
+            .any(|(k, _)| k == "frame.handle_ns.get_health"));
+        // Rows stay sorted by name (clients binary-search or scan-merge).
+        let names: Vec<&str> = r.latency.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn job_stage_budgets_become_latency_rows() {
+        let m = ServerMetrics::new();
+        m.job_stage_ns("wifi.rx", 2_000_000);
+        m.job_stage_ns("wifi.rx", 3_000_000);
+        m.job_stage_ns("wifi.rx/decode", 1_500_000);
+        let r = m.report();
+        let row = r
+            .latency
+            .iter()
+            .find(|(k, _)| k == "job.stage.wifi.rx")
+            .expect("stage row present");
+        assert_eq!(row.1.count, 2);
+        assert!(r
+            .latency
+            .iter()
+            .any(|(k, _)| k == "job.stage.wifi.rx/decode"));
     }
 
     #[test]

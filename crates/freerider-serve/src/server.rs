@@ -172,7 +172,7 @@ pub fn handle_session<S: Read + Write, F: Fn()>(mut stream: S, mgr: &JobManager,
             ),
         };
         if !self_timed {
-            metrics.frame_handled_ns(clock.elapsed_ns());
+            metrics.frame_handled_ns(frame.kind, clock.elapsed_ns());
         }
         if !keep_going {
             break;
@@ -232,7 +232,7 @@ fn on_submit<S: Read + Write>(
             metrics,
             Frame::new(FrameType::JobAccepted, wire::encode_job_id(id)),
         );
-        metrics.frame_handled_ns(clock.elapsed_ns());
+        metrics.frame_handled_ns(FrameType::SubmitJob, clock.elapsed_ns());
         if !accepted {
             q.close();
             return false;
@@ -245,7 +245,7 @@ fn on_submit<S: Read + Write>(
             metrics,
             Frame::new(FrameType::JobAccepted, wire::encode_job_id(id)),
         );
-        metrics.frame_handled_ns(clock.elapsed_ns());
+        metrics.frame_handled_ns(FrameType::SubmitJob, clock.elapsed_ns());
         ok
     }
 }
@@ -295,7 +295,7 @@ fn on_subscribe<S: Read + Write>(
     };
     match mgr.subscribe(id) {
         Ok(q) => {
-            metrics.frame_handled_ns(clock.elapsed_ns());
+            metrics.frame_handled_ns(FrameType::Subscribe, clock.elapsed_ns());
             pump(stream, metrics, &q)
         }
         Err(e) => send_error(stream, metrics, &e),

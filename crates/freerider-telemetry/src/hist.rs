@@ -312,4 +312,82 @@ mod tests {
         h.merge(&LogHistogram::new());
         assert_eq!(h, before);
     }
+
+    #[test]
+    fn percentile_out_of_range_p_clamps() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        // p outside [0, 100] must behave as the nearest endpoint, never
+        // panic or walk off the bins.
+        assert_eq!(h.percentile(-5.0), h.percentile(0.0));
+        assert_eq!(h.percentile(250.0), h.percentile(100.0));
+        assert_eq!(h.percentile(f64::NEG_INFINITY), h.percentile(0.0));
+        assert_eq!(h.percentile(f64::INFINITY), h.percentile(100.0));
+    }
+
+    #[test]
+    fn percentile_nan_p_is_bracketed() {
+        // NaN clamps to an arbitrary endpoint in `f64::clamp`; whatever
+        // it picks, the result must stay inside the sample envelope.
+        let mut h = LogHistogram::new();
+        h.record(7);
+        h.record(9);
+        let q = h.percentile(f64::NAN).unwrap();
+        assert!((7..=9).contains(&q));
+    }
+
+    #[test]
+    fn percentile_after_merge_matches_serial() {
+        // Percentiles are a pure function of the merged bins, so any
+        // partition of the samples over collectors must report identical
+        // percentiles after merging.
+        let samples: Vec<u64> = (1..500u64).map(|k| k * 37 % 8192).collect();
+        let mut serial = LogHistogram::new();
+        for &s in &samples {
+            serial.record(s);
+        }
+        let mut parts = [
+            LogHistogram::new(),
+            LogHistogram::new(),
+            LogHistogram::new(),
+        ];
+        for (k, &s) in samples.iter().enumerate() {
+            parts[k % 3].record(s);
+        }
+        let mut merged = parts[0].clone();
+        merged.merge(&parts[1]);
+        merged.merge(&parts[2]);
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(merged.percentile(p), serial.percentile(p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_min_clamp_beats_bin_lower_bound() {
+        // min sits mid-bin: low percentiles must clamp up to min, not
+        // report the bin's lower bound.
+        let mut h = LogHistogram::new();
+        for _ in 0..10 {
+            h.record(24); // bin [16, 31]
+        }
+        h.record(1000);
+        assert_eq!(h.percentile(0.0), Some(24));
+        assert!(h.p50().unwrap() >= 24);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum, u64::MAX, "sum must saturate");
+        assert_eq!(h.count, 2);
+        let mut other = LogHistogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.sum, u64::MAX, "merged sum must saturate too");
+        assert_eq!(h.count, 3);
+    }
 }

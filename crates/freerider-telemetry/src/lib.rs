@@ -17,6 +17,10 @@
 //! - **Flight recorder** — per-packet trace scopes gated by
 //!   `FREERIDER_TRACE` ([`trace`]), with a deterministic failure-forensics
 //!   dump and a Chrome `trace_event` exporter ([`chrome`]).
+//! - **Stage profiler** — hierarchical RAII scope trees gated by
+//!   `FREERIDER_PROFILE` ([`profile`]): per-stage wall-clock attribution
+//!   (p50/p90, percent-of-parent, throughput) alongside deterministic
+//!   work counters that are byte-identical across worker counts.
 //!
 //! # Determinism contract
 //!
@@ -40,6 +44,7 @@ pub mod hist;
 pub mod json;
 pub mod jsonv;
 pub mod log;
+pub mod profile;
 pub mod registry;
 pub mod snapshot;
 pub mod timer;
@@ -50,6 +55,7 @@ pub use hist::{bin_index, bin_lower_bound, LogHistogram, BINS};
 pub use json::JsonWriter;
 pub use jsonv::{JsonError, JsonValue};
 pub use log::{Level, LOG_ENV};
+pub use profile::{ProfileData, StageStat, PROFILE_ENV};
 pub use registry::{count, count_n, record, record_span_ns, reset, snapshot, span};
 pub use snapshot::Snapshot;
 pub use timer::{Span, Stopwatch, TimerStat};

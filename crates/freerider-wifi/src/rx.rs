@@ -37,7 +37,7 @@ use freerider_coding::interleaver::Interleaver;
 use freerider_coding::scrambler::Scrambler;
 use freerider_dsp::{bits, corr, db, Complex};
 use freerider_telemetry as telemetry;
-use freerider_telemetry::trace;
+use freerider_telemetry::{profile, trace};
 
 /// How the receiver tracks residual carrier phase across DATA symbols.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -283,6 +283,8 @@ impl Receiver {
         samples: &[Complex],
         scratch: &'s mut RxScratch,
     ) -> Result<&'s RxPacket, RxError> {
+        let _root = profile::scope("wifi.rx");
+        profile::items(samples.len() as u64);
         let mut cursor = 0usize;
         let mut first_err: Option<RxError> = None;
         let mut found = false;
@@ -316,6 +318,8 @@ impl Receiver {
     /// Receives every decodable PPDU in the buffer, skipping undecodable
     /// regions.
     pub fn receive_all(&self, samples: &[Complex]) -> Vec<RxPacket> {
+        let _root = profile::scope("wifi.rx");
+        profile::items(samples.len() as u64);
         let mut scratch = RxScratch::new();
         let mut out = Vec::new();
         let mut cursor = 0usize;
@@ -364,6 +368,7 @@ impl Receiver {
         telemetry::count("wifi.rx.detect.calls");
         let _span = telemetry::span("wifi.rx.detect");
         let _stage = trace::stage("wifi.rx.detect");
+        let _prof = profile::scope("detect");
         if samples.len() < PREAMBLE_LEN + SYMBOL_LEN {
             return Err(RxError::NoPreamble);
         }
@@ -475,11 +480,13 @@ impl Receiver {
     ) -> Result<(), RxError> {
         let _span = telemetry::span("wifi.rx.decode");
         let _stage = trace::stage("wifi.rx.decode");
+        let _prof = profile::scope("decode");
         if ltf1 + 2 * FFT_SIZE + SYMBOL_LEN > samples.len() {
             telemetry::count("wifi.rx.truncated");
             return Err(RxError::Truncated);
         }
         // --- Fine CFO from the repeated long symbols. ---
+        let prof_cfo = profile::scope("cfo");
         let mut acc = Complex::ZERO;
         for k in 0..FFT_SIZE {
             acc += samples[ltf1 + FFT_SIZE + k] * samples[ltf1 + k].conj();
@@ -499,8 +506,10 @@ impl Receiver {
                 .enumerate()
                 .map(|(n, &x)| x * Complex::cis(-2.0 * std::f64::consts::PI * cfo * n as f64)),
         );
+        drop(prof_cfo);
 
         // --- Channel estimation from the two long symbols. ---
+        let prof_chanest = profile::scope("chanest");
         let mut h = [Complex::ZERO; FFT_SIZE];
         for rep in 0..2 {
             let mut f = [Complex::ZERO; FFT_SIZE];
@@ -522,8 +531,10 @@ impl Receiver {
         };
 
         telemetry::count("wifi.rx.chanest.estimates");
+        drop(prof_chanest);
 
         // --- SIGNAL symbol. ---
+        let prof_signal = profile::scope("signal");
         if scratch.corrected.len() - 2 * FFT_SIZE < SYMBOL_LEN {
             telemetry::count("wifi.rx.truncated");
             return Err(RxError::Truncated);
@@ -598,6 +609,7 @@ impl Receiver {
         for (d, &s) in sig_points.iter_mut().zip(sig_points_raw.iter()) {
             *d = s * derot;
         }
+        profile::work("demap.symbols", 1);
         soft_demap_symbols_into(
             &sig_points,
             &scratch.gains,
@@ -626,8 +638,10 @@ impl Receiver {
             RxError::BadSignal(e)
         })?;
         telemetry::count("wifi.rx.signal.ok");
+        drop(prof_signal);
 
         // --- DATA symbols. ---
+        let prof_equalize = profile::scope("equalize");
         let rate = signal.rate;
         let n_sym = rate.data_symbols_for(signal.length);
         if scratch.corrected.len() - 2 * FFT_SIZE < SYMBOL_LEN * (1 + n_sym) {
@@ -693,6 +707,7 @@ impl Receiver {
                 *d = s * derot;
             }
             scratch.packet.equalized.push(arr);
+            profile::work("demap.symbols", 1);
             soft_demap_symbols_into(&arr, &scratch.gains, rate.modulation(), &mut scratch.llrs);
             let base = scratch.coded_llrs.len();
             scratch.coded_llrs.resize(base + n_cbps, 0.0);
@@ -702,6 +717,8 @@ impl Receiver {
         }
         telemetry::count_n("wifi.rx.demap.symbols", n_sym as u64);
         telemetry::count_n("wifi.rx.deinterleave.symbols", n_sym as u64);
+        drop(prof_equalize);
+        let prof_viterbi = profile::scope("viterbi");
         let (scrambled, path_metric) = viterbi_decode_soft_scratch(
             &scratch.coded_llrs,
             rate.code_rate(),
@@ -710,6 +727,7 @@ impl Receiver {
         trace::value_f64("wifi.rx.data.viterbi_metric", path_metric);
         telemetry::count("wifi.rx.viterbi.decodes");
         telemetry::count_n("wifi.rx.viterbi.bits", scrambled.len() as u64);
+        drop(prof_viterbi);
 
         // Per-subcarrier EVM vs the nearest constellation point, averaged
         // over all DATA symbols. Only computed while a flight-recorder
@@ -730,6 +748,7 @@ impl Receiver {
         }
 
         // --- Descramble, recovering the seed from the SERVICE bits. ---
+        let prof_descramble = profile::scope("descramble");
         let data_bits = &mut scratch.packet.data_bits;
         data_bits.clear();
         data_bits.extend_from_slice(scrambled);
@@ -739,10 +758,13 @@ impl Receiver {
             }
             desc.scramble_in_place(&mut data_bits[7..]);
         }
+        drop(prof_descramble);
 
+        let prof_fcs = profile::scope("fcs");
         let psdu_bits = &scratch.packet.data_bits[16..16 + 8 * signal.length];
         bits::bits_to_bytes_lsb_into(psdu_bits, &mut scratch.packet.psdu);
         let fcs_valid = freerider_coding::crc::check_crc32(&scratch.packet.psdu);
+        drop(prof_fcs);
         telemetry::count(if fcs_valid {
             "wifi.rx.fcs.ok"
         } else {
@@ -750,6 +772,7 @@ impl Receiver {
         });
         trace::value_str("wifi.rx.fcs", if fcs_valid { "ok" } else { "bad" });
         telemetry::count("wifi.rx.packets");
+        profile::bits(8 * signal.length as u64);
         telemetry::record("wifi.rx.psdu_bytes", signal.length as u64);
         telemetry::event!(
             Debug,
@@ -784,6 +807,7 @@ impl Receiver {
         debug_assert_eq!(symbol.len(), SYMBOL_LEN);
         telemetry::count("wifi.rx.equalize.symbols");
         telemetry::count("wifi.rx.fft.symbols");
+        profile::work("equalize.subcarriers", N_DATA_CARRIERS as u64);
         let carriers = demodulate_symbol(&symbol[..SYMBOL_LEN]);
         let polarity = pilot_polarity()[symbol_index % 127];
         // Pilot-derived common phase error.

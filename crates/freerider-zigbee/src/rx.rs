@@ -17,7 +17,7 @@ use crate::oqpsk::{demodulate_chips, modulate_chips};
 use crate::{CHIPS_PER_SYMBOL, SAMPLES_PER_SYMBOL};
 use freerider_dsp::{corr, db, Complex};
 use freerider_telemetry as telemetry;
-use freerider_telemetry::trace;
+use freerider_telemetry::{profile, trace};
 
 /// Receiver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -112,7 +112,10 @@ impl Receiver {
         telemetry::count("zigbee.rx.receive.calls");
         let _span = telemetry::span("zigbee.rx.receive");
         let _stage = trace::stage("zigbee.rx.receive");
+        let _prof = profile::scope("zigbee.rx");
+        profile::items(samples.len() as u64);
         // --- Detect the preamble. ---
+        let prof_detect = profile::scope("detect");
         let c = corr::normalized_correlation(samples, &self.sync_ref);
         let thr = self.config.detection_threshold;
         let i = match corr::first_above(&c, thr) {
@@ -136,8 +139,10 @@ impl Receiver {
             telemetry::count("zigbee.rx.sensitivity_drops");
             return Err(RxError::NoPreamble);
         }
+        drop(prof_detect);
 
         // --- Phase estimate from the complex correlation at the peak. ---
+        let prof_sync = profile::scope("sync");
         let refc = &self.sync_ref;
         let mut acc = Complex::ZERO;
         for (k, &r) in refc.iter().enumerate() {
@@ -150,7 +155,9 @@ impl Receiver {
         trace::value_f64("zigbee.rx.phase", phase);
         let derot = Complex::cis(-phase);
         let corrected: Vec<Complex> = samples[start..].iter().map(|&z| z * derot).collect();
+        drop(prof_sync);
 
+        let prof_despread = profile::scope("despread");
         // --- Walk the symbol grid looking for the SFD. ---
         // The preamble has 8 zero symbols; the correlator may have locked
         // onto any of them, so scan up to 10 symbols for the SFD pair (7, A).
@@ -194,9 +201,12 @@ impl Receiver {
             symbol_scores.push(score);
         }
         telemetry::count_n("zigbee.rx.despread.symbols", (4 + n_psdu_sym) as u64);
+        profile::work("despread.symbols", (4 + n_psdu_sym) as u64);
         if trace::in_packet() && !symbol_scores.is_empty() {
             trace::value_f64s("zigbee.rx.symbol_scores", &symbol_scores);
         }
+        drop(prof_despread);
+        let prof_fcs = profile::scope("fcs");
         let psdu = crate::frame::symbols_to_bytes(&psdu_symbols);
         let ppdu = Ppdu { psdu };
         let fcs_valid = ppdu.fcs_valid();
@@ -205,8 +215,10 @@ impl Receiver {
         } else {
             "zigbee.rx.fcs.bad"
         });
+        drop(prof_fcs);
         trace::value_str("zigbee.rx.fcs", if fcs_valid { "ok" } else { "bad" });
         telemetry::count("zigbee.rx.packets");
+        profile::bits(8 * psdu_len as u64);
         telemetry::record("zigbee.rx.psdu_bytes", psdu_len as u64);
         telemetry::event!(
             Debug,

@@ -2,17 +2,26 @@
 """Diff a fresh bench-baseline JSON against the committed baseline.
 
     python3 scripts/bench_diff.py <old.json> <new.json> [--warn-only]
+    python3 scripts/bench_diff.py --selftest
 
-Compares kernel median times and per-experiment wall-clock between two
-`freerider-bench/1` documents. A metric regresses when the new value
-exceeds the old by more than the threshold (percent, default 50 --
-wall-clock benchmarks are noisy; override with FREERIDER_BENCH_THRESHOLD).
+Compares kernel median times, per-profile-stage p50 times, and
+per-experiment wall-clock between two `freerider-bench/1` documents. A
+metric regresses when the new value exceeds the old by more than the
+threshold (percent, default 50 -- wall-clock benchmarks are noisy;
+override with FREERIDER_BENCH_THRESHOLD).
 
-Kernel regressions always fail (exit 1): the PHY hot paths are the
-product, and a silent 2x loss there is exactly what this gate exists to
-catch. `--warn-only` downgrades only the experiment wall-clock rows,
-which bundle scheduling noise and workload drift on top of kernel time.
-A missing old baseline is still fine (first run: nothing to compare yet).
+Kernel and stage regressions always fail (exit 1): the PHY hot paths are
+the product, and a silent 2x loss there is exactly what this gate exists
+to catch. Stage rows come from `bench-baseline`'s profile-on WiFi RX run
+on both sides, so the comparison is like for like (profiling overhead is
+present in both). `--warn-only` downgrades only the experiment
+wall-clock rows, which bundle scheduling noise and workload drift on top
+of kernel time. A missing old baseline is still fine (first run: nothing
+to compare yet).
+
+`--selftest` exercises the gate on synthetic documents -- a clean pair
+must pass and an injected per-stage regression must exit 1 -- and is run
+by scripts/verify.sh so the gate itself cannot silently rot.
 """
 
 import json
@@ -28,7 +37,106 @@ def load(path):
     return doc
 
 
+def diff(old, new, threshold, warn_only):
+    """Returns (exit code, printed lines) for one old/new document pair."""
+    rows = []  # (metric, hard failure?, old value, new value, unit)
+    for name, k in new.get("kernels", {}).items():
+        prev = old.get("kernels", {}).get(name)
+        if prev:
+            rows.append((f"kernel {name}", True, prev["median_ns"], k["median_ns"], "ns"))
+    for name, s in new.get("stages", {}).items():
+        prev = old.get("stages", {}).get(name)
+        if prev and prev.get("p50_ns"):
+            rows.append((f"stage {name}", True, prev["p50_ns"], s["p50_ns"], "ns"))
+    for name, e in new.get("experiments", {}).items():
+        prev = old.get("experiments", {}).get(name)
+        if prev:
+            rows.append((f"experiment {name}", False, prev["wall_s"], e["wall_s"], "s"))
+
+    lines = []
+    if not rows:
+        lines.append("bench_diff: no overlapping metrics between baselines")
+        return 0, lines
+
+    hard_regressions = 0
+    soft_regressions = 0
+    lines.append(f"bench_diff: {old.get('git_sha')} -> {new.get('git_sha')}"
+                 f" (threshold {threshold:g}%)")
+    for metric, hard, before, after, unit in rows:
+        delta = (after / before - 1.0) * 100.0 if before else 0.0
+        flag = ""
+        if delta > threshold:
+            if hard or not warn_only:
+                flag = "  << REGRESSION"
+                hard_regressions += 1
+            else:
+                flag = "  << regression (warn-only)"
+                soft_regressions += 1
+        lines.append(f"  {metric:<40} {before:>12g} -> {after:>12g} {unit}"
+                     f"  ({delta:+6.1f}%){flag}")
+
+    if soft_regressions:
+        lines.append(f"bench_diff: {soft_regressions} experiment wall-clock metric(s)"
+                     f" regressed beyond {threshold:g}% (downgraded by --warn-only)")
+    if hard_regressions:
+        lines.append(f"bench_diff: {hard_regressions} metric(s) regressed"
+                     f" beyond {threshold:g}%")
+        return 1, lines
+    lines.append("bench_diff: OK")
+    return 0, lines
+
+
+def selftest():
+    """The gate gates: a clean pair passes, an injected stage regression fails."""
+    base = {
+        "schema": "freerider-bench/1",
+        "git_sha": "selftest-old",
+        "kernels": {"wifi/rx_1000B": {"median_ns": 1_000_000}},
+        "stages": {
+            "wifi.rx": {"p50_ns": 900_000, "count": 10},
+            "wifi.rx/decode/viterbi": {"p50_ns": 400_000, "count": 10},
+        },
+        "experiments": {"fig10": {"wall_s": 1.0}},
+    }
+    clean = json.loads(json.dumps(base))
+    clean["git_sha"] = "selftest-new"
+    code, _ = diff(base, clean, 50.0, warn_only=False)
+    if code != 0:
+        print("bench_diff selftest: FAIL -- identical baselines flagged as regression")
+        return 1
+
+    regressed = json.loads(json.dumps(clean))
+    regressed["stages"]["wifi.rx/decode/viterbi"]["p50_ns"] = 1_000_000  # +150%
+    code, lines = diff(base, regressed, 50.0, warn_only=False)
+    if code != 1:
+        print("bench_diff selftest: FAIL -- injected stage regression not caught")
+        return 1
+    if not any("stage wifi.rx/decode/viterbi" in l and "REGRESSION" in l for l in lines):
+        print("bench_diff selftest: FAIL -- regression caught but not attributed to the stage row")
+        return 1
+
+    # An injected regression must still fail under --warn-only: stage rows
+    # are hard, only experiment rows are downgradable.
+    code, _ = diff(base, regressed, 50.0, warn_only=True)
+    if code != 1:
+        print("bench_diff selftest: FAIL -- --warn-only must not soften stage rows")
+        return 1
+
+    # Experiment rows, by contrast, do soften.
+    slow_exp = json.loads(json.dumps(clean))
+    slow_exp["experiments"]["fig10"]["wall_s"] = 5.0
+    code, _ = diff(base, slow_exp, 50.0, warn_only=True)
+    if code != 0:
+        print("bench_diff selftest: FAIL -- --warn-only must downgrade experiment rows")
+        return 1
+
+    print("bench_diff selftest: OK (stage regression gated, warn-only semantics hold)")
+    return 0
+
+
 def main(argv):
+    if "--selftest" in argv:
+        return selftest()
     args = [a for a in argv if not a.startswith("--")]
     warn_only = "--warn-only" in argv
     if len(args) != 2:
@@ -40,46 +148,9 @@ def main(argv):
         print(f"bench_diff: no baseline at {old_path} (first run), nothing to diff")
         return 0
     old, new = load(old_path), load(new_path)
-
-    rows = []  # (metric, hard failure?, old value, new value, unit)
-    for name, k in new.get("kernels", {}).items():
-        prev = old.get("kernels", {}).get(name)
-        if prev:
-            rows.append((f"kernel {name}", True, prev["median_ns"], k["median_ns"], "ns"))
-    for name, e in new.get("experiments", {}).items():
-        prev = old.get("experiments", {}).get(name)
-        if prev:
-            rows.append((f"experiment {name}", False, prev["wall_s"], e["wall_s"], "s"))
-
-    if not rows:
-        print("bench_diff: no overlapping metrics between baselines")
-        return 0
-
-    hard_regressions = 0
-    soft_regressions = 0
-    print(f"bench_diff: {old.get('git_sha')} -> {new.get('git_sha')}"
-          f" (threshold {threshold:g}%)")
-    for metric, hard, before, after, unit in rows:
-        delta = (after / before - 1.0) * 100.0 if before else 0.0
-        flag = ""
-        if delta > threshold:
-            if hard or not warn_only:
-                flag = "  << REGRESSION"
-                hard_regressions += 1
-            else:
-                flag = "  << regression (warn-only)"
-                soft_regressions += 1
-        print(f"  {metric:<40} {before:>12g} -> {after:>12g} {unit}"
-              f"  ({delta:+6.1f}%){flag}")
-
-    if soft_regressions:
-        print(f"bench_diff: {soft_regressions} experiment wall-clock metric(s)"
-              f" regressed beyond {threshold:g}% (downgraded by --warn-only)")
-    if hard_regressions:
-        print(f"bench_diff: {hard_regressions} metric(s) regressed beyond {threshold:g}%")
-        return 1
-    print("bench_diff: OK")
-    return 0
+    code, lines = diff(old, new, threshold, warn_only)
+    print("\n".join(lines))
+    return code
 
 
 if __name__ == "__main__":

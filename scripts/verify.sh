@@ -81,6 +81,38 @@ print(f"trace OK: {len(events)} events, {len(packets)} packet spans, "
       f"{forensic_packets} forensic packets")
 EOF
 
+echo "==> repro --profile smoke (stage profiler: schema, counters, tree invariant)"
+./target/release/repro --quick --profile /tmp/freerider_profile_smoke.json \
+    fig10 >/dev/null 2>&1
+python3 - <<'EOF'
+import json
+with open("/tmp/freerider_profile_smoke.json") as f:
+    doc = json.load(f)
+assert doc["schema"] == "freerider-profile/1", doc.get("schema")
+stages = doc["stages"]
+assert stages, "empty profile report"
+by_path = {s["path"]: s for s in stages}
+assert "wifi.rx" in by_path, sorted(by_path)
+# Deterministic work counters must be present and nonzero somewhere.
+work_total = sum(sum(s["work"].values()) for s in stages)
+assert work_total > 0, "no work counters recorded"
+viterbi = by_path.get("wifi.rx/decode/viterbi")
+assert viterbi and viterbi["work"].get("viterbi.acs_ops", 0) > 0, viterbi
+# Tree invariant: each parent's recorded time bounds the sum of its
+# children (scope nesting guarantees this; floor-truncation only helps).
+for path, s in by_path.items():
+    kids = [c for p, c in by_path.items()
+            if p.startswith(path + "/") and "/" not in p[len(path) + 1:]]
+    child_ns = sum(c["timing"]["total_ns"] for c in kids)
+    assert child_ns <= s["timing"]["total_ns"], \
+        f"{path}: children {child_ns}ns exceed parent {s['timing']['total_ns']}ns"
+print(f"profile OK: {len(stages)} stages, {work_total} work units, "
+      f"tree invariant holds")
+EOF
+
+echo "==> bench_diff selftest (per-stage regression gate gates)"
+python3 scripts/bench_diff.py --selftest
+
 echo "==> planned-FFT selftest (bit-identical to reference)"
 ./target/release/bench-baseline --selftest-fft
 

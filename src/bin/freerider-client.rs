@@ -212,6 +212,39 @@ fn cmd_stats(client: &mut Client<TcpStream>, a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders the per-frame-type latency breakout (`frame.handle_ns.<type>`
+/// rows) as a percentile table, one frame type per row. Returns an empty
+/// string until the server has timed at least one typed frame.
+fn render_type_latency(stats: &freerider::serve::StatsReport) -> String {
+    const PREFIX: &str = "frame.handle_ns.";
+    let rows: Vec<(&str, &freerider::serve::LatencySummary)> = stats
+        .latency
+        .iter()
+        .filter_map(|(k, l)| k.strip_prefix(PREFIX).map(|t| (t, l)))
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let width = rows
+        .iter()
+        .map(|(t, _)| t.len())
+        .max()
+        .unwrap_or(10)
+        .max(10);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "per-type latency (ns):\n  {:<width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+        "type", "count", "p50", "p90", "p99", "max"
+    ));
+    for (t, l) in rows {
+        out.push_str(&format!(
+            "  {t:<width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+            l.count, l.p50, l.p90, l.p99, l.max
+        ));
+    }
+    out
+}
+
 fn cmd_top(client: &mut Client<TcpStream>, a: &Args) -> Result<(), String> {
     let interval: f64 = a.get("interval", 2.0)?;
     if !interval.is_finite() || interval <= 0.0 {
@@ -234,6 +267,7 @@ fn cmd_top(client: &mut Client<TcpStream>, a: &Args) -> Result<(), String> {
             h.frames_tx
         );
         println!();
+        print!("{}", render_type_latency(&stats));
         print!("{}", render_stats(&stats));
         use std::io::Write as _;
         let _ = std::io::stdout().flush();

@@ -53,7 +53,7 @@ fn receive_all_separates_tagged_back_to_back_packets() {
             freerider::wifi::frame::MacAddr::local(1),
             freerider::wifi::frame::MacAddr::local(2),
             i as u16,
-            &vec![i; 150],
+            &[i; 150],
         );
         let wave = tx.transmit(frame.as_bytes()).unwrap();
         let bits = rng.bits(translator.capacity(wave.len()));
