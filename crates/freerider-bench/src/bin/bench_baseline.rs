@@ -427,6 +427,28 @@ fn main() -> ExitCode {
         bytes: 0,
     });
 
+    // Static-analyzer wall-clock over the real workspace (lex + item-tree
+    // + all rules + cross-file wire scan). Tracked so the lint gate's
+    // cost stays visible as the codebase grows; bench_diff.py treats
+    // `lint/` rows as soft — analyzer runtime is not a product hot path.
+    match std::env::current_dir()
+        .ok()
+        .and_then(|cwd| freerider_lint::walk::find_root(&cwd))
+    {
+        Some(ws_root) => kernels.push(KernelResult {
+            name: "lint/workspace_scan",
+            summary: bench("lint/workspace_scan", budget, max_iters.min(50), || {
+                let files = freerider_lint::walk::discover(&ws_root).expect("walk workspace");
+                freerider_lint::rules::analyze(&ws_root, &files)
+                    .expect("analyze workspace")
+                    .findings
+                    .len()
+            }),
+            bytes: 0,
+        }),
+        None => eprintln!("bench-baseline: no enclosing workspace; skipping lint/workspace_scan"),
+    }
+
     // Per-experiment wall-clock (quick workloads keep this step short).
     let mut experiments: Vec<(&'static str, f64)> = Vec::new();
     for e in freerider_bench::EXPERIMENTS {

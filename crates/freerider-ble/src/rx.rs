@@ -179,6 +179,7 @@ impl Receiver {
             let acc: f64 = freq[lo..=hi].iter().sum();
             Some(u8::from(acc > 0.0))
         };
+        // lint: allow(a1) — 16-bit header scratch; one tiny alloc per detected packet, not per sample
         let mut whitened = Vec::new();
         for n in 0..16 {
             whitened.push(bit_at(n).ok_or(RxError::Truncated(PacketError::Truncated))?);

@@ -1,0 +1,15 @@
+//! Positive fixture for A1: heap allocation inside a designated hot path.
+#![forbid(unsafe_code)]
+
+// lint: hot-path
+pub fn demod(input: &[u8], out: &mut Vec<u8>) -> usize {
+    let staged: Vec<u8> = input.iter().map(|b| b ^ 0x55).collect();
+    let copy = staged.to_vec();
+    out.extend_from_slice(&copy);
+    format!("{}", copy.len()).len()
+}
+
+/// Allocation outside a designated hot path is no finding.
+pub fn setup() -> Vec<u8> {
+    Vec::with_capacity(64)
+}

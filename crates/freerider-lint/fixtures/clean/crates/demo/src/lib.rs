@@ -21,6 +21,55 @@ pub fn first() -> usize {
     *sizes().values().next().unwrap()
 }
 
+/// A designated hot path that stays allocation-free: A1 is satisfied.
+// lint: hot-path
+pub fn demod(input: &[u8], out: &mut [u8]) -> usize {
+    let mut n = 0;
+    for (o, b) in out.iter_mut().zip(input) {
+        *o = b ^ 0x55;
+        n += 1;
+    }
+    n
+}
+
+/// Allocation outside any designated hot path: A1 stays quiet.
+pub fn scratch() -> Vec<u8> {
+    Vec::with_capacity(64)
+}
+
+/// Acquire/Release handshake: the sanctioned O1 default.
+pub fn publish(flag: &std::sync::atomic::AtomicU64) -> u64 {
+    use std::sync::atomic::Ordering;
+    flag.store(1, Ordering::Release);
+    flag.load(Ordering::Acquire)
+}
+
+/// A wire enum whose every variant both encodes and decodes: E1 clean.
+pub enum FrameType {
+    Hello = 0x01,
+    Data = 0x02,
+}
+
+impl FrameType {
+    /// Decode arm for every variant.
+    pub fn from_byte(b: u8) -> Option<FrameType> {
+        use FrameType::*;
+        Some(match b {
+            0x01 => Hello,
+            0x02 => Data,
+            _ => return None,
+        })
+    }
+}
+
+/// Encode arm for every variant.
+pub fn encode(t: &FrameType) -> u8 {
+    match t {
+        FrameType::Hello => 0x01,
+        FrameType::Data => 0x02,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,5 @@
+//! T1 negative: `freerider-rt` is a sanctioned thread-spawning crate.
+
+pub fn start() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,33 @@
+//! Positive fixture for E1: `FrameType` variants missing wire arms.
+//!
+//! `Orphan` is encoded but never decoded; `Ghost` is decoded but never
+//! encoded. `Hello` and `Data` round-trip and are clean.
+#![forbid(unsafe_code)]
+
+pub enum FrameType {
+    Hello = 0x01,
+    Data = 0x02,
+    Orphan = 0x03,
+    Ghost = 0x04,
+}
+
+impl FrameType {
+    pub fn from_byte(b: u8) -> Option<FrameType> {
+        use FrameType::*;
+        Some(match b {
+            0x01 => Hello,
+            0x02 => Data,
+            0x04 => Ghost,
+            _ => return None,
+        })
+    }
+}
+
+pub fn encode(t: &FrameType) -> u8 {
+    match t {
+        FrameType::Hello => 0x01,
+        FrameType::Data => 0x02,
+        FrameType::Orphan => 0x03,
+        _ => 0,
+    }
+}

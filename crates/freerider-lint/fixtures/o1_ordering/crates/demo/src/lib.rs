@@ -1,0 +1,20 @@
+//! Positive fixture for O1: atomic orderings outside sanctioned sites.
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Not a telemetry counter module: Relaxed needs a pragma here.
+pub fn bump(hits: &AtomicU64) {
+    hits.fetch_add(1, Ordering::Relaxed);
+}
+
+/// SeqCst needs a justification pragma everywhere.
+pub fn read_strong(hits: &AtomicU64) -> u64 {
+    hits.load(Ordering::SeqCst)
+}
+
+/// Acquire/Release handshakes are the sanctioned default — no finding.
+pub fn publish(flag: &AtomicU64) -> u64 {
+    flag.store(1, Ordering::Release);
+    flag.load(Ordering::Acquire)
+}

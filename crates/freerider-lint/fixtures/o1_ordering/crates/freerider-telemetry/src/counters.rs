@@ -1,0 +1,8 @@
+//! Sanctioned telemetry counter site: Relaxed is the contract here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic frame counter; readers tolerate staleness by design.
+pub fn frame(frames: &AtomicU64) {
+    frames.fetch_add(1, Ordering::Relaxed);
+}

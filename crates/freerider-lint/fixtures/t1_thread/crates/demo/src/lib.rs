@@ -1,0 +1,14 @@
+//! Positive fixture for T1: thread spawning outside the runtime crates.
+#![forbid(unsafe_code)]
+
+pub fn fan_out() {
+    std::thread::spawn(|| {});
+}
+
+pub fn scoped() {
+    std::thread::scope(|_s| {});
+}
+
+pub fn tuned() {
+    let _ = std::thread::Builder::new();
+}

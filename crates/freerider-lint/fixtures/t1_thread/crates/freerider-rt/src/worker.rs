@@ -1,0 +1,5 @@
+//! Sanctioned: `freerider-rt` owns the worker pool — no finding here.
+
+pub fn start() {
+    std::thread::spawn(|| {});
+}

@@ -1,37 +1,147 @@
-//! Count-based baselines: fail on *new* violations only.
+//! Fingerprint baselines: accepted debt named per finding, not per count.
 //!
-//! A baseline records, per `(rule, file)`, how many findings are accepted
-//! debt. The analyzer fails only when a file's count for a rule *exceeds*
-//! its baseline — so existing debt can be burned down incrementally while
-//! the build blocks regressions. Counts (not line numbers) are recorded
-//! because unrelated edits shift lines; a count only moves when a
-//! violation is added or removed.
+//! A baseline records one line per accepted finding, keyed by a stable
+//! **fingerprint**: FNV-1a over `(rule slug, workspace-relative path,
+//! normalized line text, occurrence index)`. Line *numbers* are deliberately
+//! excluded — moving a finding up or down a file (the most common
+//! churn under refactoring) produces no baseline diff, while editing the
+//! offending line's text, renaming the file, or adding a second identical
+//! violation all do. Compared to the old v1 count format, a diff now names
+//! the exact finding that appeared or vanished instead of a bare number.
 //!
-//! Format: one `<rule-slug> <path> <count>` triple per line, `#` comments
-//! and blank lines ignored, sorted on save so diffs stay reviewable.
+//! Format (`version 2`):
+//!
+//! ```text
+//! # comments and blank lines ignored
+//! version 2
+//! <rule-slug> <fingerprint-16-hex> <path> | <normalized line text>
+//! ```
+//!
+//! The trailing `| <text>` is a human-readable note: load ignores it (the
+//! fingerprint is authoritative), save regenerates it. Entries are sorted
+//! by `(path, slug, fingerprint)` so diffs stay reviewable. Reading a v1
+//! count-based file (`<rule> <path> <count>`) is a hard error directing
+//! the user to `--migrate-baseline`.
 
 use crate::rules::{Finding, Rule};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Accepted-debt counts keyed by `(rule slug, workspace-relative path)`.
-pub type Baseline = BTreeMap<(String, String), u32>;
+/// Maximum length of the human-readable note saved after `|`.
+const NOTE_MAX: usize = 72;
 
-/// Loads a baseline file; a missing file is an empty baseline.
+/// One accepted finding in a baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule slug (e.g. `panic`).
+    pub slug: String,
+    /// Stable fingerprint of the finding.
+    pub fingerprint: u64,
+    /// Workspace-relative path at the time the debt was accepted.
+    pub path: String,
+    /// Normalized-line excerpt (informational only; may be empty).
+    pub note: String,
+}
+
+/// A parsed baseline: the set of accepted findings.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// All accepted entries (order as loaded; sorted on save).
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    /// An empty baseline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of accepted entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no debt is accepted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The fingerprint set, for membership tests.
+    pub fn fingerprints(&self) -> BTreeSet<u64> {
+        self.entries.iter().map(|e| e.fingerprint).collect()
+    }
+}
+
+/// Error text used when a v1 count-based baseline is detected.
+pub const V1_HINT: &str =
+    "old count-based (v1) baseline format; run `freerider-lint --workspace --migrate-baseline` \
+     to convert it to fingerprint (v2) format";
+
+/// Loads a v2 baseline file; a missing file is an empty baseline. A v1
+/// count-based file is an error naming `--migrate-baseline`.
 pub fn load(path: &Path) -> io::Result<Baseline> {
     let text = match fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Baseline::new()),
         Err(e) => return Err(e),
     };
+    let mut lines = content_lines(&text);
     let mut out = Baseline::new();
-    for (no, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+    match lines.next() {
+        None => return Ok(out), // comments/blank only
+        Some((_, "version 2")) => {}
+        Some((no, l)) => {
+            let hint = if looks_like_v1(l) {
+                V1_HINT
+            } else {
+                "expected `version 2` header"
+            };
+            return Err(bad(no, l, hint));
         }
+    }
+    for (no, line) in lines {
+        let (head, note) = match line.split_once('|') {
+            Some((h, n)) => (h.trim(), n.trim()),
+            None => (line, ""),
+        };
+        let mut parts = head.split_whitespace();
+        let parsed = (|| {
+            let slug = parts.next()?;
+            Rule::from_slug(slug)?;
+            let hex = parts.next()?;
+            let fingerprint = u64::from_str_radix(hex, 16).ok()?;
+            let path = parts.next()?;
+            Some((slug.to_string(), fingerprint, path.to_string()))
+        })();
+        match parsed {
+            Some((slug, fingerprint, path)) if parts.next().is_none() => {
+                out.entries.push(Entry {
+                    slug,
+                    fingerprint,
+                    path,
+                    note: note.to_string(),
+                });
+            }
+            _ => {
+                return Err(bad(
+                    no,
+                    line,
+                    "expected `<rule> <fingerprint-hex> <path> | <text>`",
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Loads a **v1** count-based baseline (`<rule> <path> <count>` triples),
+/// for `--migrate-baseline` only.
+pub fn load_v1(path: &Path) -> io::Result<BTreeMap<(String, String), u32>> {
+    let text = fs::read_to_string(path)?;
+    let mut out = BTreeMap::new();
+    for (no, line) in content_lines(&text) {
         let mut parts = line.split_whitespace();
         let parsed = (|| {
             let slug = parts.next()?;
@@ -44,28 +154,38 @@ pub fn load(path: &Path) -> io::Result<Baseline> {
             Some((slug, path, count)) if parts.next().is_none() => {
                 out.insert((slug, path), count);
             }
-            _ => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!(
-                        "baseline line {}: expected `<rule> <path> <count>`, got `{line}`",
-                        no + 1
-                    ),
-                ));
-            }
+            _ => return Err(bad(no, line, "expected v1 `<rule> <path> <count>`")),
         }
     }
     Ok(out)
 }
 
-/// Writes the baseline that would make the given findings pass exactly.
+/// Writes the baseline that accepts exactly the given findings.
 pub fn save(path: &Path, findings: &[Finding]) -> io::Result<()> {
     let mut text = String::from(
-        "# freerider-lint baseline — accepted findings per (rule, file).\n\
-         # Regenerate with `freerider-lint --workspace --update-baseline`.\n",
+        "# freerider-lint baseline v2 — one accepted finding per line:\n\
+         #   <rule> <fingerprint> <path> | <normalized line excerpt>\n\
+         # Fingerprints hash (rule, path, line text) — not line numbers — so\n\
+         # moving a finding does not dirty this file. Regenerate with\n\
+         # `freerider-lint --workspace --update-baseline`.\n\
+         version 2\n",
     );
-    for ((slug, file), count) in &counts(findings) {
-        text.push_str(&format!("{slug} {file} {count}\n"));
+    let mut rows: Vec<(&str, &str, u64, &str)> = findings
+        .iter()
+        .map(|f| {
+            (
+                f.path.as_str(),
+                f.rule.slug(),
+                f.fingerprint,
+                f.norm.as_str(),
+            )
+        })
+        .collect();
+    rows.sort();
+    rows.dedup();
+    for (file, slug, fp, norm) in rows {
+        let note: String = norm.chars().take(NOTE_MAX).collect();
+        text.push_str(&format!("{slug} {fp:016x} {file} | {note}\n"));
     }
     fs::write(path, text)
 }
@@ -73,150 +193,262 @@ pub fn save(path: &Path, findings: &[Finding]) -> io::Result<()> {
 /// The verdict of weighing findings against a baseline.
 #[derive(Debug, Default)]
 pub struct Assessment {
-    /// Findings in groups that exceed their baseline (these fail the run).
+    /// Findings whose fingerprint the baseline does not accept (these
+    /// fail the run).
     pub new: Vec<Finding>,
     /// Findings absorbed by the baseline.
     pub baselined: usize,
-    /// Entries whose debt shrank: `(slug, path, allowed, found)` — time to
-    /// tighten the baseline.
-    pub stale: Vec<(String, String, u32, u32)>,
+    /// Baseline entries that no longer match any finding — burned-down
+    /// debt; time to tighten the baseline.
+    pub stale: Vec<Entry>,
 }
 
-/// Weighs `findings` against `baseline`.
-///
-/// When a `(rule, file)` group exceeds its allowance, *all* of that
-/// group's findings are reported — counts cannot tell old debt from the
-/// regression, and showing the full group is what lets the author spot
-/// the new one.
+/// Weighs `findings` against `baseline` by fingerprint membership.
 pub fn assess(findings: &[Finding], baseline: &Baseline) -> Assessment {
-    let found = counts(findings);
+    let accepted = baseline.fingerprints();
     let mut out = Assessment::default();
-    for (key, &n) in &found {
-        let allowed = baseline.get(key).copied().unwrap_or(0);
-        if n > allowed {
-            out.new.extend(
-                findings
-                    .iter()
-                    .filter(|f| f.rule.slug() == key.0 && f.path == key.1)
-                    .cloned(),
-            );
+    let mut live = BTreeSet::new();
+    for f in findings {
+        if accepted.contains(&f.fingerprint) {
+            out.baselined += 1;
+            live.insert(f.fingerprint);
         } else {
-            out.baselined += n as usize;
-            if n < allowed {
-                out.stale.push((key.0.clone(), key.1.clone(), allowed, n));
-            }
+            out.new.push(f.clone());
         }
     }
-    // Baseline entries for files with zero current findings are stale too.
-    for (key, &allowed) in baseline {
-        if !found.contains_key(key) {
-            out.stale.push((key.0.clone(), key.1.clone(), allowed, 0));
-        }
-    }
-    out.stale.sort();
+    out.stale = baseline
+        .entries
+        .iter()
+        .filter(|e| !live.contains(&e.fingerprint))
+        .cloned()
+        .collect();
+    out.stale
+        .sort_by(|a, b| (&a.path, &a.slug, a.fingerprint).cmp(&(&b.path, &b.slug, b.fingerprint)));
+    out.stale.dedup();
     out
 }
 
-fn counts(findings: &[Finding]) -> BTreeMap<(String, String), u32> {
-    let mut map = BTreeMap::new();
+/// Selects the findings a v1 count baseline accepted: for each
+/// `(rule, path)` group, the first `count` findings in report order.
+/// Used by `--migrate-baseline` to carry accepted debt into v2.
+pub fn migrate<'a>(
+    v1: &BTreeMap<(String, String), u32>,
+    findings: &'a [Finding],
+) -> Vec<&'a Finding> {
+    let mut remaining: BTreeMap<(String, String), u32> = v1.clone();
+    let mut out = Vec::new();
     for f in findings {
-        *map.entry((f.rule.slug().to_string(), f.path.clone()))
-            .or_insert(0u32) += 1;
+        let key = (f.rule.slug().to_string(), f.path.clone());
+        if let Some(n) = remaining.get_mut(&key) {
+            if *n > 0 {
+                *n -= 1;
+                out.push(f);
+            }
+        }
     }
-    map
+    out
+}
+
+fn content_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(no, l)| (no + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+}
+
+fn looks_like_v1(line: &str) -> bool {
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    parts.len() == 3 && Rule::from_slug(parts[0]).is_some() && parts[2].parse::<u32>().is_ok()
+}
+
+fn bad(no: usize, line: &str, hint: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("baseline line {no}: {hint}, got `{line}`"),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::{assign_fingerprints, normalize_line};
 
-    fn finding(rule: Rule, path: &str, line: u32) -> Finding {
+    fn finding(rule: Rule, path: &str, line: u32, text: &str) -> Finding {
         Finding {
             rule,
             path: path.to_string(),
             line,
             message: "m".to_string(),
+            norm: normalize_line(text),
+            fingerprint: 0,
         }
+    }
+
+    fn fingerprinted(mut findings: Vec<Finding>) -> Vec<Finding> {
+        assign_fingerprints(&mut findings);
+        findings
     }
 
     #[test]
     fn empty_baseline_reports_everything() {
-        let f = vec![
-            finding(Rule::Panic, "a.rs", 1),
-            finding(Rule::Panic, "a.rs", 2),
-        ];
+        let f = fingerprinted(vec![
+            finding(Rule::Panic, "a.rs", 1, "x.unwrap();"),
+            finding(Rule::Panic, "a.rs", 2, "y.unwrap();"),
+        ]);
         let a = assess(&f, &Baseline::new());
         assert_eq!(a.new.len(), 2);
         assert_eq!(a.baselined, 0);
+        assert!(a.stale.is_empty());
     }
 
     #[test]
-    fn at_or_under_baseline_passes_over_fails() {
-        let f = vec![
-            finding(Rule::Panic, "a.rs", 1),
-            finding(Rule::Panic, "a.rs", 2),
-            finding(Rule::Wallclock, "b.rs", 3),
-        ];
-        let mut b = Baseline::new();
-        b.insert(("panic".into(), "a.rs".into()), 2);
-        let a = assess(&f, &b);
-        assert_eq!(a.new.len(), 1, "wallclock group has no allowance");
+    fn matching_fingerprints_absorb_and_unmatched_fail() {
+        let f = fingerprinted(vec![
+            finding(Rule::Panic, "a.rs", 1, "x.unwrap();"),
+            finding(Rule::Wallclock, "b.rs", 3, "Instant::now();"),
+        ]);
+        let base = Baseline {
+            entries: vec![Entry {
+                slug: "panic".into(),
+                fingerprint: f[0].fingerprint,
+                path: "a.rs".into(),
+                note: String::new(),
+            }],
+        };
+        let a = assess(&f, &base);
+        assert_eq!(a.new.len(), 1, "wallclock has no entry");
         assert_eq!(a.new[0].rule, Rule::Wallclock);
-        assert_eq!(a.baselined, 2);
-
-        b.insert(("panic".into(), "a.rs".into()), 1);
-        let a = assess(&f, &b);
-        assert_eq!(a.new.len(), 3, "whole exceeded group + wallclock reported");
+        assert_eq!(a.baselined, 1);
+        assert!(a.stale.is_empty());
     }
 
     #[test]
-    fn shrunk_and_vanished_debt_is_stale() {
-        let f = vec![finding(Rule::Panic, "a.rs", 1)];
-        let mut b = Baseline::new();
-        b.insert(("panic".into(), "a.rs".into()), 3);
-        b.insert(("panic".into(), "gone.rs".into()), 2);
-        let a = assess(&f, &b);
+    fn burned_down_debt_is_stale() {
+        let f = fingerprinted(vec![finding(Rule::Panic, "a.rs", 1, "x.unwrap();")]);
+        let base = Baseline {
+            entries: vec![
+                Entry {
+                    slug: "panic".into(),
+                    fingerprint: f[0].fingerprint,
+                    path: "a.rs".into(),
+                    note: String::new(),
+                },
+                Entry {
+                    slug: "panic".into(),
+                    fingerprint: 0xdead_beef,
+                    path: "gone.rs".into(),
+                    note: "old.unwrap();".into(),
+                },
+            ],
+        };
+        let a = assess(&f, &base);
         assert!(a.new.is_empty());
-        assert_eq!(
-            a.stale,
-            vec![
-                ("panic".into(), "a.rs".into(), 3, 1),
-                ("panic".into(), "gone.rs".into(), 2, 0),
-            ]
-        );
+        assert_eq!(a.stale.len(), 1);
+        assert_eq!(a.stale[0].path, "gone.rs");
     }
 
     #[test]
-    fn save_then_load_round_trips() {
-        let f = vec![
-            finding(Rule::Panic, "a.rs", 1),
-            finding(Rule::Panic, "a.rs", 9),
-            finding(Rule::HashCollections, "b.rs", 2),
-        ];
+    fn save_then_load_round_trips_and_absorbs() {
+        let f = fingerprinted(vec![
+            finding(Rule::Panic, "a.rs", 1, "x.unwrap();"),
+            finding(Rule::Panic, "a.rs", 9, "x.unwrap();"),
+            finding(
+                Rule::HashCollections,
+                "b.rs",
+                2,
+                "use std::collections::HashMap;",
+            ),
+        ]);
         let dir = std::env::temp_dir().join("freerider_lint_baseline_test");
         std::fs::create_dir_all(&dir).expect("mkdir");
         let path = dir.join("lint.baseline");
         save(&path, &f).expect("save");
         let b = load(&path).expect("load");
-        assert_eq!(b.len(), 2);
-        assert_eq!(b[&("panic".to_string(), "a.rs".to_string())], 2);
-        assert_eq!(assess(&f, &b).new.len(), 0);
+        assert_eq!(b.len(), 3, "identical lines keep distinct occurrences");
+        let a = assess(&f, &b);
+        assert!(a.new.is_empty());
+        assert_eq!(a.baselined, 3);
+        assert!(a.stale.is_empty());
     }
 
     #[test]
-    fn malformed_baseline_is_an_error() {
+    fn line_moves_do_not_dirty_a_saved_baseline() {
+        let before = fingerprinted(vec![
+            finding(Rule::Panic, "a.rs", 5, "x.unwrap();"),
+            finding(Rule::Wallclock, "a.rs", 9, "Instant::now();"),
+        ]);
+        // Same findings 40 lines lower (e.g. a new module added above).
+        let after = fingerprinted(vec![
+            finding(Rule::Panic, "a.rs", 45, "x.unwrap();"),
+            finding(Rule::Wallclock, "a.rs", 49, "Instant::now();"),
+        ]);
+        let dir = std::env::temp_dir().join("freerider_lint_baseline_moves");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p1 = dir.join("before.baseline");
+        let p2 = dir.join("after.baseline");
+        save(&p1, &before).expect("save");
+        save(&p2, &after).expect("save");
+        assert_eq!(
+            std::fs::read_to_string(&p1).expect("read"),
+            std::fs::read_to_string(&p2).expect("read"),
+            "byte-identical baseline across the move"
+        );
+        let a = assess(&after, &load(&p1).expect("load"));
+        assert!(a.new.is_empty() && a.stale.is_empty());
+    }
+
+    #[test]
+    fn v1_baseline_is_rejected_with_migration_hint() {
+        let dir = std::env::temp_dir().join("freerider_lint_baseline_v1");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("lint.baseline");
+        std::fs::write(&path, "panic a.rs 3\n").expect("write");
+        let err = load(&path).expect_err("v1 must not load");
+        assert!(err.to_string().contains("--migrate-baseline"), "{err}");
+        // …and load_v1 accepts exactly that file.
+        let v1 = load_v1(&path).expect("v1 load");
+        assert_eq!(v1[&("panic".to_string(), "a.rs".to_string())], 3);
+    }
+
+    #[test]
+    fn malformed_v2_lines_are_errors() {
         let dir = std::env::temp_dir().join("freerider_lint_baseline_bad");
         std::fs::create_dir_all(&dir).expect("mkdir");
         let path = dir.join("lint.baseline");
-        std::fs::write(&path, "panic a.rs not-a-number\n").expect("write");
-        assert!(load(&path).is_err());
-        std::fs::write(&path, "no-such-rule a.rs 1\n").expect("write");
-        assert!(load(&path).is_err());
+        for body in [
+            "version 2\npanic not-hex a.rs | x\n",
+            "version 2\nno-such-rule 00000000deadbeef a.rs | x\n",
+            "version 3\n",
+        ] {
+            std::fs::write(&path, body).expect("write");
+            assert!(load(&path).is_err(), "{body:?} must fail");
+        }
     }
 
     #[test]
-    fn missing_baseline_is_empty() {
+    fn missing_or_comment_only_baseline_is_empty() {
         let b = load(Path::new("/nonexistent/definitely/lint.baseline")).expect("ok");
         assert!(b.is_empty());
+        let dir = std::env::temp_dir().join("freerider_lint_baseline_empty");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("lint.baseline");
+        std::fs::write(&path, "# nothing accepted\n\n").expect("write");
+        assert!(load(&path).expect("ok").is_empty());
+    }
+
+    #[test]
+    fn migrate_selects_first_n_per_group() {
+        let f = fingerprinted(vec![
+            finding(Rule::Panic, "a.rs", 1, "x.unwrap();"),
+            finding(Rule::Panic, "a.rs", 5, "y.unwrap();"),
+            finding(Rule::Panic, "a.rs", 9, "z.unwrap();"),
+            finding(Rule::Wallclock, "b.rs", 2, "Instant::now();"),
+        ]);
+        let mut v1 = BTreeMap::new();
+        v1.insert(("panic".to_string(), "a.rs".to_string()), 2);
+        let picked = migrate(&v1, &f);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].line, 1);
+        assert_eq!(picked[1].line, 5);
     }
 }

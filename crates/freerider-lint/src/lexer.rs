@@ -470,4 +470,71 @@ mod tests {
         assert!(!lex("\"never closed").is_empty());
         assert!(!lex("r#\"never closed").is_empty());
     }
+
+    #[test]
+    fn byte_string_literals_are_single_tokens() {
+        // `b"..."` must not split into an ident `b` plus a string — and
+        // its contents must not leak tokens (the `]` here would otherwise
+        // desynchronize bracket tracking in the item-tree parser).
+        assert_eq!(
+            kinds(r#"let x = b"ab]cd";"#),
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct('='),
+                Tok::Str("ab]cd".into()),
+                Tok::Punct(';'),
+            ]
+        );
+        // Escapes terminate correctly: `\"` does not end the literal.
+        assert_eq!(kinds(r#"b"a\"b""#), vec![Tok::Str("a\\\"b".into())]);
+    }
+
+    #[test]
+    fn raw_byte_string_literals_skip_hash_guards() {
+        assert_eq!(
+            kinds(r##"let x = br#"a "quoted" b"#;"##),
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct('='),
+                Tok::Str("a \"quoted\" b".into()),
+                Tok::Punct(';'),
+            ]
+        );
+        // And the un-guarded form `br"..."`.
+        assert_eq!(kinds(r#"br"xy""#), vec![Tok::Str("xy".into())]);
+    }
+
+    #[test]
+    fn static_lifetime_in_turbofish_is_a_lifetime_not_a_char() {
+        // `'static` directly after `::<` must lex as a lifetime; a char
+        // misread would swallow `static>` and derail generic tracking.
+        assert_eq!(
+            kinds("f::<'static, T>()"),
+            vec![
+                Tok::Ident("f".into()),
+                Tok::Punct(':'),
+                Tok::Punct(':'),
+                Tok::Punct('<'),
+                Tok::Lifetime("static".into()),
+                Tok::Punct(','),
+                Tok::Ident("T".into()),
+                Tok::Punct('>'),
+                Tok::Punct('('),
+                Tok::Punct(')'),
+            ]
+        );
+        // Lifetime followed immediately by a real char literal.
+        assert_eq!(
+            kinds("&'static str; 's'"),
+            vec![
+                Tok::Punct('&'),
+                Tok::Lifetime("static".into()),
+                Tok::Ident("str".into()),
+                Tok::Punct(';'),
+                Tok::Char,
+            ]
+        );
+    }
 }

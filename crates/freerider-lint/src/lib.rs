@@ -12,8 +12,10 @@
 //! path is a finding, not a flaky figure three PRs later.
 //!
 //! The analyzer is a hand-rolled Rust [`lexer`] (comments, raw strings,
-//! lifetimes-vs-chars handled correctly) plus a [`rules`] engine over the
-//! token stream:
+//! lifetimes-vs-chars handled correctly), an [`items`] pass that parses
+//! the token stream into an item tree (`mod`/`fn`/`impl`/`enum`/`use`
+//! structure with function-body spans and module paths), and a [`rules`]
+//! engine over both:
 //!
 //! * **D1 `wallclock`** — no `Instant`/`SystemTime` outside the telemetry
 //!   timer modules and the bench harness.
@@ -24,17 +26,30 @@
 //!   non-test code without a justified pragma.
 //! * **U1 `unsafe-audit`** — every `unsafe` needs a `// SAFETY:` comment;
 //!   unsafe-free crates must `#![forbid(unsafe_code)]`.
+//! * **A1 `hot-path-alloc`** — no heap allocation (`Vec::new`, `vec!`,
+//!   `Box::new`, `.collect()`, `format!`, …) inside designated RX
+//!   hot-path functions; designations come from the built-in
+//!   [`rules::HOT_PATHS`] table or a `// lint: hot-path` marker.
+//! * **O1 `atomic-ordering`** — `Ordering::Relaxed` only at sanctioned
+//!   telemetry/metrics counter sites; `SeqCst` needs a pragma anywhere.
+//! * **T1 `thread-containment`** — `std::thread::{spawn,scope,Builder}`
+//!   only inside `freerider-rt` and `freerider-serve`.
+//! * **E1 `wire-exhaustive`** — every `FrameType` variant has both an
+//!   encode site and a decode arm, resolved *across* files.
 //!
 //! Waivers are per-line pragmas with mandatory reasons
 //! (`// lint: allow(panic) — length checked above`); accepted legacy debt
-//! lives in a count-based [`baseline`] so the build fails only on *new*
-//! violations. Reports come as `file:line: rule: message` text or a
-//! schema-tagged JSON document ([`report`]).
+//! lives in a fingerprint [`baseline`] (one stable hash per finding —
+//! line-number independent, so refactors that only move code leave the
+//! baseline untouched) and the build fails only on *new* violations.
+//! Reports come as `file:line: rule: message` text or a schema-tagged
+//! JSON document ([`report`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;

@@ -1,4 +1,4 @@
-//! Report rendering: human text and the `freerider-lint/1` JSON document.
+//! Report rendering: human text and the `freerider-lint/2` JSON document.
 //!
 //! The JSON mirrors the telemetry crate's reporting conventions: emitted
 //! by [`freerider_telemetry::json::JsonWriter`], fully deterministic
@@ -10,7 +10,7 @@ use freerider_telemetry::json::JsonWriter;
 use std::fmt::Write as _;
 
 /// Schema tag of the JSON report.
-pub const SCHEMA: &str = "freerider-lint/1";
+pub const SCHEMA: &str = "freerider-lint/2";
 
 /// Renders the human-readable report: new findings, stale-baseline
 /// warnings, and a one-line summary.
@@ -20,11 +20,12 @@ pub fn text(analysis: &Analysis, assessment: &Assessment) -> String {
         // lint: allow(panic) — write! to a String cannot fail
         writeln!(out, "{}", f.render()).expect("write to String");
     }
-    for (slug, path, allowed, found) in &assessment.stale {
+    for e in &assessment.stale {
         writeln!(
             out,
-            "warning: stale baseline: {slug} {path} allows {allowed}, found {found} \
-             (run --update-baseline to tighten)"
+            "warning: stale baseline: {} {} {:016x} no longer matches any finding \
+             (run --update-baseline to tighten)",
+            e.slug, e.path, e.fingerprint
         )
         .expect("write to String") // lint: allow(panic) — write! to a String cannot fail
     }
@@ -71,6 +72,8 @@ pub fn json(root: &str, analysis: &Analysis, assessment: &Assessment) -> String 
             w.key("file").string(&f.path);
             w.key("line").u64(f.line as u64);
             w.key("message").string(&f.message);
+            w.key("fingerprint")
+                .string(&format!("{:016x}", f.fingerprint));
             w.end_object();
         }
         w.end_array();
@@ -110,12 +113,15 @@ mod tests {
     use crate::baseline;
 
     fn sample() -> (Analysis, Assessment) {
-        let findings = vec![Finding {
+        let mut findings = vec![Finding {
             rule: Rule::Panic,
             path: "crates/x/src/lib.rs".to_string(),
             line: 7,
             message: "boom".to_string(),
+            norm: "x.unwrap();".to_string(),
+            fingerprint: 0,
         }];
+        crate::rules::assign_fingerprints(&mut findings);
         let assessment = baseline::assess(&findings, &baseline::Baseline::new());
         (
             Analysis {
@@ -141,6 +147,7 @@ mod tests {
         let j = json("/ws", &analysis, &assessment);
         assert!(j.starts_with(&format!(r#"{{"schema":"{SCHEMA}""#)));
         assert!(j.contains(r#""slug":"panic""#));
+        assert!(j.contains(r#""fingerprint":""#));
         assert!(j.contains(r#""newFindings":1"#));
         assert!(j.contains(r#""ok":false"#));
         // Balanced delimiters (JsonWriter::finish already asserts this,

@@ -44,10 +44,9 @@ fn rx_crates_carry_zero_panic_debt() {
         "freerider-coding",
     ] {
         let debt: Vec<_> = base
+            .entries
             .iter()
-            .filter(|((slug, path), _)| {
-                slug == "panic" && path.starts_with(&format!("crates/{krate}/"))
-            })
+            .filter(|e| e.slug == "panic" && e.path.starts_with(&format!("crates/{krate}/")))
             .collect();
         assert!(
             debt.is_empty(),
@@ -66,8 +65,12 @@ fn determinism_rules_have_completely_empty_baselines() {
         "hash-collections",
         "env-registry",
         "unsafe-audit",
+        "hot-path-alloc",
+        "atomic-ordering",
+        "thread-containment",
+        "wire-exhaustive",
     ] {
-        let debt: Vec<_> = base.iter().filter(|((s, _), _)| s == slug).collect();
+        let debt: Vec<_> = base.entries.iter().filter(|e| e.slug == slug).collect();
         assert!(
             debt.is_empty(),
             "rule {slug} must carry no baseline debt: {debt:?}"

@@ -105,7 +105,7 @@ impl Executor {
             static MAP_CALLS: AtomicU64 = AtomicU64::new(0);
             let scope = freerider_telemetry::trace::packet(
                 "rt.map",
-                MAP_CALLS.fetch_add(1, Ordering::Relaxed),
+                MAP_CALLS.fetch_add(1, Ordering::Relaxed), // lint: allow(o1) — monotonic trace-scope counter; no ordering dependency
             );
             freerider_telemetry::trace::value_u64("rt.map.items", items.len() as u64);
             scope
@@ -127,6 +127,7 @@ impl Executor {
                         let mut state = mk_state();
                         let mut out = Vec::new();
                         loop {
+                            // lint: allow(o1) — RMW claims each index exactly once; scope join publishes results
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= items.len() {
                                 break;

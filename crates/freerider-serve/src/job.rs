@@ -265,7 +265,7 @@ impl JobManager {
     pub fn submit(&self, spec: JobSpec, initial_sub: Option<Arc<SubQueue>>) -> JobId {
         self.reap_workers();
         self.prune_finished();
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed); // lint: allow(o1) — unique-ID tick; uniqueness needs only RMW atomicity
         let job = Arc::new(Job {
             id,
             cancel: CancelToken::new(),

@@ -154,6 +154,7 @@ impl Receiver {
         let phase = acc.arg();
         trace::value_f64("zigbee.rx.phase", phase);
         let derot = Complex::cis(-phase);
+        // lint: allow(a1) — one per-packet derotation buffer, sized once before the symbol loop
         let corrected: Vec<Complex> = samples[start..].iter().map(|&z| z * derot).collect();
         drop(prof_sync);
 
@@ -193,8 +194,8 @@ impl Receiver {
         let n_psdu_sym = 2 * psdu_len;
 
         // --- PSDU. ---
-        let mut psdu_symbols = Vec::with_capacity(n_psdu_sym);
-        let mut symbol_scores = Vec::with_capacity(n_psdu_sym);
+        let mut psdu_symbols = Vec::with_capacity(n_psdu_sym); // lint: allow(a1) — exact-size per-packet symbol buffer
+        let mut symbol_scores = Vec::with_capacity(n_psdu_sym); // lint: allow(a1) — exact-size per-packet score buffer
         for k in 0..n_psdu_sym {
             let (s, score) = decode_symbol(phr_idx + 2 + k).ok_or(RxError::Truncated)?;
             psdu_symbols.push(s);

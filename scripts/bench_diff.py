@@ -43,7 +43,10 @@ def diff(old, new, threshold, warn_only):
     for name, k in new.get("kernels", {}).items():
         prev = old.get("kernels", {}).get(name)
         if prev:
-            rows.append((f"kernel {name}", True, prev["median_ns"], k["median_ns"], "ns"))
+            # `lint/` rows track analyzer wall-clock, not product hot
+            # paths: downgradable by --warn-only like experiment rows.
+            hard = not name.startswith("lint/")
+            rows.append((f"kernel {name}", hard, prev["median_ns"], k["median_ns"], "ns"))
     for name, s in new.get("stages", {}).items():
         prev = old.get("stages", {}).get(name)
         if prev and prev.get("p50_ns"):
@@ -91,7 +94,10 @@ def selftest():
     base = {
         "schema": "freerider-bench/1",
         "git_sha": "selftest-old",
-        "kernels": {"wifi/rx_1000B": {"median_ns": 1_000_000}},
+        "kernels": {
+            "wifi/rx_1000B": {"median_ns": 1_000_000},
+            "lint/workspace_scan": {"median_ns": 100_000_000},
+        },
         "stages": {
             "wifi.rx": {"p50_ns": 900_000, "count": 10},
             "wifi.rx/decode/viterbi": {"p50_ns": 400_000, "count": 10},
@@ -128,6 +134,19 @@ def selftest():
     code, _ = diff(base, slow_exp, 50.0, warn_only=True)
     if code != 0:
         print("bench_diff selftest: FAIL -- --warn-only must downgrade experiment rows")
+        return 1
+
+    # The analyzer wall-clock row softens too (not a product hot path)...
+    slow_lint = json.loads(json.dumps(clean))
+    slow_lint["kernels"]["lint/workspace_scan"]["median_ns"] = 500_000_000  # +400%
+    code, _ = diff(base, slow_lint, 50.0, warn_only=True)
+    if code != 0:
+        print("bench_diff selftest: FAIL -- --warn-only must downgrade lint/ kernel rows")
+        return 1
+    # ...but still fails a strict (no --warn-only) run.
+    code, _ = diff(base, slow_lint, 50.0, warn_only=False)
+    if code != 1:
+        print("bench_diff selftest: FAIL -- strict run must gate lint/ kernel rows")
         return 1
 
     print("bench_diff selftest: OK (stage regression gated, warn-only semantics hold)")
