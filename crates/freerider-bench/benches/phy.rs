@@ -3,7 +3,9 @@
 //! `freerider_bench::micro` (no external bench harness).
 
 use freerider_bench::micro::bench;
-use freerider_coding::convolutional::{encode, viterbi_decode, CodeRate};
+use freerider_coding::convolutional::{
+    encode, viterbi_decode_soft_scratch, CodeRate, ViterbiScratch,
+};
 use freerider_dot11b::barker::{despread_symbol, spread_symbol};
 use freerider_dsp::{fft, Complex};
 use freerider_tag::envelope::{EnvelopeConfig, EnvelopeDetector};
@@ -24,11 +26,17 @@ fn main() {
         v
     });
 
-    // coding
+    // coding — through the scratch kernel (the receivers' actual hot
+    // path), not the allocating convenience wrapper.
     let bits: Vec<u8> = (0..1000).map(|i| ((i * 7) % 3 == 0) as u8).collect();
     let coded = encode(&bits, CodeRate::Half);
+    let llrs: Vec<f64> = coded
+        .iter()
+        .map(|&b| if b & 1 == 1 { 1.0 } else { -1.0 })
+        .collect();
+    let mut vit = ViterbiScratch::new();
     bench("coding/viterbi_1000bits", BUDGET, MAX_ITERS, || {
-        viterbi_decode(&coded, CodeRate::Half)
+        viterbi_decode_soft_scratch(&llrs, CodeRate::Half, &mut vit).1
     });
 
     // wifi

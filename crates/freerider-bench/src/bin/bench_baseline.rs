@@ -26,7 +26,15 @@
 //! machine and lets CI catch order-of-magnitude regressions.
 
 use freerider_bench::micro::{bench, Summary};
-use freerider_coding::convolutional::{encode, viterbi_decode, CodeRate};
+use freerider_coding::convolutional::{
+    encode, viterbi_decode_soft_scratch, viterbi_decode_soft_scratch_lanes,
+    viterbi_decode_soft_scratch_scalar, CodeRate, ViterbiScratch, DEFAULT_VITERBI_LANES,
+    VITERBI_LANE_WIDTHS,
+};
+use freerider_dsp::corr::{
+    normalized_correlation_into, normalized_correlation_lanes_into,
+    normalized_correlation_scalar_into, CORR_LANE_WIDTHS, DEFAULT_CORR_LANES,
+};
 use freerider_dsp::{fft, Complex};
 use freerider_telemetry::profile;
 use freerider_telemetry::trace::{self, TraceMode};
@@ -219,6 +227,7 @@ fn main() -> ExitCode {
     }
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let mut out_path: Option<String> = None;
+    let mut lanes_mode = "all".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--out" {
@@ -229,8 +238,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        } else if a == "--lanes" {
+            match it.next() {
+                Some(m) if m == "all" || m == "off" => lanes_mode = m.clone(),
+                _ => {
+                    eprintln!("--lanes requires `all` or `off`");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     }
+    let lane_rows = lanes_mode == "all";
     let sha = git_short_sha();
     let out_path = out_path.unwrap_or_else(|| format!("benchmarks/BENCH_{sha}.json"));
     let (budget, max_iters) = if quick {
@@ -269,15 +287,170 @@ fn main() -> ExitCode {
         bytes: 0,
     });
 
+    // Viterbi through the scratch kernel (the receivers' actual hot
+    // path — the dispatcher's measured default lane width), not the
+    // allocating convenience wrapper.
     let bits: Vec<u8> = (0..1000).map(|i| ((i * 7) % 3 == 0) as u8).collect();
     let coded = encode(&bits, CodeRate::Half);
+    let vit_llrs: Vec<f64> = coded
+        .iter()
+        .map(|&b| if b & 1 == 1 { 1.0 } else { -1.0 })
+        .collect();
+    let mut vit = ViterbiScratch::new();
     kernels.push(KernelResult {
         name: "coding/viterbi_1000bits",
         summary: bench("coding/viterbi_1000bits", budget, max_iters, || {
-            viterbi_decode(&coded, CodeRate::Half)
+            viterbi_decode_soft_scratch(&vit_llrs, CodeRate::Half, &mut vit).1
         }),
         bytes: 125,
     });
+
+    // Lane-width A/B rows: the retained scalar kernel against every
+    // compiled lane width, on the same workloads the dispatchers see.
+    // `bench_diff.py --assert-lanes` checks the compiled default of each
+    // family is the measured winner among these rows.
+    if lane_rows {
+        kernels.push(KernelResult {
+            name: "coding/viterbi/scalar",
+            summary: bench("coding/viterbi/scalar", budget, max_iters, || {
+                viterbi_decode_soft_scratch_scalar(&vit_llrs, CodeRate::Half, &mut vit).1
+            }),
+            bytes: 125,
+        });
+        kernels.push(KernelResult {
+            name: "coding/viterbi/lanes_2",
+            summary: bench("coding/viterbi/lanes_2", budget, max_iters, || {
+                viterbi_decode_soft_scratch_lanes::<2>(&vit_llrs, CodeRate::Half, &mut vit).1
+            }),
+            bytes: 125,
+        });
+        kernels.push(KernelResult {
+            name: "coding/viterbi/lanes_4",
+            summary: bench("coding/viterbi/lanes_4", budget, max_iters, || {
+                viterbi_decode_soft_scratch_lanes::<4>(&vit_llrs, CodeRate::Half, &mut vit).1
+            }),
+            bytes: 125,
+        });
+        kernels.push(KernelResult {
+            name: "coding/viterbi/lanes_8",
+            summary: bench("coding/viterbi/lanes_8", budget, max_iters, || {
+                viterbi_decode_soft_scratch_lanes::<8>(&vit_llrs, CodeRate::Half, &mut vit).1
+            }),
+            bytes: 125,
+        });
+
+        // Normalised-correlation A/B on an LTF-shaped workload: a
+        // 64-sample reference slid over ~1k samples, the shape of the
+        // WiFi fine-timing search.
+        let corr_sig: Vec<Complex> = (0..1024)
+            .map(|i| Complex::cis(0.0007 * (i * i) as f64) * (1.0 + 0.1 * ((i % 17) as f64)))
+            .collect();
+        let corr_ref: Vec<Complex> = (0..64).map(|i| Complex::cis(0.11 * i as f64)).collect();
+        let mut corr_out: Vec<f64> = Vec::new();
+        kernels.push(KernelResult {
+            name: "dsp/ltf_corr/scalar",
+            summary: bench("dsp/ltf_corr/scalar", budget, max_iters, || {
+                normalized_correlation_scalar_into(&corr_sig, &corr_ref, &mut corr_out);
+                corr_out.len()
+            }),
+            bytes: 0,
+        });
+        kernels.push(KernelResult {
+            name: "dsp/ltf_corr/lanes_2",
+            summary: bench("dsp/ltf_corr/lanes_2", budget, max_iters, || {
+                normalized_correlation_lanes_into::<2>(&corr_sig, &corr_ref, &mut corr_out);
+                corr_out.len()
+            }),
+            bytes: 0,
+        });
+        kernels.push(KernelResult {
+            name: "dsp/ltf_corr/lanes_4",
+            summary: bench("dsp/ltf_corr/lanes_4", budget, max_iters, || {
+                normalized_correlation_lanes_into::<4>(&corr_sig, &corr_ref, &mut corr_out);
+                corr_out.len()
+            }),
+            bytes: 0,
+        });
+        kernels.push(KernelResult {
+            name: "dsp/ltf_corr/lanes_8",
+            summary: bench("dsp/ltf_corr/lanes_8", budget, max_iters, || {
+                normalized_correlation_lanes_into::<8>(&corr_sig, &corr_ref, &mut corr_out);
+                corr_out.len()
+            }),
+            bytes: 0,
+        });
+        // Guard against a dispatcher default drifting from what these
+        // rows measure: the dispatch entry points must agree with the
+        // corresponding width row bit-for-bit.
+        let mut dispatch_out = Vec::new();
+        normalized_correlation_into(&corr_sig, &corr_ref, &mut dispatch_out);
+        normalized_correlation_scalar_into(&corr_sig, &corr_ref, &mut corr_out);
+        assert!(
+            corr_out.len() == dispatch_out.len()
+                && corr_out
+                    .iter()
+                    .zip(&dispatch_out)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "corr dispatch diverged from scalar"
+        );
+
+        // Batch-FFT A/B: sixteen 64-point blocks back to back, one
+        // `fft64` call per block vs one `run_batch` over the packed
+        // buffer (bit-identical transforms, amortised dispatch).
+        let fft_blocks: Vec<Complex> = (0..16 * 64)
+            .map(|i| Complex::cis(0.003 * (i * i % 977) as f64))
+            .collect();
+        let mut fft_buf = fft_blocks.clone();
+        kernels.push(KernelResult {
+            name: "dsp/fft64_x16/single",
+            summary: bench("dsp/fft64_x16/single", budget, max_iters, || {
+                fft_buf.copy_from_slice(&fft_blocks);
+                for chunk in fft_buf.chunks_exact_mut(64) {
+                    let block: &mut [Complex; 64] = chunk.try_into().unwrap();
+                    fft::fft64(block);
+                }
+            }),
+            bytes: 0,
+        });
+        kernels.push(KernelResult {
+            name: "dsp/fft64_x16/batch",
+            summary: bench("dsp/fft64_x16/batch", budget, max_iters, || {
+                fft_buf.copy_from_slice(&fft_blocks);
+                fft::plan64().run_batch(&mut fft_buf).unwrap();
+            }),
+            bytes: 0,
+        });
+
+        // Soft-demap A/B: twenty 16-QAM symbols per call, per-symbol
+        // entry point vs the batched plane kernel the RX path uses.
+        use freerider_wifi::mapping::{soft_demap_batch_into, soft_demap_symbols_into};
+        use freerider_wifi::rates::Modulation;
+        let demap_syms: Vec<[Complex; 48]> = (0..20)
+            .map(|n| std::array::from_fn(|i| Complex::cis(0.37 * (n * 48 + i) as f64)))
+            .collect();
+        let demap_gains: Vec<f64> = (0..48).map(|i| 0.4 + (i as f64) / 40.0).collect();
+        let mut demap_out: Vec<f64> = Vec::new();
+        kernels.push(KernelResult {
+            name: "wifi/demap_x20/scalar",
+            summary: bench("wifi/demap_x20/scalar", budget, max_iters, || {
+                let mut n = 0usize;
+                for s in &demap_syms {
+                    soft_demap_symbols_into(s, &demap_gains, Modulation::Qam16, &mut demap_out);
+                    n += demap_out.len();
+                }
+                n
+            }),
+            bytes: 0,
+        });
+        kernels.push(KernelResult {
+            name: "wifi/demap_x20/batch",
+            summary: bench("wifi/demap_x20/batch", budget, max_iters, || {
+                soft_demap_batch_into(&demap_syms, &demap_gains, Modulation::Qam16, &mut demap_out);
+                demap_out.len()
+            }),
+            bytes: 0,
+        });
+    }
 
     let tx = Transmitter::new(TxConfig::default());
     let mut psdu = vec![0xA5u8; 1000];
@@ -471,6 +644,29 @@ fn main() -> ExitCode {
         write_summary(&mut w, &k.summary, k.bytes);
     }
     w.end_object();
+    // Compiled lane-width selections, next to the A/B rows that justify
+    // them. `bench_diff.py --assert-lanes` checks each `selected` is the
+    // measured winner of its `coding/viterbi/*` / `dsp/ltf_corr/*` rows.
+    if lane_rows {
+        w.key("lanes").begin_object();
+        w.key("viterbi").begin_object();
+        w.key("selected").u64(DEFAULT_VITERBI_LANES as u64);
+        w.key("widths").begin_array();
+        for width in VITERBI_LANE_WIDTHS {
+            w.u64(width as u64);
+        }
+        w.end_array();
+        w.end_object();
+        w.key("corr").begin_object();
+        w.key("selected").u64(DEFAULT_CORR_LANES as u64);
+        w.key("widths").begin_array();
+        for width in CORR_LANE_WIDTHS {
+            w.u64(width as u64);
+        }
+        w.end_array();
+        w.end_object();
+        w.end_object();
+    }
     w.key("trace_overhead").begin_object();
     w.key("wifi_rx_off_ns")
         .u64(rx_off_a.median.as_nanos() as u64);

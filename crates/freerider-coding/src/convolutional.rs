@@ -211,6 +211,11 @@ pub fn viterbi_decode_soft(llrs: &[f64], rate: CodeRate) -> Vec<u8> {
 /// metric (lower = closer to a valid codeword; 0 on noiseless input with
 /// unit-magnitude LLRs is `−2·nsteps`). The metric is the per-packet
 /// decode-confidence figure the flight recorder records.
+///
+/// **Not a hot path**: this convenience wrapper builds a fresh
+/// [`ViterbiScratch`] and copies the decoded bits out on every call.
+/// Steady-state callers (the receivers, the benchmarks) go through
+/// [`viterbi_decode_soft_scratch`] instead.
 pub fn viterbi_decode_soft_with_metric(llrs: &[f64], rate: CodeRate) -> (Vec<u8>, f64) {
     let mut scratch = ViterbiScratch::new();
     let (decoded, metric) = viterbi_decode_soft_scratch(llrs, rate, &mut scratch);
@@ -268,6 +273,45 @@ const fn branch_syms() -> [[u8; 2]; NSTATES] {
 
 const BRANCH_SYMS: [[u8; 2]; NSTATES] = branch_syms();
 
+/// IEEE-754 sign bit, used to negate branch-metric addends exactly.
+const SIGN_BIT: u64 = 1 << 63;
+
+/// Per-butterfly sign masks for the SoA lane kernel, derived from
+/// [`BRANCH_SYMS`] at compile time: entry `j` of the first (second) array
+/// is [`SIGN_BIT`] when butterfly `j`'s even-predecessor branch expects
+/// coded bit A (B) to be 1, so the addend is `−ra` (`−rb`). XOR-ing the
+/// mask into the raw LLR's bit pattern is an exact IEEE negation —
+/// bit-identical to the scalar kernel's `bm` table lookup, but a pure
+/// integer op the autovectoriser handles in SoA form.
+const fn branch_sign_masks() -> ([u64; NSTATES / 2], [u64; NSTATES / 2]) {
+    let mut ma = [0u64; NSTATES / 2];
+    let mut mb = [0u64; NSTATES / 2];
+    let mut j = 0;
+    while j < NSTATES / 2 {
+        let sym = BRANCH_SYMS[j][0];
+        if (sym >> 1) & 1 == 1 {
+            ma[j] = SIGN_BIT;
+        }
+        if sym & 1 == 1 {
+            mb[j] = SIGN_BIT;
+        }
+        j += 1;
+    }
+    (ma, mb)
+}
+
+const BRANCH_SIGN_MASKS: ([u64; NSTATES / 2], [u64; NSTATES / 2]) = branch_sign_masks();
+
+/// Lane widths the workspace compiles [`viterbi_decode_soft_scratch_lanes`]
+/// at. `bench-baseline --lanes` emits an A/B row per width (plus the scalar
+/// comparator) so [`DEFAULT_VITERBI_LANES`] stays a measured claim.
+pub const VITERBI_LANE_WIDTHS: [usize; 3] = [2, 4, 8];
+
+/// The measured-fastest lane width on the reference machine (see
+/// `benchmarks/latest.json` `lanes` section and DESIGN §11);
+/// [`viterbi_decode_soft_scratch`] dispatches here.
+pub const DEFAULT_VITERBI_LANES: usize = 2;
+
 /// The flattened, table-driven soft Viterbi kernel.
 ///
 /// Same decode as [`reference::viterbi_decode_soft_with_metric`] — pinned
@@ -288,25 +332,88 @@ const BRANCH_SYMS: [[u8; 2]; NSTATES] = branch_syms();
 ///   repeated decodes allocate nothing.
 ///
 /// The returned slice borrows the scratch's decoded-bit buffer.
+///
+/// Dispatches to the lane-batched kernel at the measured default width
+/// ([`DEFAULT_VITERBI_LANES`]); the scalar formulation is retained as
+/// [`viterbi_decode_soft_scratch_scalar`] for A/B benchmarking. Every
+/// compiled width decodes bit-identically (see
+/// `lane_viterbi_matches_reference_at_every_width`).
+// lint: hot-path
+#[inline]
 pub fn viterbi_decode_soft_scratch<'s>(
     llrs: &[f64],
     rate: CodeRate,
     scratch: &'s mut ViterbiScratch,
 ) -> (&'s [u8], f64) {
-    depuncture_soft_into(llrs, rate, &mut scratch.lattice);
-    let nsteps = scratch.lattice.len() / 2;
+    viterbi_decode_soft_scratch_lanes::<DEFAULT_VITERBI_LANES>(llrs, rate, scratch)
+}
+
+/// Shared kernel prologue: depuncture into the scratch lattice, account
+/// the deterministic ACS work, and size the survivor matrix. Returns the
+/// number of trellis steps (0 = nothing to decode).
+///
+/// At unpunctured rates (every pattern slot kept) depuncturing is the
+/// identity, so the copy is skipped and the lattice left *empty*: the
+/// kernels read branch pairs straight from `llrs` (same values, same
+/// order — bit-identical, minus a packet-sized memory round trip).
+#[inline]
+fn viterbi_prologue(llrs: &[f64], rate: CodeRate, scratch: &mut ViterbiScratch) -> usize {
+    let nsteps = if rate.pattern().iter().all(|&k| k) {
+        scratch.lattice.clear();
+        llrs.len() / 2
+    } else {
+        depuncture_soft_into(llrs, rate, &mut scratch.lattice);
+        scratch.lattice.len() / 2
+    };
     scratch.decoded.clear();
     if nsteps == 0 {
-        return (&scratch.decoded, 0.0);
+        return 0;
     }
     // Deterministic profiler work counter: one add-compare-select per
     // (trellis step, next state).
     freerider_telemetry::profile::work("viterbi.acs_ops", (nsteps * NSTATES) as u64);
-
-    const INF: f64 = f64::MAX / 4.0;
     scratch.surv.clear();
     scratch.surv.resize(nsteps, 0);
+    nsteps
+}
 
+/// Shared traceback: pick the best final state and walk the bit-packed
+/// survivor matrix backwards, reconstructing predecessor and input bit
+/// from the state alone.
+fn viterbi_traceback<'s>(
+    scratch: &'s mut ViterbiScratch,
+    nsteps: usize,
+    metric: &[f64; NSTATES],
+) -> (&'s [u8], f64) {
+    let (mut state, best_metric) = metric
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(s, &m)| (s, m))
+        .unwrap_or((0, 0.0));
+    scratch.decoded.resize(nsteps, 0);
+    for t in (0..nsteps).rev() {
+        scratch.decoded[t] = (state >> 5) as u8;
+        let tb = ((scratch.surv[t] >> state) & 1) as usize;
+        state = ((state << 1) & (NSTATES - 1)) | tb;
+    }
+    (&scratch.decoded, best_metric)
+}
+
+/// The scalar (pre-lane) table-driven kernel, retained verbatim as the
+/// A/B comparator for the lane-batched rewrite: `bench-baseline --lanes`
+/// measures it against every compiled lane width.
+// lint: hot-path
+pub fn viterbi_decode_soft_scratch_scalar<'s>(
+    llrs: &[f64],
+    rate: CodeRate,
+    scratch: &'s mut ViterbiScratch,
+) -> (&'s [u8], f64) {
+    let nsteps = viterbi_prologue(llrs, rate, scratch);
+    if nsteps == 0 {
+        return (&scratch.decoded, 0.0);
+    }
+    const INF: f64 = f64::MAX / 4.0;
     // Two path-metric rows live on the stack (1 KiB total): fixed-size
     // arrays let the compiler elide every bounds check in the ACS loop,
     // and the rows "swap" by reference, never by copy.
@@ -314,7 +421,15 @@ pub fn viterbi_decode_soft_scratch<'s>(
     row_a[0] = 0.0; // encoder starts in state 0
     let mut row_b = [INF; NSTATES];
     let (mut metric, mut next) = (&mut row_a, &mut row_b);
-    for (t, pair) in scratch.lattice.chunks_exact(2).enumerate() {
+    let ViterbiScratch { lattice, surv, .. } = &mut *scratch;
+    // Empty lattice = unpunctured rate: the prologue left the branch
+    // pairs in place and they stream straight from the caller's LLRs.
+    let lat: &[f64] = if lattice.is_empty() {
+        &llrs[..2 * nsteps]
+    } else {
+        lattice
+    };
+    for (t, pair) in lat.chunks_exact(2).enumerate() {
         let (ra, rb) = (pair[0], pair[1]);
         // Branch metric addend pairs, indexed by expected symbol
         // (a << 1) | b: cost of llr r for expected bit e is −r if e=1,
@@ -351,23 +466,115 @@ pub fn viterbi_decode_soft_scratch<'s>(
             next[hi] = if hi_take1 { d1 } else { d0 };
             bits |= (hi_take1 as u64) << hi;
         }
-        scratch.surv[t] = bits;
+        surv[t] = bits;
         std::mem::swap(&mut metric, &mut next);
     }
+    viterbi_traceback(scratch, nsteps, metric)
+}
 
-    let (mut state, best_metric) = metric
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(s, &m)| (s, m))
-        .unwrap_or((0, 0.0));
-    scratch.decoded.resize(nsteps, 0);
-    for t in (0..nsteps).rev() {
-        scratch.decoded[t] = (state >> 5) as u8;
-        let tb = ((scratch.surv[t] >> state) & 1) as usize;
-        state = ((state << 1) & (NSTATES - 1)) | tb;
+/// One lane-batched ACS trellis step over all 32 butterflies, `LANES`
+/// butterflies at a time in straight-line, bounds-check-free sub-loops
+/// the autovectoriser handles:
+///
+/// - the per-butterfly branch addends materialise in-lane by XOR-ing
+///   [`BRANCH_SIGN_MASKS`] into the raw LLR bit patterns (exact IEEE
+///   negation), and the even/odd predecessor metrics load straight from
+///   the interleaved row — fused into the compute loop so no per-step
+///   SoA staging arrays round-trip through memory;
+/// - each butterfly forms its four candidate costs with the `(pm + a) + b`
+///   summation order the reference uses, then branchless strict-`<`
+///   selects (ties keep the even predecessor, matching the reference's
+///   visit order) pick survivors, whose bits fold per sub-lane and merge.
+///
+/// The step performs the exact arithmetic of the scalar kernel on the
+/// same values in the same order — lane width changes scheduling, never
+/// results.
+// lint: hot-path
+#[inline]
+fn acs_step_lanes<const LANES: usize>(
+    metric: &[f64; NSTATES],
+    next: &mut [f64; NSTATES],
+    ra: f64,
+    rb: f64,
+) -> u64 {
+    const HALF: usize = NSTATES / 2;
+    let (ma, mb) = (&BRANCH_SIGN_MASKS.0, &BRANCH_SIGN_MASKS.1);
+    let (ra_bits, rb_bits) = (ra.to_bits(), rb.to_bits());
+    let mut bits = 0u64;
+    let mut base = 0;
+    while base < HALF {
+        let mut c0 = [0.0f64; LANES];
+        let mut c1 = [0.0f64; LANES];
+        let mut d0 = [0.0f64; LANES];
+        let mut d1 = [0.0f64; LANES];
+        for l in 0..LANES {
+            let j = base + l;
+            let a = f64::from_bits(ra_bits ^ ma[j]);
+            let b = f64::from_bits(rb_bits ^ mb[j]);
+            let (x0, x1) = (metric[2 * j], metric[2 * j + 1]);
+            // IEEE subtraction is addition of the exact negation, so
+            // `(x − a) − b` is bit-identical to the scalar `(x + na) + nb`.
+            c0[l] = (x0 + a) + b;
+            c1[l] = (x1 - a) - b;
+            d0[l] = (x0 - a) - b;
+            d1[l] = (x1 + a) + b;
+        }
+        let mut lo_bits = 0u64;
+        let mut hi_bits = 0u64;
+        for l in 0..LANES {
+            let lo_take1 = c1[l] < c0[l];
+            next[base + l] = if lo_take1 { c1[l] } else { c0[l] };
+            lo_bits |= (lo_take1 as u64) << l;
+            let hi_take1 = d1[l] < d0[l];
+            next[HALF + base + l] = if hi_take1 { d1[l] } else { d0[l] };
+            hi_bits |= (hi_take1 as u64) << l;
+        }
+        bits |= (lo_bits << base) | (hi_bits << (HALF + base));
+        base += LANES;
     }
-    (&scratch.decoded, best_metric)
+    bits
+}
+
+/// The lane-batched soft Viterbi kernel: [`viterbi_decode_soft_scratch_scalar`]
+/// with the ACS inner loop restructured into fixed-width `[f64; LANES]`
+/// sub-lanes over SoA branch-metric planes (see [`acs_step_lanes`]).
+/// Decodes bit-identically to the scalar kernel — and therefore to
+/// [`reference::viterbi_decode_soft_with_metric`] — at every compiled
+/// width; only throughput varies.
+// lint: hot-path
+pub fn viterbi_decode_soft_scratch_lanes<'s, const LANES: usize>(
+    llrs: &[f64],
+    rate: CodeRate,
+    scratch: &'s mut ViterbiScratch,
+) -> (&'s [u8], f64) {
+    const {
+        assert!(
+            LANES > 0 && LANES.is_power_of_two() && LANES <= NSTATES / 2,
+            "lane width must be a power of two dividing the butterfly count"
+        )
+    };
+    let nsteps = viterbi_prologue(llrs, rate, scratch);
+    if nsteps == 0 {
+        return (&scratch.decoded, 0.0);
+    }
+    const INF: f64 = f64::MAX / 4.0;
+    let mut row_a = [INF; NSTATES];
+    row_a[0] = 0.0; // encoder starts in state 0
+    let mut row_b = [INF; NSTATES];
+    let (mut metric, mut next) = (&mut row_a, &mut row_b);
+    let ViterbiScratch { lattice, surv, .. } = &mut *scratch;
+    // Empty lattice = unpunctured rate: branch pairs stream straight
+    // from the caller's LLRs (see `viterbi_prologue`).
+    let lat: &[f64] = if lattice.is_empty() {
+        &llrs[..2 * nsteps]
+    } else {
+        lattice
+    };
+    for (t, pair) in lat.chunks_exact(2).enumerate() {
+        surv[t] = acs_step_lanes::<LANES>(metric, next, pair[0], pair[1]);
+        std::mem::swap(&mut metric, &mut next);
+    }
+    viterbi_traceback(scratch, nsteps, metric)
 }
 
 /// The original (pre-table-driven) soft-decision kernels, retained
@@ -801,6 +1008,67 @@ mod soft_tests {
                     expect_metric.to_bits(),
                     "{rate:?} trial={trial} n={n}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_viterbi_matches_reference_at_every_width() {
+        // Bit-identity pin for the lane-batched ACS kernel: every compiled
+        // lane width, the retained scalar kernel, and the dispatching
+        // entry point must decode seeded random LLR streams to the exact
+        // bits AND the exact (to_bits) path metric of the reference
+        // decoder — at every code rate, including the all-tie stream
+        // (every LLR zero, where the strict `<` even-predecessor tie
+        // break is the only thing separating paths) and saturated LLRs
+        // large enough to drive metrics near the INF sentinel without
+        // absorbing into it.
+        let mut scratch = ViterbiScratch::new();
+        let make_stream = |case: usize, rng: &mut Rng64, n: usize| -> Vec<f64> {
+            match case {
+                0 => (0..n).map(|_| rng.gauss() * 2.0).collect(),
+                1 => vec![0.0; n],
+                _ => (0..n)
+                    .map(|_| if rng.bit() == 1 { 1e290 } else { -1e290 })
+                    .collect(),
+            }
+        };
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            for case in 0..3usize {
+                for trial in 0..8u64 {
+                    let mut rng = Rng64::derive(0x1A9E, trial * 16 + case as u64 * 4 + rate as u64);
+                    let n = 1 + (rng.next_u64() % 300) as usize;
+                    let llrs = make_stream(case, &mut rng, n);
+                    let (expect_bits, expect_metric) =
+                        reference::viterbi_decode_soft_with_metric(&llrs, rate);
+                    let mut check = |got_bits: &[u8], got_metric: f64, who: &str| {
+                        assert_eq!(
+                            got_bits,
+                            &expect_bits[..],
+                            "{who} {rate:?} case={case} trial={trial}"
+                        );
+                        assert_eq!(
+                            got_metric.to_bits(),
+                            expect_metric.to_bits(),
+                            "{who} {rate:?} case={case} trial={trial}"
+                        );
+                    };
+                    let (b, m) = viterbi_decode_soft_scratch_scalar(&llrs, rate, &mut scratch);
+                    let (b, m) = (b.to_vec(), m);
+                    check(&b, m, "scalar");
+                    let (b, m) = viterbi_decode_soft_scratch_lanes::<2>(&llrs, rate, &mut scratch);
+                    let (b, m) = (b.to_vec(), m);
+                    check(&b, m, "lanes_2");
+                    let (b, m) = viterbi_decode_soft_scratch_lanes::<4>(&llrs, rate, &mut scratch);
+                    let (b, m) = (b.to_vec(), m);
+                    check(&b, m, "lanes_4");
+                    let (b, m) = viterbi_decode_soft_scratch_lanes::<8>(&llrs, rate, &mut scratch);
+                    let (b, m) = (b.to_vec(), m);
+                    check(&b, m, "lanes_8");
+                    let (b, m) = viterbi_decode_soft_scratch(&llrs, rate, &mut scratch);
+                    let (b, m) = (b.to_vec(), m);
+                    check(&b, m, "dispatch");
+                }
             }
         }
     }

@@ -17,19 +17,37 @@ use freerider_telemetry::profile;
 /// three CRC LFSRs.
 const CRC_BYTES: &str = "crc.bytes";
 
-/// Computes the IEEE 802.11 FCS (CRC-32) over `data`.
-pub fn crc32(data: &[u8]) -> u32 {
-    profile::work(CRC_BYTES, data.len() as u64);
-    let mut crc: u32 = 0xFFFF_FFFF;
-    for &byte in data {
-        crc ^= byte as u32;
-        for _ in 0..8 {
+/// Byte-at-a-time CRC-32 table for the reflected polynomial `0xEDB88320`:
+/// entry `b` is the register after shifting byte `b` through the bitwise
+/// LFSR, so the table-driven loop below computes the exact same `u32` as
+/// eight explicit shift-and-conditional-XOR steps.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut crc = b as u32;
+        let mut k = 0;
+        while k < 8 {
             let lsb = crc & 1;
             crc >>= 1;
             if lsb != 0 {
                 crc ^= 0xEDB8_8320; // reflected 0x04C11DB7
             }
+            k += 1;
         }
+        table[b] = crc;
+        b += 1;
+    }
+    table
+};
+
+/// Computes the IEEE 802.11 FCS (CRC-32) over `data`.
+// lint: hot-path
+pub fn crc32(data: &[u8]) -> u32 {
+    profile::work(CRC_BYTES, data.len() as u64);
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
     }
     !crc
 }

@@ -42,9 +42,38 @@ impl Scrambler {
     }
 
     /// Scrambles (or descrambles — same operation) a bit sequence in place.
+    ///
+    /// Long inputs (a DATA field is thousands of bits) take a batched
+    /// path: the LFSR output is periodic with period 127 for any nonzero
+    /// state, so one lap of [`Scrambler::step`] materialises the whole
+    /// whitening sequence and the data is XORed against it in
+    /// autovectorisable byte sweeps — bit-for-bit the values the
+    /// step-per-bit loop produces, without its serial feedback chain.
+    // lint: hot-path
     pub fn scramble_in_place(&mut self, bits: &mut [u8]) {
-        for b in bits.iter_mut() {
-            *b = (*b ^ self.step()) & 1;
+        const PERIOD: usize = 127;
+        if bits.len() < 2 * PERIOD {
+            for b in bits.iter_mut() {
+                *b = (*b ^ self.step()) & 1;
+            }
+            return;
+        }
+        // One full period of whitening bits, starting from the current
+        // state. The register returns to its starting value afterwards
+        // (maximal-length sequence), so each chunk reuses the same lap.
+        let mut seq = [0u8; PERIOD];
+        for x in seq.iter_mut() {
+            *x = self.step();
+        }
+        for chunk in bits.chunks_mut(PERIOD) {
+            for (b, &x) in chunk.iter_mut().zip(seq.iter()) {
+                *b = (*b ^ x) & 1;
+            }
+        }
+        // Leave the register where the per-bit loop would have: advance by
+        // the partial tail (full periods are identity).
+        for _ in 0..bits.len() % PERIOD {
+            let _ = self.step();
         }
     }
 
@@ -154,6 +183,27 @@ mod tests {
             let descrambled = rx.scramble(&scrambled[7..]);
             assert_eq!(&descrambled[..9], &frame[7..16], "service tail zeroed");
             assert_eq!(&descrambled[9..], &frame[16..], "payload recovered");
+        }
+    }
+
+    #[test]
+    fn batched_path_matches_per_bit() {
+        // Lengths straddling the 2·127 batching threshold, including
+        // non-multiple-of-period tails: the batched sweep must agree with
+        // the step-per-bit loop bit for bit and leave the same register
+        // state behind (so a later call continues identically).
+        for len in [0usize, 1, 126, 253, 254, 255, 381, 500, 8144] {
+            let bits: Vec<u8> = (0..len).map(|i| ((i * 31 + 7) % 5 == 0) as u8).collect();
+            let mut a = bits.clone();
+            let mut b = bits;
+            let mut s_batch = Scrambler::new(0x2B);
+            let mut s_ref = Scrambler::new(0x2B);
+            s_batch.scramble_in_place(&mut a);
+            for bit in b.iter_mut() {
+                *bit = (*bit ^ s_ref.step()) & 1;
+            }
+            assert_eq!(a, b, "bits at len {len}");
+            assert_eq!(s_batch.state, s_ref.state, "state after len {len}");
         }
     }
 

@@ -40,7 +40,34 @@ pub fn normalized_correlation(signal: &[Complex], reference: &[Complex]) -> Vec<
 
 /// [`normalized_correlation`] into a caller-provided buffer (cleared
 /// first), for allocation-free receive loops. Values are identical.
+///
+/// Dispatches to the lane-batched kernel at the measured default width
+/// ([`DEFAULT_CORR_LANES`]); the scalar formulation is retained as
+/// [`normalized_correlation_scalar_into`] for A/B benchmarking. Every
+/// compiled width produces bit-identical output (see
+/// `lane_correlation_is_bit_identical`).
+// lint: hot-path
+#[inline]
 pub fn normalized_correlation_into(signal: &[Complex], reference: &[Complex], out: &mut Vec<f64>) {
+    normalized_correlation_lanes_into::<DEFAULT_CORR_LANES>(signal, reference, out);
+}
+
+/// Lane widths the workspace compiles [`normalized_correlation_lanes_into`]
+/// at; `bench-baseline --lanes` emits an A/B row per width.
+pub const CORR_LANE_WIDTHS: [usize; 3] = [2, 4, 8];
+
+/// The measured-fastest correlation lane width on the reference machine
+/// (see `benchmarks/latest.json` `lanes` section and DESIGN §11).
+pub const DEFAULT_CORR_LANES: usize = 8;
+
+/// The scalar (pre-lane) normalised-correlation kernel, retained verbatim
+/// as the A/B comparator for the lane-batched rewrite.
+// lint: hot-path
+pub fn normalized_correlation_scalar_into(
+    signal: &[Complex],
+    reference: &[Complex],
+    out: &mut Vec<f64>,
+) {
     out.clear();
     if reference.is_empty() || reference.len() > signal.len() {
         return;
@@ -71,6 +98,99 @@ pub fn normalized_correlation_into(signal: &[Complex], reference: &[Complex], ou
                 win_energy = 0.0;
             }
         }
+    }
+}
+
+/// Lane-batched normalised correlation: `LANES` *output positions* advance
+/// together through the reference, each lane keeping its own accumulator
+/// in the scalar kernel's exact order (per-output accumulation is a serial
+/// reduction, so batching across outputs — not across taps — is the only
+/// axis that vectorises without reassociating sums). The complex MAC is
+/// expanded into re/im SoA arithmetic that mirrors `Complex`'s `Mul`/`Add`
+/// operation-for-operation (`x·(−y)` and `a − (−c)` are exact in IEEE), so
+/// every lane width is bit-identical to the scalar kernel.
+///
+/// The running window-energy chain is order-sensitive (`+=new − old` with
+/// a clamp), so it stays a scalar serial pass feeding each lane block.
+// lint: hot-path
+pub fn normalized_correlation_lanes_into<const LANES: usize>(
+    signal: &[Complex],
+    reference: &[Complex],
+    out: &mut Vec<f64>,
+) {
+    const {
+        assert!(
+            LANES > 0 && LANES <= 64,
+            "lane width must be a small positive count"
+        )
+    };
+    out.clear();
+    if reference.is_empty() || reference.len() > signal.len() {
+        return;
+    }
+    let n_out = signal.len() - reference.len() + 1;
+    out.reserve(n_out);
+    let r_energy: f64 = reference.iter().map(|z| z.norm_sqr()).sum();
+    if r_energy <= 0.0 {
+        out.resize(n_out, 0.0);
+        return;
+    }
+    let m = reference.len();
+    let mut win_energy: f64 = signal[..m].iter().map(|z| z.norm_sqr()).sum();
+    let mut n = 0usize;
+    while n + LANES <= n_out {
+        // Serial window-energy chain for this block, evolved exactly as
+        // the scalar loop does (same order, same clamp, same stop at the
+        // final output).
+        let mut en = [0.0f64; LANES];
+        for (l, e) in en.iter_mut().enumerate() {
+            *e = win_energy;
+            if n + l + 1 < n_out {
+                win_energy += signal[n + l + m].norm_sqr() - signal[n + l].norm_sqr();
+                if win_energy < 0.0 {
+                    win_energy = 0.0;
+                }
+            }
+        }
+        let mut acc_re = [0.0f64; LANES];
+        let mut acc_im = [0.0f64; LANES];
+        for (k, &r) in reference.iter().enumerate() {
+            let (rr, ri) = (r.re, r.im);
+            let window = &signal[n + k..n + k + LANES];
+            for l in 0..LANES {
+                let s = window[l];
+                // s · conj(r), expanded: identical rounding to the scalar
+                // kernel's `acc += signal[n+k] * r.conj()`.
+                acc_re[l] += s.re * rr + s.im * ri;
+                acc_im[l] += s.im * rr - s.re * ri;
+            }
+        }
+        for l in 0..LANES {
+            let denom = (en[l] * r_energy).sqrt();
+            let a = Complex::new(acc_re[l], acc_im[l]).abs();
+            out.push(if denom > 1e-30 { a / denom } else { 0.0 });
+        }
+        n += LANES;
+    }
+    // Scalar tail for the remainder outputs.
+    while n < n_out {
+        let mut acc = Complex::ZERO;
+        for (k, &r) in reference.iter().enumerate() {
+            acc += signal[n + k] * r.conj();
+        }
+        let denom = (win_energy * r_energy).sqrt();
+        out.push(if denom > 1e-30 {
+            acc.abs() / denom
+        } else {
+            0.0
+        });
+        if n + 1 < n_out {
+            win_energy += signal[n + m].norm_sqr() - signal[n].norm_sqr();
+            if win_energy < 0.0 {
+                win_energy = 0.0;
+            }
+        }
+        n += 1;
     }
 }
 
@@ -186,6 +306,45 @@ mod tests {
         let mn = delay_correlate(&noise, 16, 64);
         let avg: f64 = mn.iter().sum::<f64>() / mn.len() as f64;
         assert!(avg < 0.5, "noise metric {avg}");
+    }
+
+    #[test]
+    fn lane_correlation_is_bit_identical() {
+        // Every compiled lane width (and the dispatching entry point) must
+        // produce to_bits-identical output to the scalar kernel — across
+        // signal lengths that exercise full lane blocks, scalar tails, a
+        // single output, empty/oversize references, and a zero-energy
+        // reference (the early-out path).
+        let noise = NoiseSource::new(77, 1.0).take(400);
+        let refs: Vec<Vec<Complex>> = vec![
+            chirp(32),
+            chirp(1),
+            chirp(17),
+            Vec::new(),
+            vec![Complex::ZERO; 8], // zero energy → all-zeros output
+            chirp(500),             // longer than every signal → empty
+        ];
+        for reference in &refs {
+            for sig_len in [0usize, 1, 7, 31, 32, 33, 63, 64, 100, 400] {
+                let signal = &noise[..sig_len];
+                let mut expect = Vec::new();
+                normalized_correlation_scalar_into(signal, reference, &mut expect);
+                let mut got = Vec::new();
+                let tag = |w: usize| format!("lanes={w} ref={} sig={sig_len}", reference.len());
+                normalized_correlation_lanes_into::<2>(signal, reference, &mut got);
+                assert!(bits_eq(&expect, &got), "{}", tag(2));
+                normalized_correlation_lanes_into::<4>(signal, reference, &mut got);
+                assert!(bits_eq(&expect, &got), "{}", tag(4));
+                normalized_correlation_lanes_into::<8>(signal, reference, &mut got);
+                assert!(bits_eq(&expect, &got), "{}", tag(8));
+                normalized_correlation_into(signal, reference, &mut got);
+                assert!(bits_eq(&expect, &got), "dispatch ref sig={sig_len}");
+            }
+        }
+    }
+
+    fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
     }
 
     #[test]

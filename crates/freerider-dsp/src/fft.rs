@@ -237,10 +237,44 @@ impl FftPlan {
         }
     }
 
+    /// Forward-transforms a packed batch of symbols in place: `data` holds
+    /// `data.len() / n` back-to-back `n`-point blocks, each transformed
+    /// independently. One entry call amortises the plan/table lookup over
+    /// a whole packet's OFDM symbols and strides cache-linearly through
+    /// the batch; each block goes through the same butterfly network as a
+    /// single [`FftPlan::fft`] call (the 64-point batch uses the
+    /// specialised fixed-size path), so the batch is *bit-identical* to
+    /// per-symbol transforms — `batch_transform_is_bit_identical` pins it.
+    ///
+    /// Errors if `data.len()` is not a multiple of the plan size (zero
+    /// blocks is fine and a no-op).
+    // lint: hot-path
+    pub fn run_batch(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        if !data.len().is_multiple_of(self.n) {
+            return Err(FftError::LengthMismatch {
+                plan: self.n,
+                data: data.len(),
+            });
+        }
+        if self.n == 64 {
+            for chunk in data.chunks_exact_mut(64) {
+                // lint: allow(panic) — chunks_exact_mut yields exactly 64
+                let block: &mut [Complex; 64] = chunk.try_into().expect("64-sample chunk");
+                self.process64(block, &self.fwd);
+            }
+        } else {
+            for chunk in data.chunks_exact_mut(self.n) {
+                self.process(chunk, &self.fwd);
+            }
+        }
+        Ok(())
+    }
+
     /// The specialized 64-point butterfly network (the OFDM symbol size):
-    /// identical arithmetic to [`FftPlan::process`], but over a fixed-size
-    /// array with every loop bound a compile-time constant, so the
-    /// optimiser drops all bounds checks and unrolls the inner stages.
+    /// identical arithmetic to [`FftPlan::process`], but with each of the
+    /// six stages monomorphised at a compile-time span length, so every
+    /// loop bound, twiddle offset, and butterfly index is a constant the
+    /// optimiser unrolls and vectorises without bounds checks.
     fn process64(&self, data: &mut [Complex; 64], table: &[Complex]) {
         debug_assert_eq!(self.n, 64);
         profile::work(BUTTERFLIES, 192); // 64/2 · log₂ 64
@@ -248,24 +282,37 @@ impl FftPlan {
         for &(i, j) in &self.swaps {
             data.swap(i as usize, j as usize);
         }
-        let mut len = 2;
-        let mut off = 0;
-        while len <= 64 {
-            let half = len / 2;
-            let tw = &table[off..off + half];
-            let mut i = 0;
-            while i < 64 {
-                for (k, &w) in tw.iter().enumerate() {
-                    let u = data[i + k];
-                    let v = data[i + k + half] * w;
-                    data[i + k] = u + v;
-                    data[i + k + half] = u - v;
-                }
-                i += len;
-            }
-            off += half;
-            len <<= 1;
+        // Twiddle offsets are the radix-2 prefix sums 0,1,3,7,15,31; each
+        // stage runs the same `(u, v·w)` butterflies in the same order as
+        // the generic loop above, so the transform stays bit-identical.
+        stage64::<2>(data, &table[0..1]);
+        stage64::<4>(data, &table[1..3]);
+        stage64::<8>(data, &table[3..7]);
+        stage64::<16>(data, &table[7..15]);
+        stage64::<32>(data, &table[15..31]);
+        stage64::<64>(data, &table[31..63]);
+    }
+}
+
+/// One radix-2 stage of the 64-point network at compile-time span length
+/// `LEN`: for each span, the first half combines with the twiddled second
+/// half exactly as [`FftPlan::process`]'s inner loop does.
+// lint: hot-path
+#[inline(always)]
+fn stage64<const LEN: usize>(data: &mut [Complex; 64], tw: &[Complex]) {
+    const { assert!(LEN.is_power_of_two() && 2 <= LEN && LEN <= 64) };
+    let half = LEN / 2;
+    debug_assert_eq!(tw.len(), half);
+    let mut i = 0;
+    while i < 64 {
+        for k in 0..half {
+            let w = tw[k];
+            let u = data[i + k];
+            let v = data[i + k + half] * w;
+            data[i + k] = u + v;
+            data[i + k + half] = u - v;
         }
+        i += LEN;
     }
 }
 
@@ -461,6 +508,45 @@ mod tests {
                 assert_eq!(a.re.to_bits(), b.re.to_bits(), "ifft64 seed={seed}");
                 assert_eq!(a.im.to_bits(), b.im.to_bits(), "ifft64 seed={seed}");
             }
+        }
+    }
+
+    #[test]
+    fn batch_transform_is_bit_identical() {
+        // A batch of packed symbols must transform exactly as per-symbol
+        // calls would — for the specialised 64-point path and the generic
+        // one — and reject non-multiple lengths.
+        for n in [16usize, 64] {
+            let plan = FftPlan::new(n).unwrap();
+            for n_blocks in [0usize, 1, 5] {
+                let orig = random_signal(n * n_blocks, 0xBA7C + (n * 31 + n_blocks) as u64);
+                let mut batch = orig.clone();
+                plan.run_batch(&mut batch).unwrap();
+                let mut single = orig.clone();
+                for chunk in single.chunks_exact_mut(n) {
+                    plan.fft(chunk).unwrap();
+                }
+                for (i, (a, b)) in batch.iter().zip(&single).enumerate() {
+                    assert_eq!(
+                        a.re.to_bits(),
+                        b.re.to_bits(),
+                        "n={n} blocks={n_blocks} i={i}"
+                    );
+                    assert_eq!(
+                        a.im.to_bits(),
+                        b.im.to_bits(),
+                        "n={n} blocks={n_blocks} i={i}"
+                    );
+                }
+            }
+            let mut bad = vec![Complex::ZERO; n + 1];
+            assert_eq!(
+                plan.run_batch(&mut bad),
+                Err(FftError::LengthMismatch {
+                    plan: n,
+                    data: n + 1
+                })
+            );
         }
     }
 

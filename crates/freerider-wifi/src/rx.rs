@@ -24,14 +24,14 @@
 //! convenience [`Receiver::receive`] / [`Receiver::receive_all`] wrappers
 //! build a scratch internally and are bit-identical to the `_with` forms.
 
-use crate::mapping::soft_demap_symbols_into;
+use crate::mapping::{soft_demap_deinterleave_batch_into, soft_demap_symbols_into};
 use crate::ofdm::{
     carrier_to_bin, demodulate_symbol, pilot_polarity, DATA_CARRIERS, PILOT_CARRIERS, PILOT_VALUES,
 };
 use crate::plcp::{Signal, SignalError};
 use crate::preamble::{long_symbol, ltf_carrier};
 use crate::rates::{Mcs, Modulation};
-use crate::{FFT_SIZE, N_DATA_CARRIERS, PREAMBLE_LEN, SYMBOL_LEN};
+use crate::{CP_LEN, FFT_SIZE, N_DATA_CARRIERS, PREAMBLE_LEN, SYMBOL_LEN};
 use freerider_coding::convolutional::{viterbi_decode_soft_scratch, CodeRate, ViterbiScratch};
 use freerider_coding::interleaver::Interleaver;
 use freerider_coding::scrambler::Scrambler;
@@ -175,7 +175,24 @@ pub struct RxScratch {
     corrected: Vec<Complex>,
     /// Per-data-carrier channel power gains.
     gains: Vec<f64>,
-    /// Soft demapper output for one symbol.
+    /// Packed CP-stripped DATA symbols (`n_sym × 64`), transformed to the
+    /// frequency domain in place by one batch FFT call.
+    sym_freq: Vec<Complex>,
+    /// Raw equalised DATA points, SoA real plane, carrier-major
+    /// (`[i·n_sym + n]`): each carrier's channel inverse is hoisted once
+    /// and applied across all symbols in a straight vectorisable sweep.
+    eq_re: Vec<f64>,
+    /// Raw equalised DATA points, SoA imaginary plane (same layout).
+    eq_im: Vec<f64>,
+    /// Per-symbol decision-directed phase-estimator accumulator, real
+    /// plane (the carrier-ordered `Σ z²g²` / `Σ z⁴g⁴` partial sums,
+    /// batched across symbols).
+    est_re: Vec<f64>,
+    /// Imaginary plane of the estimator accumulator.
+    est_im: Vec<f64>,
+    /// Per-symbol raw phase estimates derived from the accumulator.
+    raw_phase: Vec<f64>,
+    /// Soft demapper output (whole DATA field in the batched path).
     llrs: Vec<f64>,
     /// Deinterleaved SIGNAL-field LLRs.
     sig_coded: Vec<f64>,
@@ -200,6 +217,12 @@ impl Default for RxScratch {
             ltf_corr: Vec::new(),
             corrected: Vec::new(),
             gains: Vec::new(),
+            sym_freq: Vec::new(),
+            eq_re: Vec::new(),
+            eq_im: Vec::new(),
+            est_re: Vec::new(),
+            est_im: Vec::new(),
+            raw_phase: Vec::new(),
             llrs: Vec::new(),
             sig_coded: Vec::new(),
             coded_llrs: Vec::new(),
@@ -218,12 +241,45 @@ impl RxScratch {
     }
 }
 
+thread_local! {
+    /// Per-thread scratch backing [`Receiver::receive`], so the convenience
+    /// API decodes at the same warm-buffer speed as an explicit
+    /// [`Receiver::receive_with`] loop. The arena stabilises at the largest
+    /// packet decoded on this thread (~400 KB for a 1000-byte PSDU) and is
+    /// released at thread exit.
+    static THREAD_SCRATCH: std::cell::RefCell<RxScratch> =
+        std::cell::RefCell::new(RxScratch::new());
+}
+
 /// Extends the lazily-evaluated delay-correlate metric so index `upto` is
 /// valid. Each value sums the same 64 products in the same order as the
 /// eager [`corr::delay_correlate`], so the prefix computed here is
 /// bit-identical to the corresponding prefix of the full metric — the
 /// plateau search just never pays for the samples it does not look at.
-fn dc_ensure(dc: &mut Vec<f64>, products: &[Complex], energies: &[f64], upto: usize) {
+///
+/// The SoA product/energy planes feeding the metric are themselves
+/// extended lazily (element-wise, so the prefix is bit-identical to an
+/// eager whole-buffer pass): a packet that locks early never pays the
+/// per-sample delay products for the rest of the buffer.
+// lint: hot-path
+fn dc_ensure(
+    dc: &mut Vec<f64>,
+    products: &mut Vec<Complex>,
+    energies: &mut Vec<f64>,
+    samples: &[Complex],
+    upto: usize,
+) {
+    let need = upto + 64; // products[n..n+64] feed metric value n
+    if products.len() < need {
+        let start = products.len();
+        products.extend(
+            samples[start..need]
+                .iter()
+                .zip(&samples[start + 16..need + 16])
+                .map(|(&a, &b)| a * b.conj()),
+        );
+        energies.extend(samples[start + 16..need + 16].iter().map(|z| z.norm_sqr()));
+    }
     while dc.len() <= upto {
         let n = dc.len();
         let mut acc = Complex::ZERO;
@@ -267,10 +323,17 @@ impl Receiver {
     /// not end the hunt: the receiver resumes scanning past the failed
     /// lock, as real hardware does. The *first* failure is reported if
     /// nothing in the buffer decodes.
+    ///
+    /// Decodes through a per-thread [`RxScratch`], so repeated calls reuse
+    /// the same working buffers instead of re-growing ~400 KB of arena per
+    /// packet; only the returned packet's own buffers are freshly
+    /// allocated. Results are bit-identical to [`Receiver::receive_with`].
     pub fn receive(&self, samples: &[Complex]) -> Result<RxPacket, RxError> {
-        let mut scratch = RxScratch::new();
-        self.receive_with(samples, &mut scratch)?;
-        Ok(std::mem::take(&mut scratch.packet))
+        THREAD_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            self.receive_with(samples, &mut scratch)?;
+            Ok(std::mem::take(&mut scratch.packet))
+        })
     }
 
     /// [`Receiver::receive`] into a caller-provided [`RxScratch`]: the
@@ -372,33 +435,32 @@ impl Receiver {
         if samples.len() < PREAMBLE_LEN + SYMBOL_LEN {
             return Err(RxError::NoPreamble);
         }
-        // Delay products and energies shared by every metric value.
+        // Delay products and energies shared by every metric value —
+        // extended lazily alongside the metric itself (see `dc_ensure`).
         scratch.products.clear();
         scratch.energies.clear();
-        scratch.products.extend(
-            samples[..samples.len() - 16]
-                .iter()
-                .zip(&samples[16..])
-                .map(|(&a, &b)| a * b.conj()),
-        );
-        scratch
-            .energies
-            .extend(samples[16..].iter().map(|z| z.norm_sqr()));
         scratch.dc.clear();
         let n_out = samples.len() - 16 - 64 + 1;
         let thr = self.config.detection_threshold;
         const SUSTAIN: usize = 40;
         let mut p = 0usize;
         'outer: while p + SUSTAIN < n_out {
-            dc_ensure(&mut scratch.dc, &scratch.products, &scratch.energies, p);
+            dc_ensure(
+                &mut scratch.dc,
+                &mut scratch.products,
+                &mut scratch.energies,
+                samples,
+                p,
+            );
             if scratch.dc[p] < thr {
                 p += 1;
                 continue;
             }
             dc_ensure(
                 &mut scratch.dc,
-                &scratch.products,
-                &scratch.energies,
+                &mut scratch.products,
+                &mut scratch.energies,
+                samples,
                 p + SUSTAIN - 1,
             );
             for k in 0..SUSTAIN {
@@ -498,10 +560,17 @@ impl Receiver {
         telemetry::record("wifi.rx.cfo.abs_ppb", (cfo.abs() * 1e9).round() as u64);
         trace::value_f64("wifi.rx.cfo", cfo);
 
-        // CFO-correct everything from LTF1 onward.
+        // CFO-correct lazily: each corrected sample depends only on its own
+        // index, so correcting just the LTF + SIGNAL prefix here yields the
+        // same values as eagerly correcting the whole buffer. The DATA
+        // symbols are corrected on the fly as they are packed for the batch
+        // FFT (see the equalise stage below), which skips `Complex::cis`
+        // for cyclic prefixes and trailing samples the packet never uses.
         scratch.corrected.clear();
+        let avail = samples.len() - ltf1;
+        let need_sig = (2 * FFT_SIZE + SYMBOL_LEN).min(avail);
         scratch.corrected.extend(
-            samples[ltf1..]
+            samples[ltf1..ltf1 + need_sig]
                 .iter()
                 .enumerate()
                 .map(|(n, &x)| x * Complex::cis(-2.0 * std::f64::consts::PI * cfo * n as f64)),
@@ -535,7 +604,7 @@ impl Receiver {
 
         // --- SIGNAL symbol. ---
         let prof_signal = profile::scope("signal");
-        if scratch.corrected.len() - 2 * FFT_SIZE < SYMBOL_LEN {
+        if avail - 2 * FFT_SIZE < SYMBOL_LEN {
             telemetry::count("wifi.rx.truncated");
             return Err(RxError::Truncated);
         }
@@ -574,21 +643,11 @@ impl Receiver {
                 .sum();
             acc.arg() / 2.0
         };
-        // Fourth-power analogue for QPSK: z⁴ strips QPSK modulation (and
-        // any multiple-of-π/2 tag rotation), yielding phase mod π/2. QPSK
-        // points sit at odd multiples of 45°, so z⁴ lands at e^{jπ}·e^{j4δ};
-        // negating the accumulator removes that constant π bias.
-        let quartic_phase = |points: &[Complex], gains: &[f64]| -> f64 {
-            let acc: Complex = points
-                .iter()
-                .zip(gains.iter())
-                .map(|(&z, &g)| {
-                    let z2 = z * z;
-                    z2 * z2 * (g * g * g * g)
-                })
-                .sum();
-            (-acc).arg() / 4.0
-        };
+        // The fourth-power analogue for QPSK (z⁴ strips QPSK modulation and
+        // any multiple-of-π/2 tag rotation, yielding phase mod π/2; QPSK
+        // points sit at odd multiples of 45°, so z⁴ lands at e^{jπ}·e^{j4δ}
+        // and negating the accumulator removes that constant π bias) runs
+        // batched across the whole DATA field — see the equalise stage.
         let wrap_half_pi =
             |x: f64| x - std::f64::consts::FRAC_PI_2 * (x / std::f64::consts::FRAC_PI_2).round();
 
@@ -640,34 +699,167 @@ impl Receiver {
         telemetry::count("wifi.rx.signal.ok");
         drop(prof_signal);
 
-        // --- DATA symbols. ---
-        let prof_equalize = profile::scope("equalize");
+        // --- DATA symbols: batch FFT → SoA equalise → batched demap. ---
         let rate = signal.rate;
         let n_sym = rate.data_symbols_for(signal.length);
-        if scratch.corrected.len() - 2 * FFT_SIZE < SYMBOL_LEN * (1 + n_sym) {
+        if avail - 2 * FFT_SIZE < SYMBOL_LEN * (1 + n_sym) {
             telemetry::count("wifi.rx.truncated");
             return Err(RxError::Truncated);
         }
+        let prof_equalize = profile::scope("equalize");
         let n_cbps = rate.coded_bits_per_symbol();
         // The (N_CBPS, N_BPSC) pairs are 1:1 in 802.11g, so a matching
         // block size means the cached permutation is the right one.
         if scratch.il_data.block_size() != n_cbps {
             scratch.il_data = Interleaver::new(n_cbps, rate.modulation().bits_per_subcarrier());
         }
-        scratch.coded_llrs.clear();
-        scratch.coded_llrs.reserve(n_sym * n_cbps);
+        telemetry::count_n("wifi.rx.equalize.symbols", n_sym as u64);
+        telemetry::count_n("wifi.rx.fft.symbols", n_sym as u64);
+        profile::work("equalize.subcarriers", (n_sym * N_DATA_CARRIERS) as u64);
+        // Stage 1 — batch FFT: CFO-correct and pack every CP-stripped
+        // symbol window, then transform the whole DATA field in one
+        // planned batch call (the same 64-point butterfly network per
+        // symbol as `fft64`). The CFO correction is folded into the pack:
+        // each corrected sample depends only on its own absolute index, so
+        // computing `x · e^{-j2πf·idx}` here yields bit-identical values
+        // to the eager whole-buffer pass — while skipping `Complex::cis`
+        // for the cyclic-prefix samples no downstream stage ever reads.
+        scratch.sym_freq.clear();
+        scratch.sym_freq.reserve(n_sym * FFT_SIZE);
+        for n in 0..n_sym {
+            let off = 2 * FFT_SIZE + SYMBOL_LEN * (1 + n) + CP_LEN;
+            scratch.sym_freq.extend(
+                samples[ltf1 + off..ltf1 + off + FFT_SIZE]
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &x)| {
+                        let idx = off + k;
+                        x * Complex::cis(-2.0 * std::f64::consts::PI * cfo * idx as f64)
+                    }),
+            );
+        }
+        freerider_dsp::fft::plan64()
+            .run_batch(&mut scratch.sym_freq)
+            // lint: allow(panic) — the batch length is n_sym·64 by construction
+            .expect("batch length is a multiple of 64");
+        // Stage 2 — SoA equalise: hoist each data carrier's channel inverse
+        // once and sweep it across all symbols into carrier-major re/im
+        // planes. Per-point arithmetic expands `carriers.data[i] / h[bin]`
+        // exactly (`Complex::div`'s numerators and shared `norm_sqr`
+        // denominator), so the planes are bit-identical to the per-symbol
+        // path's points.
+        scratch.eq_re.clear();
+        scratch.eq_re.resize(n_sym * N_DATA_CARRIERS, 0.0);
+        scratch.eq_im.clear();
+        scratch.eq_im.resize(n_sym * N_DATA_CARRIERS, 0.0);
+        for (i, &c) in DATA_CARRIERS.iter().enumerate() {
+            let bin = carrier_to_bin(c);
+            let hq = h[bin];
+            let dn = hq.norm_sqr();
+            let re_col = &mut scratch.eq_re[i * n_sym..(i + 1) * n_sym];
+            let im_col = &mut scratch.eq_im[i * n_sym..(i + 1) * n_sym];
+            if dn > 1e-12 {
+                for n in 0..n_sym {
+                    let s = scratch.sym_freq[n * FFT_SIZE + bin];
+                    re_col[n] = (s.re * hq.re + s.im * hq.im) / dn;
+                    im_col[n] = (s.im * hq.re - s.re * hq.im) / dn;
+                }
+            }
+            // else: both planes stay 0.0 — the faded-carrier zero the
+            // per-symbol path emits.
+        }
+        // Stage 3 — serial phase tracking (the cumulative-drift chain is
+        // order-sensitive) over the raw planes, derotating into the
+        // packet's equalised-symbol buffer.
+        //
+        // The decision-directed BPSK/QPSK estimators reduce each symbol's
+        // 48 carriers independently, so their accumulators batch across
+        // symbols first: one carrier-major sweep over the SoA planes
+        // accumulates every symbol's `Σ z²g²` (or `Σ z⁴g⁴`) with the same
+        // carrier-ordered additions the per-symbol closures perform,
+        // leaving only the order-sensitive wrap/cumulate chain serial.
+        let tracking = self.config.phase_tracking;
+        let batch_est = tracking == PhaseTracking::DecisionDirected
+            && matches!(rate.modulation(), Modulation::Bpsk | Modulation::Qpsk);
+        // The 4-pilot common-phase estimate only steers FullPilot mode and
+        // the decision-directed QAM fallback; skip it elsewhere.
+        let need_pilot = tracking == PhaseTracking::FullPilot
+            || (tracking == PhaseTracking::DecisionDirected && !batch_est);
+        if batch_est {
+            let quartic = rate.modulation() == Modulation::Qpsk;
+            scratch.est_re.clear();
+            scratch.est_re.resize(n_sym, 0.0);
+            scratch.est_im.clear();
+            scratch.est_im.resize(n_sym, 0.0);
+            for i in 0..N_DATA_CARRIERS {
+                let g = scratch.gains[i];
+                let re_col = &scratch.eq_re[i * n_sym..(i + 1) * n_sym];
+                let im_col = &scratch.eq_im[i * n_sym..(i + 1) * n_sym];
+                let acc_re = &mut scratch.est_re[..n_sym];
+                let acc_im = &mut scratch.est_im[..n_sym];
+                if quartic {
+                    let g4 = g * g * g * g;
+                    for n in 0..n_sym {
+                        let z = Complex::new(re_col[n], im_col[n]);
+                        let z2 = z * z;
+                        let t = z2 * z2 * g4;
+                        acc_re[n] += t.re;
+                        acc_im[n] += t.im;
+                    }
+                } else {
+                    let g2 = g * g;
+                    for n in 0..n_sym {
+                        let z = Complex::new(re_col[n], im_col[n]);
+                        let t = z * z * g2;
+                        acc_re[n] += t.re;
+                        acc_im[n] += t.im;
+                    }
+                }
+            }
+            scratch.raw_phase.clear();
+            scratch.raw_phase.reserve(n_sym);
+            if quartic {
+                scratch.raw_phase.extend(
+                    scratch
+                        .est_re
+                        .iter()
+                        .zip(scratch.est_im.iter())
+                        .map(|(&re, &im)| (-Complex::new(re, im)).arg() / 4.0),
+                );
+            } else {
+                scratch.raw_phase.extend(
+                    scratch
+                        .est_re
+                        .iter()
+                        .zip(scratch.est_im.iter())
+                        .map(|(&re, &im)| Complex::new(re, im).arg() / 2.0),
+                );
+            }
+        }
         scratch.packet.equalized.clear();
         scratch.packet.equalized.reserve(n_sym);
         for n in 0..n_sym {
-            let off = 2 * FFT_SIZE + SYMBOL_LEN * (1 + n);
             let mut points_raw = [Complex::ZERO; N_DATA_CARRIERS];
-            let pilot_phase = self.equalize_symbol_into(
-                &scratch.corrected[off..off + SYMBOL_LEN],
-                &h,
-                n + 1,
-                &mut points_raw,
-            );
-            let derot = match self.config.phase_tracking {
+            for (i, p) in points_raw.iter_mut().enumerate() {
+                *p = Complex::new(scratch.eq_re[i * n_sym + n], scratch.eq_im[i * n_sym + n]);
+            }
+            // Pilot-derived common phase error, from the same frequency-
+            // domain points the per-symbol demodulation extracted.
+            let pilot_phase = if need_pilot {
+                let polarity = pilot_polarity()[(n + 1) % 127];
+                let mut pe_acc = Complex::ZERO;
+                for (i, &c) in PILOT_CARRIERS.iter().enumerate() {
+                    let expected = PILOT_VALUES[i] * polarity;
+                    let bin = carrier_to_bin(c);
+                    if h[bin].norm_sqr() > 1e-12 {
+                        pe_acc += (scratch.sym_freq[n * FFT_SIZE + bin] / h[bin]).scale(expected);
+                    }
+                }
+                pe_acc.arg()
+            } else {
+                0.0
+            };
+            let derot = match tracking {
                 PhaseTracking::FullPilot => {
                     // Full pilot correction: erases the tag's phase
                     // offsets (the `ablation-pilots` behaviour).
@@ -681,14 +873,15 @@ impl Receiver {
                     // estimator (mod π); QPSK uses the fourth-power
                     // estimator (mod π/2 — which also lets the quaternary
                     // Eq. 5 tag offsets through); QAM falls back to the 4
-                    // BPSK pilots (mod π).
+                    // BPSK pilots (mod π). The BPSK/QPSK raw estimates come
+                    // precomputed from the batched carrier-major sweep.
                     let (raw, delta) = match rate.modulation() {
                         Modulation::Bpsk => {
-                            let r = squaring_phase(&points_raw, &scratch.gains);
+                            let r = scratch.raw_phase[n];
                             (r, wrap_pi(r - prev_raw))
                         }
                         Modulation::Qpsk => {
-                            let r = quartic_phase(&points_raw, &scratch.gains);
+                            let r = scratch.raw_phase[n];
                             (r, wrap_half_pi(r - prev_raw))
                         }
                         _ => {
@@ -707,14 +900,18 @@ impl Receiver {
                 *d = s * derot;
             }
             scratch.packet.equalized.push(arr);
-            profile::work("demap.symbols", 1);
-            soft_demap_symbols_into(&arr, &scratch.gains, rate.modulation(), &mut scratch.llrs);
-            let base = scratch.coded_llrs.len();
-            scratch.coded_llrs.resize(base + n_cbps, 0.0);
-            scratch
-                .il_data
-                .deinterleave_symbol_soft_into(&scratch.llrs, &mut scratch.coded_llrs[base..]);
         }
+        // Stage 4 — batched demap with the deinterleave scatter fused in:
+        // each LLR is written straight to its deinterleaved slot, skipping
+        // the interleaved-plane round trip (placement-only, bit-identical).
+        profile::work("demap.symbols", n_sym as u64);
+        soft_demap_deinterleave_batch_into(
+            &scratch.packet.equalized,
+            &scratch.gains,
+            rate.modulation(),
+            scratch.il_data.inverse_map(),
+            &mut scratch.coded_llrs,
+        );
         telemetry::count_n("wifi.rx.demap.symbols", n_sym as u64);
         telemetry::count_n("wifi.rx.deinterleave.symbols", n_sym as u64);
         drop(prof_equalize);

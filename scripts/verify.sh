@@ -119,6 +119,15 @@ EOF
 echo "==> bench_diff selftest (per-stage regression gate gates)"
 python3 scripts/bench_diff.py --selftest
 
+echo "==> lane sweep smoke (A/B rows present, defaults are measured winners)"
+./target/release/bench-baseline --quick --lanes all \
+    --out /tmp/freerider_bench_lanes.json >/dev/null
+# Quick-budget medians are noisier than the committed full run; the
+# sweeps separate their winners by ~2x, so a widened slack still catches
+# a genuinely wrong compiled-in default without flaking on jitter.
+FREERIDER_LANE_SLACK=25 python3 scripts/bench_diff.py \
+    --assert-lanes /tmp/freerider_bench_lanes.json
+
 echo "==> planned-FFT selftest (bit-identical to reference)"
 ./target/release/bench-baseline --selftest-fft
 

@@ -92,3 +92,64 @@ fn steady_state_rx_with_warm_scratch_is_allocation_free() {
         "steady-state receive_with allocated {n} time(s); the RX hot path must be allocation-free with a warm scratch"
     );
 }
+
+#[test]
+fn warm_batch_kernels_are_allocation_free() {
+    // The batch kernels the lane rewrite introduced must individually be
+    // allocation-free once their output buffers are warm: the Viterbi
+    // lane dispatcher on a warm `ViterbiScratch`, `FftPlan::run_batch`
+    // over a preallocated block, and the batched demappers (plain and
+    // deinterleave-fused) into warmed LLR buffers.
+    use freerider::coding::convolutional::{viterbi_decode_soft_scratch, CodeRate, ViterbiScratch};
+    use freerider::coding::interleaver::Interleaver;
+    use freerider::dsp::fft::plan64;
+    use freerider::dsp::Complex;
+    use freerider::wifi::mapping::{soft_demap_batch_into, soft_demap_deinterleave_batch_into};
+    use freerider::wifi::rates::Modulation;
+
+    let llrs: Vec<f64> = (0..1200)
+        .map(|i| ((i * 37 % 101) as f64 - 50.0) / 13.0)
+        .collect();
+    let mut vit = ViterbiScratch::new();
+    let _ = viterbi_decode_soft_scratch(&llrs, CodeRate::Half, &mut vit); // warm
+
+    let mut blocks: Vec<Complex> = (0..8 * 64)
+        .map(|i| Complex::cis(0.003 * (i * i) as f64))
+        .collect();
+
+    let symbols: Vec<[Complex; 48]> = (0..20)
+        .map(|n| std::array::from_fn(|i| Complex::cis(0.1 * (n * 48 + i) as f64)))
+        .collect();
+    let gains: Vec<f64> = (0..48).map(|i| 0.5 + (i as f64) / 48.0).collect();
+    let mut demap_out = Vec::new();
+    soft_demap_batch_into(&symbols, &gains, Modulation::Qam16, &mut demap_out); // warm
+    let il = Interleaver::new(48 * 4, 4);
+    let mut fused_out = Vec::new();
+    soft_demap_deinterleave_batch_into(
+        &symbols,
+        &gains,
+        Modulation::Qam16,
+        il.inverse_map(),
+        &mut fused_out,
+    ); // warm
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let _ = viterbi_decode_soft_scratch(&llrs, CodeRate::Half, &mut vit);
+    plan64().run_batch(&mut blocks).unwrap();
+    soft_demap_batch_into(&symbols, &gains, Modulation::Qam16, &mut demap_out);
+    soft_demap_deinterleave_batch_into(
+        &symbols,
+        &gains,
+        Modulation::Qam16,
+        il.inverse_map(),
+        &mut fused_out,
+    );
+    COUNTING.store(false, Ordering::SeqCst);
+    let n = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        n, 0,
+        "warm batch kernels allocated {n} time(s); lane Viterbi, run_batch and batched demap must be allocation-free"
+    );
+}
